@@ -1,0 +1,59 @@
+// Section 6 future work, experiment 1: epidemic thresholds on scale-free vs
+// homogeneous networks. Pastor-Satorras & Vespignani: the SIS threshold
+// λ_c = <k>/<k²> vanishes for power-law degree distributions, unlike
+// Erdős–Rényi graphs. We sweep the endemic prevalence over the effective
+// spreading rate on both a preferential-attachment fan network and a
+// degree-matched ER graph.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/dynamics/epidemic.h"
+#include "src/graph/generators.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::printf("== Ablation: SIS epidemic threshold, scale-free vs ER ==\n");
+  std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
+
+  stats::Rng rng(seed);
+  graph::PreferentialAttachmentParams pa;
+  pa.node_count = 4000;
+  pa.mean_out_degree = 4.0;
+  const graph::Digraph scale_free = graph::preferential_attachment(pa, rng);
+  const double mean_degree =
+      2.0 * static_cast<double>(scale_free.edge_count()) /
+      static_cast<double>(scale_free.node_count());
+  const graph::Digraph er = graph::erdos_renyi(
+      4000, mean_degree / 2.0 / 3999.0, rng);
+
+  std::printf("mean-field threshold <k>/<k^2>: scale-free %.4f, ER %.4f\n",
+              dynamics::sis_threshold_estimate(scale_free),
+              dynamics::sis_threshold_estimate(er));
+  std::printf("(paper/§6 expectation: scale-free threshold far below ER)\n\n");
+
+  const std::vector<double> lambdas = {0.01, 0.02, 0.05, 0.1, 0.2, 0.4};
+  stats::Rng rng_sf = rng.fork();
+  stats::Rng rng_er = rng.fork();
+  const auto sf_sweep = dynamics::prevalence_sweep(
+      scale_free, lambdas, /*recovery=*/0.5, /*trials=*/3, /*max_steps=*/200,
+      rng_sf);
+  const auto er_sweep = dynamics::prevalence_sweep(
+      er, lambdas, 0.5, 3, 200, rng_er);
+
+  stats::TextTable table(
+      {"lambda", "prevalence (scale-free)", "prevalence (ER)"});
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    table.add_row({stats::fmt(lambdas[i], 2),
+                   stats::fmt_pct(sf_sweep[i].second),
+                   stats::fmt_pct(er_sweep[i].second)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: the scale-free network sustains the epidemic at\n"
+      "small lambda where the ER graph does not (vanishing threshold).\n");
+  return 0;
+}

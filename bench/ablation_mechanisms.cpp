@@ -1,0 +1,47 @@
+// Ablation of the two spreading mechanisms (§5.1 / DESIGN.md): regenerate
+// the corpus with the fan channel or the discovery channel disabled and
+// compare what remains of the paper's phenomena.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/ablation.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::printf("== Ablation: the two spreading mechanisms ==\n");
+  std::printf("seed=%llu (three corpora, identical except the ablation)\n\n",
+              static_cast<unsigned long long>(seed));
+
+  data::SyntheticParams params;
+  params.story_count = 600;  // smaller world: three full generations
+  const core::MechanismAblationResult r =
+      core::mechanism_ablation(params, seed);
+
+  stats::TextTable table({"variant", "front page", "upcoming", "median final",
+                          "interesting frac", "mean v10",
+                          "Spearman(v10, final)"});
+  auto add = [&](const core::AblationVariant& v) {
+    table.add_row({v.name, stats::fmt(static_cast<std::int64_t>(v.front_page)),
+                   stats::fmt(static_cast<std::int64_t>(v.upcoming)),
+                   stats::fmt(v.median_final_votes, 0),
+                   stats::fmt_pct(v.interesting_fraction),
+                   stats::fmt(v.mean_v10, 1),
+                   stats::fmt(v.spearman_v10_final, 2)});
+  };
+  add(r.full);
+  add(r.no_fan_channel);
+  add(r.no_discovery);
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape:\n"
+      "  no fan channel -> promotions collapse (the network does the\n"
+      "    promoting, §1) and the v10 signal disappears (mean v10 ~ 0);\n"
+      "  no discovery   -> only community-driven stories survive, early\n"
+      "    votes are almost all in-network, and final counts shrink toward\n"
+      "    community size regardless of general appeal.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Section 6 future work, experiment 2: influence cascades on modular
+// networks (Galstyan & Cohen). On a planted-partition graph, a cascade
+// seeded inside one community saturates that community before (maybe)
+// jumping across — mirroring the paper's narrow-community spreading. We
+// sweep the inter-community edge probability and report cascade reach,
+// plus detected-community quality, plus the two-mechanism vote model run on
+// modular vs non-modular networks.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/dynamics/cascade_sim.h"
+#include "src/graph/community.h"
+#include "src/graph/generators.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::printf("== Ablation: cascades on modular networks ==\n");
+  std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
+
+  stats::Rng rng(seed);
+  stats::TextTable table({"p_out/p_in", "modularity Q", "detected Rand idx",
+                          "mean cascade reach", "global cascade prob"});
+  for (const double ratio : {0.0, 0.01, 0.05, 0.2, 1.0}) {
+    graph::PlantedPartitionParams params;
+    params.node_count = 1200;
+    params.communities = 6;
+    params.p_in = 0.03;
+    params.p_out = params.p_in * ratio;
+    const graph::Digraph g = graph::planted_partition(params, rng);
+    const auto truth = graph::planted_communities(params);
+
+    stats::Rng lp_rng = rng.fork();
+    const auto detected = graph::label_propagation(g, lp_rng);
+    const double q = graph::modularity(g, truth);
+    const double rand_idx = graph::rand_index(detected, truth);
+
+    dynamics::CascadeParams cascade;
+    cascade.activation_prob = 0.06;
+    stats::Rng c_rng = rng.fork();
+    const double mean_reach =
+        dynamics::mean_cascade_size(g, cascade, 100, c_rng) /
+        static_cast<double>(params.node_count);
+    stats::Rng g_rng = rng.fork();
+    const double global_prob = dynamics::global_cascade_probability(
+        g, cascade, 100, /*global_fraction=*/0.5, g_rng);
+
+    table.add_row({stats::fmt(ratio, 2), stats::fmt(q, 3),
+                   stats::fmt(rand_idx, 3), stats::fmt_pct(mean_reach),
+                   stats::fmt_pct(global_prob)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: with strong modularity (small p_out/p_in) cascades\n"
+      "stall at roughly one community (~17%% reach here) and rarely go\n"
+      "global; as communities blur, reach and global probability rise —\n"
+      "the structural mechanism behind narrow-community stories (§5.1).\n");
+  return 0;
+}

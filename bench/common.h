@@ -1,0 +1,34 @@
+#pragma once
+// Shared scaffolding for the figure-reproduction benches: every binary
+// generates the standard calibrated corpus (optionally re-seeded from
+// argv[1]) and prints the seed and sample sizes so runs are reproducible.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/data/synthetic.h"
+
+namespace digg::bench {
+
+struct Context {
+  data::SyntheticCorpus synthetic;
+  stats::Rng rng;  // stream for experiment-level randomness (CV folds etc.)
+};
+
+inline Context make_context(int argc, char** argv, const char* title) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::printf("== %s ==\n", title);
+  stats::Rng rng(seed);
+  data::SyntheticParams params;
+  data::SyntheticCorpus synthetic = data::generate_corpus(params, rng);
+  std::printf(
+      "corpus: seed=%llu users=%zu stories=%zu front_page=%zu upcoming=%zu\n\n",
+      static_cast<unsigned long long>(seed), synthetic.corpus.user_count(),
+      synthetic.corpus.story_count(), synthetic.corpus.front_page.size(),
+      synthetic.corpus.upcoming.size());
+  return Context{std::move(synthetic), rng.fork()};
+}
+
+}  // namespace digg::bench

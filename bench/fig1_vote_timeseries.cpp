@@ -1,0 +1,53 @@
+// Figure 1: time series of votes received by randomly chosen front-page
+// stories — slow accumulation in the upcoming queue, a jump at promotion,
+// then saturation with a roughly one-day half-life (Wu & Huberman).
+
+#include "bench/common.h"
+#include "src/core/experiment.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  bench::Context ctx = bench::make_context(
+      argc, argv, "Figure 1: vote time series of front-page stories");
+
+  const core::Fig1Result fig1 =
+      core::fig1_vote_dynamics(ctx.synthetic.corpus, 6, ctx.rng);
+
+  for (const auto& curve : fig1.curves) {
+    std::printf("story %u: promoted after %.0f min with %zu votes", curve.story,
+                curve.promoted_after.value_or(-1.0),
+                curve.votes_at_promotion);
+    if (curve.post_promotion_half_life) {
+      std::printf(", post-promotion half-life %.0f min (paper: ~1 day)",
+                  *curve.post_promotion_half_life);
+    }
+    std::printf(", final %0.f votes\n", curve.series.values().back());
+    const stats::TimeSeries sampled =
+        curve.series.resample(4.0 * platform::kMinutesPerDay, 16);
+    std::printf("%s\n",
+                stats::render_series(sampled.times(), sampled.values()).c_str());
+  }
+
+  // Aggregate shape statistics across a larger sample.
+  stats::Rng rng2 = ctx.rng.fork();
+  const core::Fig1Result big =
+      core::fig1_vote_dynamics(ctx.synthetic.corpus, 100, rng2);
+  std::size_t exploding = 0;
+  std::vector<double> half_lives;
+  for (const auto& c : big.curves) {
+    const double tp = *c.promoted_after;
+    const double pre_rate = c.series.at(tp) / tp;
+    const double post_rate = (c.series.at(tp + 120.0) - c.series.at(tp)) / 120.0;
+    if (post_rate > pre_rate) ++exploding;
+    if (c.post_promotion_half_life)
+      half_lives.push_back(*c.post_promotion_half_life);
+  }
+  const stats::Summary hl = stats::summarize(half_lives);
+  std::printf("aggregate over %zu stories:\n", big.curves.size());
+  std::printf("  stories exploding at promotion: %zu/%zu\n", exploding,
+              big.curves.size());
+  std::printf("  median post-promotion half-life: %.0f min (paper: ~1440)\n",
+              hl.median);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 2(a): histogram of the final number of votes received by the
+// front-page stories. Paper: ~20% of stories below ~500 votes, ~20% above
+// 1500, tail reaching a few thousand.
+
+#include "bench/common.h"
+#include "src/core/experiment.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  bench::Context ctx = bench::make_context(
+      argc, argv, "Figure 2a: histogram of final votes per front-page story");
+
+  const core::Fig2aResult r = core::fig2a_vote_histogram(ctx.synthetic.corpus);
+  std::printf("%s\n", stats::render_bars(r.histogram.bins()).c_str());
+
+  stats::TextTable table({"statistic", "paper", "measured"});
+  table.add_row({"stories below 500 votes", "~20%",
+                 stats::fmt_pct(r.fraction_below_500)});
+  table.add_row({"stories above 1500 votes", "~20%",
+                 stats::fmt_pct(r.fraction_above_1500)});
+  table.add_row({"median final votes", "~600-1000",
+                 stats::fmt(r.votes_summary.median, 0)});
+  table.add_row({"max final votes", "~4000",
+                 stats::fmt(r.votes_summary.max, 0)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 3(a): histogram of story influence — the number of users who can
+// see the story through the Friends interface — at submission, after 10 and
+// after 20 votes. Paper: slightly more than half the stories are submitted
+// by users with fewer than ten fans; after ten votes almost half the stories
+// are visible to at least 200 users.
+
+#include "bench/common.h"
+#include "src/core/experiment.h"
+#include "src/stats/histogram.h"
+#include "src/stats/table.h"
+
+namespace {
+
+void print_histogram(const char* label, const std::vector<std::size_t>& data) {
+  digg::stats::LinearHistogram hist(0.0, 1400.0, 14);
+  for (std::size_t v : data) hist.add(static_cast<double>(v));
+  std::printf("influence %s:\n%s\n", label,
+              digg::stats::render_bars(hist.bins()).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  bench::Context ctx = bench::make_context(
+      argc, argv, "Figure 3a: story influence via the Friends interface");
+
+  const core::Fig3aResult r = core::fig3a_influence(ctx.synthetic.corpus);
+  print_histogram("at submission", r.at_submission);
+  print_histogram("after 10 votes", r.after_10);
+  print_histogram("after 20 votes", r.after_20);
+
+  stats::TextTable table({"statistic", "paper", "measured"});
+  table.add_row({"submitters with < 10 fans", "~half",
+                 stats::fmt_pct(r.fraction_submitters_under_10_fans)});
+  table.add_row({"stories visible to >= 200 users after 10 votes", "~half",
+                 stats::fmt_pct(r.fraction_visible_to_200_after_10)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

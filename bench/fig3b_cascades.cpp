@@ -1,0 +1,32 @@
+// Figure 3(b): histogram of cascade size — the number of in-network votes
+// (votes by fans of prior voters) — after 10, 20 and 30 votes. Paper quotes:
+// for 30% of stories at least half of the first ten votes were in-network;
+// after 20 votes 28% had >= 10 in-network; after 30 votes 36% had >= 10.
+
+#include "bench/common.h"
+#include "src/core/experiment.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  bench::Context ctx = bench::make_context(
+      argc, argv, "Figure 3b: cascade sizes (in-network votes)");
+
+  const core::Fig3bResult r = core::fig3b_cascades(ctx.synthetic.corpus);
+  std::printf("cascade size after 10 votes:\n%s\n",
+              stats::render_bars(r.cascade_after_10.items()).c_str());
+  std::printf("cascade size after 20 votes:\n%s\n",
+              stats::render_bars(r.cascade_after_20.items()).c_str());
+  std::printf("cascade size after 30 votes:\n%s\n",
+              stats::render_bars(r.cascade_after_30.items()).c_str());
+
+  stats::TextTable table({"statistic", "paper", "measured"});
+  table.add_row({">= 5 in-network of first 10 votes", "30%",
+                 stats::fmt_pct(r.frac_half_of_first10)});
+  table.add_row({">= 10 in-network after 20 votes", "28%",
+                 stats::fmt_pct(r.frac_10plus_after20)});
+  table.add_row({">= 10 in-network after 30 votes", "36%",
+                 stats::fmt_pct(r.frac_10plus_after30)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The paper's final (unnumbered) figure: scatter of friends+1 vs fans+1 for
+// all users in the dataset, with top users highlighted — top users have more
+// of both. Rendered here as log-binned medians plus summary statistics.
+
+#include <cmath>
+
+#include "bench/common.h"
+#include "src/core/experiment.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  bench::Context ctx = bench::make_context(
+      argc, argv, "Final figure: friends+1 vs fans+1, all users vs top users");
+
+  const auto scatter = core::friends_fans_scatter(ctx.synthetic.corpus, 100);
+
+  // Log-binned profile: median fans+1 per friends+1 octave.
+  stats::TextTable profile(
+      {"friends+1 bin", "users", "median fans+1 (all)", "top users in bin"});
+  for (std::size_t lo = 1; lo <= 2048; lo *= 2) {
+    const std::size_t hi = lo * 2;
+    std::vector<double> fans;
+    std::size_t top_count = 0;
+    for (const auto& p : scatter) {
+      if (p.friends_plus_1 >= lo && p.friends_plus_1 < hi) {
+        fans.push_back(static_cast<double>(p.fans_plus_1));
+        if (p.top_user) ++top_count;
+      }
+    }
+    if (fans.empty()) continue;
+    const stats::Summary s = stats::summarize(fans);
+    profile.add_row({"[" + stats::fmt(static_cast<std::int64_t>(lo)) + "," +
+                         stats::fmt(static_cast<std::int64_t>(hi)) + ")",
+                     stats::fmt(static_cast<std::int64_t>(s.n)),
+                     stats::fmt(s.median, 1),
+                     stats::fmt(static_cast<std::int64_t>(top_count))});
+  }
+  std::printf("%s\n", profile.render().c_str());
+
+  double top_friends = 0.0, top_fans = 0.0, top_n = 0.0;
+  double all_friends = 0.0, all_fans = 0.0, all_n = 0.0;
+  std::vector<double> log_friends, log_fans;
+  for (const auto& p : scatter) {
+    all_friends += static_cast<double>(p.friends_plus_1);
+    all_fans += static_cast<double>(p.fans_plus_1);
+    ++all_n;
+    log_friends.push_back(std::log(static_cast<double>(p.friends_plus_1)));
+    log_fans.push_back(std::log(static_cast<double>(p.fans_plus_1)));
+    if (p.top_user) {
+      top_friends += static_cast<double>(p.friends_plus_1);
+      top_fans += static_cast<double>(p.fans_plus_1);
+      ++top_n;
+    }
+  }
+  stats::TextTable table({"statistic", "paper", "measured"});
+  table.add_row({"users in scatter", "~16,600+",
+                 stats::fmt(static_cast<std::int64_t>(all_n))});
+  table.add_row({"mean fans+1, top users vs all", "top users far higher",
+                 stats::fmt(top_fans / top_n, 1) + " vs " +
+                     stats::fmt(all_fans / all_n, 1)});
+  table.add_row({"mean friends+1, top users vs all", "top users far higher",
+                 stats::fmt(top_friends / top_n, 1) + " vs " +
+                     stats::fmt(all_friends / all_n, 1)});
+  table.add_row({"log-log friends/fans correlation", "strongly positive",
+                 stats::fmt(stats::pearson(log_friends, log_fans), 2)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Library micro-benchmarks (google-benchmark): the hot paths of the
+// reproduction pipeline — graph construction, visibility/influence updates,
+// cascade extraction, the vote simulator, and C4.5 training.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/cascade.h"
+#include "src/core/influence.h"
+#include "src/core/predictor.h"
+#include "src/data/synthetic.h"
+#include "src/dynamics/vote_model.h"
+#include "src/graph/generators.h"
+#include "src/graph/traversal.h"
+
+namespace {
+
+using namespace digg;
+
+const data::SyntheticCorpus& corpus() {
+  static const data::SyntheticCorpus c = [] {
+    stats::Rng rng(42);
+    data::SyntheticParams params;
+    params.user_count = 8000;
+    params.story_count = 300;
+    params.vote_model.step = 2.0;
+    return data::generate_corpus(params, rng);
+  }();
+  return c;
+}
+
+void BM_GraphBuildPreferentialAttachment(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    stats::Rng rng(7);
+    graph::PreferentialAttachmentParams params;
+    params.node_count = n;
+    benchmark::DoNotOptimize(graph::preferential_attachment(params, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GraphBuildPreferentialAttachment)->Arg(1000)->Arg(10000);
+
+void BM_BfsGiantComponent(benchmark::State& state) {
+  const graph::Digraph& g = corpus().corpus.network;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::giant_component_fraction(g));
+  }
+}
+BENCHMARK(BM_BfsGiantComponent);
+
+void BM_CascadeExtraction(benchmark::State& state) {
+  const auto& c = corpus().corpus;
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (const auto& story : c.front_page)
+      acc += core::in_network_votes(story, c.network, 10);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.front_page.size()));
+}
+BENCHMARK(BM_CascadeExtraction);
+
+void BM_InfluenceProfile(benchmark::State& state) {
+  const auto& c = corpus().corpus;
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (const auto& story : c.front_page)
+      acc += core::influence_profile(story, c.network, {1, 11, 21}).back();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.front_page.size()));
+}
+BENCHMARK(BM_InfluenceProfile);
+
+void BM_VoteSimulatorOneStory(benchmark::State& state) {
+  stats::Rng net_rng(5);
+  graph::PreferentialAttachmentParams net_params;
+  net_params.node_count = 8000;
+  const graph::Digraph network =
+      graph::preferential_attachment(net_params, net_rng);
+  for (auto _ : state) {
+    platform::Platform plat(network,
+                            std::vector<platform::UserProfile>(8000),
+                            platform::make_june2006_policy());
+    dynamics::VoteModelParams params;
+    params.step = 2.0;
+    dynamics::VoteSimulator sim(plat, params, stats::Rng(9));
+    const auto id = plat.submit(0, 0.6, 0.0);
+    benchmark::DoNotOptimize(sim.run_story(id, {0.6, 0.5}));
+  }
+}
+BENCHMARK(BM_VoteSimulatorOneStory);
+
+void BM_C45Training(benchmark::State& state) {
+  const auto& c = corpus().corpus;
+  const auto features = core::extract_features(c.front_page, c.network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::InterestingnessPredictor::train(features));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(features.size()));
+}
+BENCHMARK(BM_C45Training);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& c = corpus().corpus;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract_features(c.front_page, c.network));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+}  // namespace

@@ -1,0 +1,38 @@
+// Section 3's quoted platform statistics:
+//   - "of the more than 15,000 front page stories submitted by the top 1000
+//     Digg users ... the top 3% of the users were responsible for 35% of the
+//     submissions";
+//   - "we did not see any front-page stories with fewer than 43 votes, nor
+//     did we see any stories in the upcoming queue with more than 42 votes"
+//     (the latter holds at promotion time under the count-and-rate rule;
+//     stranded fan-wave stories can exceed it later — see EXPERIMENTS.md).
+
+#include "bench/common.h"
+#include "src/core/experiment.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  bench::Context ctx = bench::make_context(
+      argc, argv, "Section 3: activity skew and the promotion boundary");
+
+  const core::ActivitySkewResult r =
+      core::text_activity_skew(ctx.synthetic.corpus);
+
+  stats::TextTable table({"statistic", "paper", "measured"});
+  table.add_row({"top 3% share of front-page submissions", "35%",
+                 stats::fmt_pct(r.top3pct_submission_share)});
+  table.add_row({"minimum front-page story votes", ">= 43",
+                 stats::fmt(static_cast<std::int64_t>(r.min_front_page_votes))});
+  table.add_row({"max upcoming-story votes within first day", "<= 42 at scrape",
+                 stats::fmt(static_cast<std::int64_t>(
+                     r.max_upcoming_votes_within_day))});
+  table.add_row({"max upcoming-story votes (final)", "n/a",
+                 stats::fmt(static_cast<std::int64_t>(r.max_upcoming_votes))});
+  table.add_row({"front-page stories", "~200",
+                 stats::fmt(static_cast<std::int64_t>(r.front_page_count))});
+  table.add_row({"upcoming stories", "~900",
+                 stats::fmt(static_cast<std::int64_t>(r.upcoming_count))});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

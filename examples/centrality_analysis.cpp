@@ -1,0 +1,84 @@
+// Centrality analysis: how a submitter's position in the fan network
+// relates to their stories' fate — the structural side of §5's "difficult
+// to decipher between a user's popularity and story interestingness".
+// Computes PageRank and core numbers over the fan graph, then contrasts
+// promotion rates and early in-network votes across centrality quartiles.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "src/core/cascade.h"
+#include "src/data/synthetic.h"
+#include "src/graph/centrality.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace digg;
+  std::printf("== Submitter centrality vs story outcomes ==\n\n");
+
+  stats::Rng rng(31);
+  data::SyntheticParams params;
+  const data::SyntheticCorpus syn = data::generate_corpus(params, rng);
+  const data::Corpus& corpus = syn.corpus;
+
+  std::printf("computing PageRank and k-cores over %zu users...\n\n",
+              corpus.user_count());
+  const auto pr = graph::pagerank(corpus.network);
+  const auto core_num = graph::core_numbers(corpus.network);
+
+  // Rank all submitters by PageRank, split their stories into quartiles.
+  struct StoryView {
+    const data::Story* story;
+    double submitter_pagerank;
+  };
+  std::vector<StoryView> stories;
+  auto absorb = [&](const std::vector<data::Story>& bucket) {
+    for (const data::Story& s : bucket)
+      stories.push_back({&s, pr[s.submitter]});
+  };
+  absorb(corpus.front_page);
+  absorb(corpus.upcoming);
+  std::sort(stories.begin(), stories.end(),
+            [](const StoryView& a, const StoryView& b) {
+              return a.submitter_pagerank < b.submitter_pagerank;
+            });
+
+  stats::TextTable table({"submitter PageRank quartile", "stories",
+                          "promoted", "median final votes", "median v10",
+                          "median submitter core"});
+  const std::size_t q = stories.size() / 4;
+  const char* names[] = {"Q1 (least central)", "Q2", "Q3",
+                         "Q4 (most central)"};
+  for (int quartile = 0; quartile < 4; ++quartile) {
+    const std::size_t begin = static_cast<std::size_t>(quartile) * q;
+    const std::size_t end =
+        quartile == 3 ? stories.size() : begin + q;
+    std::size_t promoted = 0;
+    std::vector<double> finals;
+    std::vector<double> v10s;
+    std::vector<double> cores;
+    for (std::size_t i = begin; i < end; ++i) {
+      const data::Story& s = *stories[i].story;
+      if (s.promoted()) ++promoted;
+      finals.push_back(static_cast<double>(s.vote_count()));
+      v10s.push_back(static_cast<double>(
+          core::in_network_votes(s, corpus.network, 10)));
+      cores.push_back(static_cast<double>(core_num[s.submitter]));
+    }
+    table.add_row(
+        {names[quartile], stats::fmt(static_cast<std::int64_t>(end - begin)),
+         stats::fmt_pct(static_cast<double>(promoted) /
+                        static_cast<double>(end - begin)),
+         stats::fmt(stats::summarize(finals).median, 0),
+         stats::fmt(stats::summarize(v10s).median, 1),
+         stats::fmt(stats::summarize(cores).median, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: central submitters promote far more often (the network does\n"
+      "the promoting) and their stories carry more early in-network votes —\n"
+      "exactly the confound the paper's v10 feature untangles.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: generate a synthetic Digg corpus, inspect the headline
+// statistics, train the paper's early-vote interestingness predictor, and
+// classify one story. Start here to see the whole public API in ~80 lines.
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/data/synthetic.h"
+
+int main() {
+  using namespace digg;
+
+  // 1. Generate a corpus calibrated to the paper's June-2006 snapshot
+  //    (§3.1): a scale-free fan network, skewed user activity, and vote
+  //    records produced by the two-mechanism spread model.
+  stats::Rng rng(42);
+  data::SyntheticParams params;
+  const data::SyntheticCorpus synthetic = data::generate_corpus(params, rng);
+  const data::Corpus& corpus = synthetic.corpus;
+  data::validate(corpus);
+
+  std::printf("corpus: %zu users, %zu front-page stories, %zu upcoming\n",
+              corpus.user_count(), corpus.front_page.size(),
+              corpus.upcoming.size());
+
+  // 2. Headline distribution checks (Fig. 2a).
+  const core::Fig2aResult fig2a = core::fig2a_vote_histogram(corpus);
+  std::printf("front-page final votes: median %.0f, %0.f%% < 500, %.0f%% > 1500\n",
+              fig2a.votes_summary.median, fig2a.fraction_below_500 * 100.0,
+              fig2a.fraction_above_1500 * 100.0);
+
+  // 3. The social-voting signal (Fig. 4): in-network early votes anticipate
+  //    final popularity inversely.
+  const core::Fig4Result fig4 = core::fig4_innetwork_vs_final(corpus);
+  std::printf("Spearman(v10, final votes) = %.2f (paper: clearly negative)\n",
+              fig4.spearman_v10_final);
+
+  // 4. Train the paper's C4.5 predictor on (v10, fans1) and evaluate on the
+  //    top-user upcoming held-out set (§5.2).
+  const core::Fig5Result fig5 =
+      core::fig5_prediction(corpus, core::Fig5Params{}, rng);
+  std::printf("10-fold CV: %zu/%zu correct\n",
+              fig5.cross_validation.pooled.correct(),
+              fig5.cross_validation.pooled.total());
+  std::printf("holdout (%zu top-user upcoming stories): %s\n",
+              fig5.holdout_stories, fig5.holdout.to_string().c_str());
+  std::printf("precision: digg-promotion %.2f vs social-signal %.2f\n",
+              fig5.digg_precision(), fig5.our_precision());
+  std::printf("\nlearned tree:\n%s", fig5.predictor.tree().render().c_str());
+
+  // 5. Classify a single story from its first ten votes.
+  if (!corpus.upcoming.empty()) {
+    const core::StoryFeatures f =
+        core::extract_features(corpus.upcoming.front(), corpus.network);
+    std::printf("\nstory %u: v10=%zu fans1=%zu -> %s\n", f.story, f.v10,
+                f.fans1,
+                fig5.predictor.predict(f) ? "interesting" : "not interesting");
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#pragma once
+// Mechanism ablation: rerun corpus generation with one of the paper's two
+// spreading mechanisms disabled, and measure what survives.
+//   - "no fan channel": fans never see friends' diggs — §1's claim that
+//     social networks drive promotion predicts the front page largely
+//     empties and the early-vote signal (Fig. 4) vanishes;
+//   - "no discovery": no independent adopters — stories live or die by the
+//     submitter's community, popularity decouples from general appeal.
+// This is the design-choice ablation DESIGN.md calls out for the vote model.
+
+#include <string>
+#include <vector>
+
+#include "src/data/synthetic.h"
+
+namespace digg::core {
+
+struct AblationVariant {
+  std::string name;
+  std::size_t front_page = 0;
+  std::size_t upcoming = 0;
+  double median_final_votes = 0.0;     // over front-page stories (0 if none)
+  double interesting_fraction = 0.0;   // front-page stories > 520 votes
+  double mean_v10 = 0.0;               // over front-page stories
+  double spearman_v10_final = 0.0;     // 0 when undefined (<3 stories)
+};
+
+struct MechanismAblationResult {
+  AblationVariant full;
+  AblationVariant no_fan_channel;
+  AblationVariant no_discovery;
+};
+
+/// Generates three corpora from identical seeds and parameters, differing
+/// only in which mechanism is active, and summarizes each.
+[[nodiscard]] MechanismAblationResult mechanism_ablation(
+    const data::SyntheticParams& params, std::uint64_t seed);
+
+}  // namespace digg::core

@@ -1,0 +1,61 @@
+#include "src/core/cascade.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace digg::core {
+
+std::vector<bool> vote_provenance(const Story& story,
+                                  const graph::Digraph& network) {
+  std::vector<bool> provenance;
+  if (story.votes.empty()) return provenance;
+  provenance.reserve(story.votes.size() - 1);
+
+  // Users who could have seen the story through the Friends interface:
+  // fans of the submitter, then fans of each voter as they digg.
+  std::unordered_set<UserId> exposed;
+  auto expose_fans_of = [&](UserId voter) {
+    if (voter < network.node_count()) {
+      for (UserId fan : network.fans(voter)) exposed.insert(fan);
+    }
+  };
+  expose_fans_of(story.submitter);
+  for (std::size_t k = 1; k < story.votes.size(); ++k) {
+    const UserId voter = story.votes[k].user;
+    provenance.push_back(exposed.count(voter) > 0);
+    expose_fans_of(voter);
+  }
+  return provenance;
+}
+
+std::size_t in_network_votes(const Story& story,
+                             const graph::Digraph& network, std::size_t n) {
+  const std::vector<bool> provenance = vote_provenance(story, network);
+  const std::size_t limit = std::min(n, provenance.size());
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < limit; ++k)
+    if (provenance[k]) ++count;
+  return count;
+}
+
+std::vector<std::size_t> cascade_profile(
+    const Story& story, const graph::Digraph& network,
+    const std::vector<std::size_t>& checkpoints) {
+  if (!std::is_sorted(checkpoints.begin(), checkpoints.end()))
+    throw std::invalid_argument("cascade_profile: checkpoints not ascending");
+  const std::vector<bool> provenance = vote_provenance(story, network);
+  std::vector<std::size_t> out;
+  out.reserve(checkpoints.size());
+  std::size_t count = 0;
+  std::size_t k = 0;
+  for (std::size_t checkpoint : checkpoints) {
+    const std::size_t limit = std::min(checkpoint, provenance.size());
+    for (; k < limit; ++k)
+      if (provenance[k]) ++count;
+    out.push_back(count);
+  }
+  return out;
+}
+
+}  // namespace digg::core

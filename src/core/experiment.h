@@ -1,0 +1,174 @@
+#pragma once
+// Experiment runners: one function per paper artifact (figure, table, or
+// quoted statistic). Bench binaries print these results; tests assert the
+// qualitative shape the paper reports. Everything consumes the neutral
+// data::Corpus, so the runners work identically on synthetic or real data.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/core/features.h"
+#include "src/core/predictor.h"
+#include "src/data/corpus.h"
+#include "src/ml/validation.h"
+#include "src/stats/histogram.h"
+#include "src/stats/powerlaw.h"
+#include "src/stats/rng.h"
+#include "src/stats/summary.h"
+#include "src/stats/timeseries.h"
+
+namespace digg::core {
+
+// ---------------------------------------------------------------- Fig. 1 --
+
+/// Cumulative vote time series of one story, from its recorded vote times.
+[[nodiscard]] stats::TimeSeries vote_timeseries(const data::Story& story);
+
+struct Fig1Result {
+  struct StoryCurve {
+    platform::StoryId story = 0;
+    stats::TimeSeries series;
+    std::optional<platform::Minutes> promoted_after;  // minutes to promotion
+    std::size_t votes_at_promotion = 0;
+    std::optional<platform::Minutes> post_promotion_half_life;
+  };
+  std::vector<StoryCurve> curves;
+};
+
+/// Vote dynamics of `count` randomly chosen front-page stories (Fig. 1:
+/// slow accrual upcoming, explosion at promotion, saturation).
+[[nodiscard]] Fig1Result fig1_vote_dynamics(const data::Corpus& corpus,
+                                            std::size_t count,
+                                            stats::Rng& rng);
+
+// --------------------------------------------------------------- Fig. 2a --
+
+struct Fig2aResult {
+  stats::LinearHistogram histogram;      // 100-vote bins over [0, 4000)
+  double fraction_below_500 = 0.0;       // paper: ~20%
+  double fraction_above_1500 = 0.0;      // paper: ~20%
+  stats::Summary votes_summary;
+};
+[[nodiscard]] Fig2aResult fig2a_vote_histogram(const data::Corpus& corpus);
+
+// --------------------------------------------------------------- Fig. 2b --
+
+struct Fig2bResult {
+  stats::FrequencyCounter submissions_per_user;  // over users with >= 1
+  stats::FrequencyCounter votes_per_user;        // over users with >= 1
+  stats::PowerLawFit votes_fit;   // heavy-tail fit of the vote counts
+  std::size_t distinct_voters = 0;
+  std::size_t distinct_submitters = 0;
+};
+[[nodiscard]] Fig2bResult fig2b_user_activity(const data::Corpus& corpus);
+
+// --------------------------------------------------------------- Fig. 3a --
+
+struct Fig3aResult {
+  /// Raw influence values per story at submission / after 10 / after 20
+  /// votes (checkpoints include the submitter's digg internally).
+  std::vector<std::size_t> at_submission;
+  std::vector<std::size_t> after_10;
+  std::vector<std::size_t> after_20;
+  /// Quoted statistics (§4.1).
+  double fraction_submitters_under_10_fans = 0.0;  // paper: ~half
+  double fraction_visible_to_200_after_10 = 0.0;   // paper: ~half
+};
+[[nodiscard]] Fig3aResult fig3a_influence(const data::Corpus& corpus);
+
+// --------------------------------------------------------------- Fig. 3b --
+
+struct Fig3bResult {
+  stats::FrequencyCounter cascade_after_10;
+  stats::FrequencyCounter cascade_after_20;
+  stats::FrequencyCounter cascade_after_30;
+  /// Quoted statistics (§4.1): 30% of stories have >= 5 of first 10 votes
+  /// in-network; 28% have >= 10 after 20; 36% have >= 10 after 30.
+  double frac_half_of_first10 = 0.0;
+  double frac_10plus_after20 = 0.0;
+  double frac_10plus_after30 = 0.0;
+};
+[[nodiscard]] Fig3bResult fig3b_cascades(const data::Corpus& corpus);
+
+// ---------------------------------------------------------------- Fig. 4 --
+
+struct Fig4Group {
+  std::size_t in_network_votes = 0;  // x-axis value
+  stats::Summary final_votes;        // median + trimmed spread (y)
+};
+struct Fig4Result {
+  std::vector<Fig4Group> after_6;
+  std::vector<Fig4Group> after_10;
+  std::vector<Fig4Group> after_20;
+  /// Spearman correlation between v10 and final votes (the paper's "clear
+  /// inverse relationship" — expect a solidly negative value).
+  double spearman_v10_final = 0.0;
+};
+[[nodiscard]] Fig4Result fig4_innetwork_vs_final(const data::Corpus& corpus);
+
+// ------------------------------------------------------- Fig. 5 and §5.2 --
+
+struct Fig5Result {
+  InterestingnessPredictor predictor;       // trained on all front-page
+  ml::CrossValidationResult cross_validation;  // 10-fold (174/207 in paper)
+  std::size_t training_stories = 0;
+
+  // Held-out evaluation on top-user upcoming stories (paper: 48 stories,
+  // TP=4 TN=32 FP=11 FN=1).
+  ml::Confusion holdout;
+  std::size_t holdout_stories = 0;
+
+  // Digg-promotion comparison (§5.2): among held-out stories that Digg
+  // (eventually) promoted / that our classifier calls interesting from the
+  // first ten votes, what fraction end interesting. Paper: Digg P=0.36
+  // (5/14), ours P=0.57 (4/7).
+  std::size_t digg_promoted = 0;
+  std::size_t digg_promoted_interesting = 0;
+  std::size_t ours_predicted = 0;
+  std::size_t ours_predicted_interesting = 0;
+  [[nodiscard]] double digg_precision() const;
+  [[nodiscard]] double our_precision() const;
+};
+
+struct Fig5Params {
+  FeatureSet features = FeatureSet::kPaper;
+  std::size_t folds = 10;
+  std::size_t top_user_rank_cutoff = 100;
+  std::size_t min_holdout_votes = 10;
+  /// Size of the held-out "scraped from the queue" sample (paper: 48
+  /// top-user stories). Sampled from the top-user candidates; any candidate
+  /// that lands in the holdout is excluded from training.
+  std::size_t holdout_size = 48;
+  ml::C45Params c45;
+};
+[[nodiscard]] Fig5Result fig5_prediction(const data::Corpus& corpus,
+                                         const Fig5Params& params,
+                                         stats::Rng& rng);
+
+// -------------------------------------------------- §3 quoted statistics --
+
+struct ActivitySkewResult {
+  double top3pct_submission_share = 0.0;  // paper: ~35%
+  std::size_t min_front_page_votes = 0;   // paper: >= 43
+  std::size_t max_upcoming_votes = 0;     // paper: <= 42 at promotion time
+  std::size_t max_upcoming_votes_within_day = 0;
+  std::size_t front_page_count = 0;
+  std::size_t upcoming_count = 0;
+};
+[[nodiscard]] ActivitySkewResult text_activity_skew(const data::Corpus& corpus);
+
+// -------------------------------------------------------- final scatter --
+
+struct ScatterPoint {
+  std::size_t friends_plus_1 = 1;
+  std::size_t fans_plus_1 = 1;
+  bool top_user = false;
+};
+/// The paper's final (unnumbered) figure: friends+1 vs fans+1 for all users,
+/// with top users highlighted. Only users who appear in the corpus's votes
+/// are included (mirrors "users in our dataset").
+[[nodiscard]] std::vector<ScatterPoint> friends_fans_scatter(
+    const data::Corpus& corpus, std::size_t top_rank_cutoff = 100);
+
+}  // namespace digg::core

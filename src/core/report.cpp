@@ -1,0 +1,160 @@
+#include "src/core/report.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/core/experiment.h"
+#include "src/stats/hypothesis.h"
+#include "src/stats/table.h"
+
+namespace digg::core {
+
+namespace {
+
+void md_row(std::ostringstream& os, const std::string& what,
+            const std::string& paper, const std::string& measured) {
+  os << "| " << what << " | " << paper << " | " << measured << " |\n";
+}
+
+void md_header(std::ostringstream& os) {
+  os << "| statistic | paper | measured |\n|---|---|---|\n";
+}
+
+}  // namespace
+
+std::string reproduction_report(const data::Corpus& corpus, stats::Rng& rng,
+                                const ReportOptions& options) {
+  using stats::fmt;
+  using stats::fmt_pct;
+  std::ostringstream os;
+  os << "# Reproduction report\n\n";
+  os << "Corpus: " << corpus.user_count() << " users, "
+     << corpus.front_page.size() << " front-page stories, "
+     << corpus.upcoming.size() << " upcoming stories.\n\n";
+
+  // --- Fig. 1 ---------------------------------------------------------
+  os << "## Figure 1 — vote dynamics\n\n";
+  const Fig1Result fig1 =
+      fig1_vote_dynamics(corpus, options.fig1_curves, rng);
+  std::size_t with_half_life = 0;
+  double half_life_sum = 0.0;
+  for (const auto& c : fig1.curves) {
+    if (c.post_promotion_half_life) {
+      ++with_half_life;
+      half_life_sum += *c.post_promotion_half_life;
+    }
+  }
+  md_header(os);
+  md_row(os, "sampled stories promoted within a day", "all",
+         fmt(static_cast<std::int64_t>(fig1.curves.size())));
+  if (with_half_life > 0) {
+    md_row(os, "mean post-promotion half-life", "~1440 min",
+           fmt(half_life_sum / static_cast<double>(with_half_life), 0) +
+               " min");
+  }
+  os << "\n";
+
+  // --- Fig. 2a --------------------------------------------------------
+  os << "## Figure 2a — final vote histogram\n\n";
+  const Fig2aResult fig2a = fig2a_vote_histogram(corpus);
+  md_header(os);
+  md_row(os, "stories below 500 votes", "~20%",
+         fmt_pct(fig2a.fraction_below_500));
+  md_row(os, "stories above 1500 votes", "~20%",
+         fmt_pct(fig2a.fraction_above_1500));
+  md_row(os, "median final votes", "~600-1000",
+         fmt(fig2a.votes_summary.median, 0));
+  os << "\n";
+
+  // --- Fig. 2b --------------------------------------------------------
+  os << "## Figure 2b — user activity\n\n";
+  const Fig2bResult fig2b = fig2b_user_activity(corpus);
+  md_header(os);
+  md_row(os, "distinct voters", "~16,600",
+         fmt(static_cast<std::int64_t>(fig2b.distinct_voters)));
+  md_row(os, "power-law alpha of votes/user", "~2",
+         fmt(fig2b.votes_fit.alpha, 2));
+  os << "\n";
+
+  // --- Fig. 3 ---------------------------------------------------------
+  os << "## Figure 3 — influence and cascades\n\n";
+  const Fig3aResult fig3a = fig3a_influence(corpus);
+  const Fig3bResult fig3b = fig3b_cascades(corpus);
+  md_header(os);
+  md_row(os, "submitters with <10 fans", "~half",
+         fmt_pct(fig3a.fraction_submitters_under_10_fans));
+  md_row(os, "visible to >=200 users after 10 votes", "~half",
+         fmt_pct(fig3a.fraction_visible_to_200_after_10));
+  md_row(os, ">=5 of first 10 votes in-network", "30%",
+         fmt_pct(fig3b.frac_half_of_first10));
+  md_row(os, ">=10 in-network after 20 votes", "28%",
+         fmt_pct(fig3b.frac_10plus_after20));
+  md_row(os, ">=10 in-network after 30 votes", "36%",
+         fmt_pct(fig3b.frac_10plus_after30));
+  os << "\n";
+
+  // --- Fig. 4 ---------------------------------------------------------
+  os << "## Figure 4 — in-network votes vs interestingness\n\n";
+  const Fig4Result fig4 = fig4_innetwork_vs_final(corpus);
+  md_header(os);
+  md_row(os, "Spearman(v10, final votes)", "clearly negative",
+         fmt(fig4.spearman_v10_final, 2));
+  if (options.include_significance) {
+    // Mann–Whitney: final votes of v10<=3 vs v10>=7 stories.
+    const auto features = extract_features(corpus.front_page, corpus.network);
+    std::vector<double> low;
+    std::vector<double> high;
+    for (const StoryFeatures& f : features) {
+      if (f.v10 <= 3) low.push_back(static_cast<double>(f.final_votes));
+      if (f.v10 >= 7) high.push_back(static_cast<double>(f.final_votes));
+    }
+    if (low.size() >= 8 && high.size() >= 8) {
+      const stats::TestResult mw = stats::mann_whitney_u(low, high);
+      md_row(os, "Mann-Whitney p (v10<=3 vs v10>=7 finals)",
+             "(not reported)", mw.p_value < 1e-6 ? "<1e-6" : fmt(mw.p_value, 4));
+    }
+  }
+  os << "\n";
+
+  // --- Fig. 5 ---------------------------------------------------------
+  os << "## Figure 5 / Section 5.2 — prediction\n\n";
+  const Fig5Result fig5 = fig5_prediction(corpus, Fig5Params{}, rng);
+  md_header(os);
+  md_row(os, "10-fold CV accuracy", "84.1% (174/207)",
+         fmt_pct(fig5.cross_validation.pooled.accuracy()));
+  md_row(os, "held-out confusion", "TP=4 TN=32 FP=11 FN=1",
+         fig5.holdout.to_string());
+  md_row(os, "Digg promotion precision", "0.36",
+         fmt(fig5.digg_precision(), 2));
+  md_row(os, "our precision", "0.57", fmt(fig5.our_precision(), 2));
+  if (options.include_significance && fig5.digg_promoted > 0 &&
+      fig5.ours_predicted > 0) {
+    const stats::TestResult z = stats::two_proportion_z(
+        fig5.ours_predicted_interesting, fig5.ours_predicted,
+        fig5.digg_promoted_interesting, fig5.digg_promoted);
+    md_row(os, "two-proportion z-test p", "(not reported)",
+           fmt(z.p_value, 3));
+  }
+  os << "\n```\n" << fig5.predictor.tree().render() << "```\n\n";
+
+  // --- §3 -------------------------------------------------------------
+  os << "## Section 3 — platform statistics\n\n";
+  const ActivitySkewResult skew = text_activity_skew(corpus);
+  md_header(os);
+  md_row(os, "top 3% submitters' share", "35%",
+         fmt_pct(skew.top3pct_submission_share));
+  md_row(os, "minimum front-page votes", ">=43",
+         fmt(static_cast<std::int64_t>(skew.min_front_page_votes)));
+  md_row(os, "front-page : upcoming", "~200 : 900",
+         fmt(static_cast<std::int64_t>(skew.front_page_count)) + " : " +
+             fmt(static_cast<std::int64_t>(skew.upcoming_count)));
+  os << "\n";
+  return os.str();
+}
+
+void write_reproduction_report(const data::Corpus& corpus, stats::Rng& rng,
+                               std::ostream& os, const ReportOptions& options) {
+  os << reproduction_report(corpus, rng, options);
+}
+
+}  // namespace digg::core

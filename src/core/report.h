@@ -1,0 +1,31 @@
+#pragma once
+// One-call reproduction report: runs every experiment on a corpus and
+// renders a Markdown document with the paper-vs-measured comparison —
+// the programmatic equivalent of running every bench binary. Used by the
+// full_report example; useful for regression-diffing two corpora (e.g.
+// synthetic vs converted real data).
+
+#include <iosfwd>
+#include <string>
+
+#include "src/data/corpus.h"
+#include "src/stats/rng.h"
+
+namespace digg::core {
+
+struct ReportOptions {
+  std::size_t fig1_curves = 5;
+  bool include_significance = true;  // Mann–Whitney / z-test sections
+};
+
+/// Renders the full Markdown report. Deterministic given `rng`'s seed.
+[[nodiscard]] std::string reproduction_report(const data::Corpus& corpus,
+                                              stats::Rng& rng,
+                                              const ReportOptions& options = {});
+
+/// Writes the report to a stream.
+void write_reproduction_report(const data::Corpus& corpus, stats::Rng& rng,
+                               std::ostream& os,
+                               const ReportOptions& options = {});
+
+}  // namespace digg::core

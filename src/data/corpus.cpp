@@ -1,0 +1,89 @@
+#include "src/data/corpus.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace digg::data {
+
+std::size_t Corpus::rank_of(UserId user) const {
+  const auto it = std::find(top_users.begin(), top_users.end(), user);
+  return it == top_users.end()
+             ? npos
+             : static_cast<std::size_t>(it - top_users.begin());
+}
+
+bool Corpus::is_top_user(UserId user, std::size_t cutoff) const {
+  const std::size_t rank = rank_of(user);
+  return rank != npos && rank < cutoff;
+}
+
+UserActivity user_activity(const Corpus& corpus) {
+  UserActivity act;
+  act.submissions.assign(corpus.user_count(), 0);
+  act.votes.assign(corpus.user_count(), 0);
+  for (const Story& s : corpus.front_page) {
+    if (s.submitter < act.submissions.size()) ++act.submissions[s.submitter];
+    for (const platform::Vote& v : s.votes) {
+      if (v.user < act.votes.size()) ++act.votes[v.user];
+    }
+  }
+  return act;
+}
+
+std::vector<double> final_votes(const std::vector<Story>& stories) {
+  std::vector<double> out;
+  out.reserve(stories.size());
+  for (const Story& s : stories)
+    out.push_back(static_cast<double>(s.vote_count()));
+  return out;
+}
+
+namespace {
+
+void validate_story(const Story& s, std::size_t user_count,
+                    const char* which) {
+  const std::string ctx = std::string(which) + " story " +
+                          std::to_string(s.id) + ": ";
+  if (s.votes.empty())
+    throw std::runtime_error(ctx + "no votes (submitter digg missing)");
+  if (s.votes.front().user != s.submitter)
+    throw std::runtime_error(ctx + "first vote is not the submitter's");
+  if (s.submitter >= user_count)
+    throw std::runtime_error(ctx + "submitter outside the network");
+  std::unordered_set<UserId> seen;
+  platform::Minutes prev = s.votes.front().time;
+  for (const platform::Vote& v : s.votes) {
+    if (v.user >= user_count)
+      throw std::runtime_error(ctx + "voter outside the network");
+    if (!seen.insert(v.user).second)
+      throw std::runtime_error(ctx + "duplicate voter");
+    if (v.time < prev)
+      throw std::runtime_error(ctx + "votes out of chronological order");
+    prev = v.time;
+  }
+}
+
+}  // namespace
+
+void validate(const Corpus& corpus) {
+  for (const Story& s : corpus.front_page) {
+    validate_story(s, corpus.user_count(), "front-page");
+    if (!s.promoted())
+      throw std::runtime_error("front-page story " + std::to_string(s.id) +
+                               ": missing promotion time");
+  }
+  for (const Story& s : corpus.upcoming) {
+    validate_story(s, corpus.user_count(), "upcoming");
+    if (s.promoted())
+      throw std::runtime_error("upcoming story " + std::to_string(s.id) +
+                               ": has a promotion time");
+  }
+  for (UserId u : corpus.top_users) {
+    if (u >= corpus.user_count())
+      throw std::runtime_error("top user outside the network");
+  }
+}
+
+}  // namespace digg::data

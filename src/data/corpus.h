@@ -1,0 +1,63 @@
+#pragma once
+// The neutral dataset boundary. Every §4–§5 analysis consumes a Corpus; the
+// synthetic generator (synthetic.h) and the CSV loader (io.h) both produce
+// one, so the real June-2006 scrape could be substituted without touching
+// analysis code. Mirrors the paper's data (§3.1–3.2):
+//   - ~200 front-page stories with chronologically ordered votes
+//     (submitter first) and final vote counts,
+//   - ~900 upcoming-queue stories from the same period,
+//   - the fan network of all voters,
+//   - the top-user ranking.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/digg/types.h"
+
+namespace digg::data {
+
+using platform::Story;
+using platform::StoryId;
+using platform::UserId;
+
+struct Corpus {
+  graph::Digraph network;  // fan graph over all users (user id = node id)
+  std::vector<Story> front_page;  // promoted stories
+  std::vector<Story> upcoming;    // never-promoted stories (final counts known)
+  /// Users ranked by reputation (promoted submissions), best first. The
+  /// paper's top-user cutoffs (rank <= 100, top 1020 snapshot) index into
+  /// this.
+  std::vector<UserId> top_users;
+
+  [[nodiscard]] std::size_t user_count() const noexcept {
+    return network.node_count();
+  }
+  [[nodiscard]] std::size_t story_count() const noexcept {
+    return front_page.size() + upcoming.size();
+  }
+
+  /// Rank of a user in the top-user list (0-based), or npos if absent.
+  [[nodiscard]] std::size_t rank_of(UserId user) const;
+  /// True if `user` is among the `cutoff` highest-ranked users (the paper's
+  /// "top users (with rank <= 100)" uses cutoff = 100).
+  [[nodiscard]] bool is_top_user(UserId user, std::size_t cutoff) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Per-user activity counts (Fig. 2b): number of front-page submissions and
+/// number of votes cast, over the given stories.
+struct UserActivity {
+  std::vector<std::uint32_t> submissions;
+  std::vector<std::uint32_t> votes;
+};
+[[nodiscard]] UserActivity user_activity(const Corpus& corpus);
+
+/// Final vote counts of the front-page stories (Fig. 2a input).
+[[nodiscard]] std::vector<double> final_votes(const std::vector<Story>& stories);
+
+/// Basic integrity checks; throws std::runtime_error describing the first
+/// violation (vote order, duplicate voters, submitter-first, node range).
+void validate(const Corpus& corpus);
+
+}  // namespace digg::data

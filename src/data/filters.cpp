@@ -1,0 +1,58 @@
+#include "src/data/filters.h"
+
+namespace digg::data {
+
+std::vector<Story> select_stories(const Corpus& corpus,
+                                  const StoryPredicate& keep) {
+  std::vector<Story> out;
+  for (const Story& s : corpus.front_page)
+    if (keep(s)) out.push_back(s);
+  for (const Story& s : corpus.upcoming)
+    if (keep(s)) out.push_back(s);
+  return out;
+}
+
+Corpus filter_corpus(const Corpus& corpus, const StoryPredicate& keep) {
+  Corpus out;
+  out.network = corpus.network;
+  out.top_users = corpus.top_users;
+  for (const Story& s : corpus.front_page)
+    if (keep(s)) out.front_page.push_back(s);
+  for (const Story& s : corpus.upcoming)
+    if (keep(s)) out.upcoming.push_back(s);
+  return out;
+}
+
+StoryPredicate submitted_between(platform::Minutes from, platform::Minutes to) {
+  return [from, to](const Story& s) {
+    return s.submitted_at >= from && s.submitted_at < to;
+  };
+}
+
+StoryPredicate min_votes(std::size_t n) {
+  return [n](const Story& s) { return s.vote_count() >= n + 1; };
+}
+
+StoryPredicate by_top_user(const Corpus& corpus, std::size_t cutoff) {
+  return [&corpus, cutoff](const Story& s) {
+    return corpus.is_top_user(s.submitter, cutoff);
+  };
+}
+
+StoryPredicate both(StoryPredicate a, StoryPredicate b) {
+  return [a = std::move(a), b = std::move(b)](const Story& s) {
+    return a(s) && b(s);
+  };
+}
+
+StoryPredicate either(StoryPredicate a, StoryPredicate b) {
+  return [a = std::move(a), b = std::move(b)](const Story& s) {
+    return a(s) || b(s);
+  };
+}
+
+StoryPredicate negate(StoryPredicate p) {
+  return [p = std::move(p)](const Story& s) { return !p(s); };
+}
+
+}  // namespace digg::data

@@ -1,0 +1,43 @@
+#pragma once
+// Corpus slicing utilities: the paper repeatedly restricts its samples
+// ("stories submitted by top users", "stories with at least 10 votes",
+// "submitted within the same time period"). These filters make the same
+// restrictions first-class and reusable across benches and examples.
+
+#include <functional>
+#include <vector>
+
+#include "src/data/corpus.h"
+
+namespace digg::data {
+
+using StoryPredicate = std::function<bool(const Story&)>;
+
+/// Stories (from both sections) matching the predicate.
+[[nodiscard]] std::vector<Story> select_stories(const Corpus& corpus,
+                                                const StoryPredicate& keep);
+
+/// A corpus restricted to matching stories (network/top-users unchanged).
+[[nodiscard]] Corpus filter_corpus(const Corpus& corpus,
+                                   const StoryPredicate& keep);
+
+// Ready-made predicates -----------------------------------------------------
+
+/// Submitted within [from, to) minutes.
+[[nodiscard]] StoryPredicate submitted_between(platform::Minutes from,
+                                               platform::Minutes to);
+
+/// At least `n` votes beyond the submitter's digg.
+[[nodiscard]] StoryPredicate min_votes(std::size_t n);
+
+/// Submitter ranked better than `cutoff` in the corpus's top-user list.
+/// (Captures the corpus by reference — it must outlive the predicate.)
+[[nodiscard]] StoryPredicate by_top_user(const Corpus& corpus,
+                                         std::size_t cutoff);
+
+/// Logical combinators.
+[[nodiscard]] StoryPredicate both(StoryPredicate a, StoryPredicate b);
+[[nodiscard]] StoryPredicate either(StoryPredicate a, StoryPredicate b);
+[[nodiscard]] StoryPredicate negate(StoryPredicate p);
+
+}  // namespace digg::data

@@ -1,0 +1,206 @@
+#include "src/data/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace digg::data {
+
+namespace {
+
+std::ofstream open_out(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  return out;
+}
+
+std::ifstream open_in(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  return in;
+}
+
+std::vector<std::string_view> split(std::string_view line, char sep = ',') {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+template <typename T>
+T parse_number(std::string_view s, const char* what) {
+  T value{};
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    throw std::runtime_error(std::string("bad ") + what + ": '" +
+                             std::string(s) + "'");
+  return value;
+}
+
+double parse_double(std::string_view s, const char* what) {
+  // std::from_chars<double> is not universally available; go through stod.
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(s), &used);
+    if (used != s.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("bad ") + what + ": '" +
+                             std::string(s) + "'");
+  }
+}
+
+void expect_header(std::ifstream& in, const std::string& expected,
+                   const std::filesystem::path& path) {
+  std::string line;
+  if (!std::getline(in, line) || line != expected)
+    throw std::runtime_error("bad header in " + path.string() +
+                             " (expected '" + expected + "')");
+}
+
+}  // namespace
+
+void save_corpus(const Corpus& corpus, const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+
+  {
+    std::ofstream out = open_out(dir / "network.csv");
+    out << "fan,target\n";
+    for (graph::NodeId u = 0; u < corpus.network.node_count(); ++u) {
+      for (graph::NodeId v : corpus.network.friends(u)) {
+        out << u << ',' << v << '\n';  // u watches v: u is a fan of v
+      }
+    }
+  }
+  {
+    std::ofstream out = open_out(dir / "stories.csv");
+    out << "id,section,submitter,submitted_at,promoted_at,quality\n";
+    auto emit = [&](const Story& s, const char* section) {
+      out << s.id << ',' << section << ',' << s.submitter << ','
+          << s.submitted_at << ',';
+      if (s.promoted_at) out << *s.promoted_at;
+      out << ',' << s.quality << '\n';
+    };
+    for (const Story& s : corpus.front_page) emit(s, "front_page");
+    for (const Story& s : corpus.upcoming) emit(s, "upcoming");
+  }
+  {
+    std::ofstream out = open_out(dir / "votes.csv");
+    out << "story_id,user,time\n";
+    auto emit = [&](const Story& s) {
+      for (const platform::Vote& v : s.votes)
+        out << s.id << ',' << v.user << ',' << v.time << '\n';
+    };
+    for (const Story& s : corpus.front_page) emit(s);
+    for (const Story& s : corpus.upcoming) emit(s);
+  }
+  {
+    std::ofstream out = open_out(dir / "top_users.csv");
+    out << "user\n";
+    for (UserId u : corpus.top_users) out << u << '\n';
+  }
+}
+
+Corpus load_corpus(const std::filesystem::path& dir) {
+  Corpus corpus;
+
+  {
+    std::ifstream in = open_in(dir / "network.csv");
+    expect_header(in, "fan,target", dir / "network.csv");
+    graph::DigraphBuilder builder;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = split(line);
+      if (fields.size() != 2)
+        throw std::runtime_error("bad network.csv row: " + line);
+      builder.add_follow(parse_number<graph::NodeId>(fields[0], "fan"),
+                         parse_number<graph::NodeId>(fields[1], "target"));
+    }
+    corpus.network = builder.build();
+  }
+
+  std::vector<Story*> by_id;
+  {
+    std::ifstream in = open_in(dir / "stories.csv");
+    expect_header(in, "id,section,submitter,submitted_at,promoted_at,quality",
+                  dir / "stories.csv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = split(line);
+      if (fields.size() != 6)
+        throw std::runtime_error("bad stories.csv row: " + line);
+      Story s;
+      s.id = parse_number<StoryId>(fields[0], "story id");
+      s.submitter = parse_number<UserId>(fields[2], "submitter");
+      s.submitted_at = parse_double(fields[3], "submitted_at");
+      if (!fields[4].empty()) {
+        s.promoted_at = parse_double(fields[4], "promoted_at");
+        s.phase = platform::StoryPhase::kFrontPage;
+      }
+      s.quality = parse_double(fields[5], "quality");
+      const bool is_front = fields[1] == "front_page";
+      if (!is_front && fields[1] != "upcoming")
+        throw std::runtime_error("bad section in stories.csv: " + line);
+      if (is_front != s.promoted_at.has_value())
+        throw std::runtime_error("section/promoted_at mismatch: " + line);
+      auto& bucket = is_front ? corpus.front_page : corpus.upcoming;
+      bucket.push_back(std::move(s));
+    }
+    // Build the id index after both vectors stopped reallocating.
+    std::size_t max_id = 0;
+    for (const Story& s : corpus.front_page) max_id = std::max<std::size_t>(max_id, s.id);
+    for (const Story& s : corpus.upcoming) max_id = std::max<std::size_t>(max_id, s.id);
+    by_id.assign(max_id + 1, nullptr);
+    for (Story& s : corpus.front_page) by_id[s.id] = &s;
+    for (Story& s : corpus.upcoming) by_id[s.id] = &s;
+  }
+
+  {
+    std::ifstream in = open_in(dir / "votes.csv");
+    expect_header(in, "story_id,user,time", dir / "votes.csv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = split(line);
+      if (fields.size() != 3)
+        throw std::runtime_error("bad votes.csv row: " + line);
+      const auto story_id = parse_number<StoryId>(fields[0], "story id");
+      if (story_id >= by_id.size() || by_id[story_id] == nullptr)
+        throw std::runtime_error("vote for unknown story: " + line);
+      platform::Vote v;
+      v.user = parse_number<UserId>(fields[1], "voter");
+      v.time = parse_double(fields[2], "vote time");
+      by_id[story_id]->votes.push_back(v);
+    }
+  }
+
+  {
+    std::ifstream in = open_in(dir / "top_users.csv");
+    expect_header(in, "user", dir / "top_users.csv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      corpus.top_users.push_back(parse_number<UserId>(line, "top user"));
+    }
+  }
+
+  validate(corpus);
+  return corpus;
+}
+
+}  // namespace digg::data

@@ -1,0 +1,111 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/digg/platform.h"
+#include "src/digg/promotion.h"
+#include "src/digg/user.h"
+
+namespace digg::data {
+
+namespace {
+
+double sample_general_appeal(const SyntheticParams& p, bool top_submitter,
+                             stats::Rng& rng) {
+  const double dull = top_submitter ? p.top_dull_fraction : p.dull_fraction;
+  const double hot = top_submitter ? p.top_hot_fraction : p.hot_fraction;
+  const double u = rng.uniform();
+  if (u < dull) return rng.uniform(p.dull_lo, p.dull_hi);
+  if (u < dull + hot) return rng.uniform(p.hot_lo, p.hot_hi);
+  return rng.uniform(p.mid_lo, p.mid_hi);
+}
+
+double sample_community_appeal(const SyntheticParams& p, double general,
+                               double submitter_fan_pull, stats::Rng& rng) {
+  double c = p.community_base + p.community_general_slope * general +
+             p.community_top_boost * submitter_fan_pull +
+             rng.normal(0.0, p.community_noise);
+  return std::clamp(c, 0.0, 1.0);
+}
+
+}  // namespace
+
+SyntheticCorpus generate_corpus(const SyntheticParams& params,
+                                stats::Rng& rng) {
+  if (params.story_count == 0)
+    throw std::invalid_argument("generate_corpus: story_count == 0");
+  if (params.top_submitter_pool == 0 ||
+      params.top_submitter_pool > params.user_count)
+    throw std::invalid_argument("generate_corpus: bad top_submitter_pool");
+
+  SyntheticCorpus out;
+  out.seed = rng.seed();
+
+  // 1. Fan network; node_count follows user_count regardless of what the
+  // nested params carry (they may be stale after field-by-field edits).
+  graph::PreferentialAttachmentParams net_params = params.network;
+  net_params.node_count = params.user_count;
+  const graph::Digraph network = preferential_attachment(net_params, rng);
+
+  // 2. Population (activity aligned with arrival order: user 0 heaviest).
+  platform::PopulationParams pop;
+  pop.user_count = params.user_count;
+  std::vector<platform::UserProfile> users =
+      platform::generate_population(pop, rng);
+
+  // 3. Platform with the count-and-rate promotion rule.
+  platform::Platform plat(
+      network, std::move(users),
+      std::make_unique<platform::VoteRatePolicy>(
+          params.promotion_threshold, params.promotion_rate_votes,
+          params.promotion_rate_window));
+  dynamics::VoteSimulator sim(plat, params.vote_model, rng.fork());
+
+  // 4. Submissions: traits drawn per story; community appeal pulled up by
+  // the submitter's fan count (their personal audience).
+  std::vector<std::pair<platform::UserId, dynamics::StoryTraits>> submissions;
+  submissions.reserve(params.story_count);
+  const stats::ZipfSampler top_picker(params.top_submitter_pool,
+                                      params.top_submitter_zipf);
+  for (std::size_t k = 0; k < params.story_count; ++k) {
+    platform::UserId submitter;
+    const bool top_submitter = rng.bernoulli(params.top_submitter_fraction);
+    if (top_submitter) {
+      submitter = static_cast<platform::UserId>(top_picker.sample(rng) - 1);
+    } else {
+      submitter = static_cast<platform::UserId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(params.user_count) - 1));
+    }
+    dynamics::StoryTraits traits;
+    traits.general = sample_general_appeal(params, top_submitter, rng);
+    const double fan_pull = std::min(
+        1.0, static_cast<double>(network.fan_count(submitter)) / 100.0);
+    traits.community =
+        sample_community_appeal(params, traits.general, fan_pull, rng);
+    submissions.emplace_back(submitter, traits);
+    out.traits.push_back(traits);
+  }
+
+  dynamics::simulate_batch(plat, sim, submissions,
+                           params.submission_spacing);
+
+  // 5. Partition into front-page vs upcoming and rank users.
+  Corpus& corpus = out.corpus;
+  corpus.network = network;
+  for (const platform::Story& s : plat.stories()) {
+    if (s.promoted()) {
+      corpus.front_page.push_back(s);
+    } else {
+      corpus.upcoming.push_back(s);
+    }
+  }
+  const std::vector<std::uint32_t> reputation =
+      platform::promoted_submission_counts(plat.stories(),
+                                           params.user_count);
+  corpus.top_users =
+      platform::top_user_ranking(reputation, network.in_degrees());
+  return out;
+}
+
+}  // namespace digg::data

@@ -1,0 +1,74 @@
+#include "src/digg/friends_interface.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace digg::platform {
+
+VisibilitySet::VisibilitySet(const graph::Digraph& network)
+    : network_(&network) {}
+
+void VisibilitySet::add_voter(UserId voter) {
+  if (!voters_.insert(voter).second)
+    throw std::invalid_argument("VisibilitySet::add_voter: duplicate voter");
+  watchers_.erase(voter);
+  if (voter < network_->node_count()) {
+    for (UserId fan : network_->fans(voter)) {
+      if (!voters_.count(fan) && watchers_.insert(fan).second)
+        watcher_pool_.push_back(fan);
+    }
+  }
+}
+
+std::optional<UserId> VisibilitySet::sample_watcher(stats::Rng& rng) const {
+  if (watchers_.empty()) return std::nullopt;
+  // The pool holds every id ever inserted; stale entries (since voted) are
+  // rejected. Voters <= insertions, so at least half the story's lifetime
+  // pool stays valid in the worst realistic case; cap retries regardless.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto idx = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(watcher_pool_.size()) - 1));
+    const UserId candidate = watcher_pool_[idx];
+    if (watchers_.count(candidate)) return candidate;
+  }
+  // Fall back to the first live watcher (deterministic but rare).
+  return *watchers_.begin();
+}
+
+std::size_t story_influence(const Story& story, const graph::Digraph& network,
+                            std::size_t votes_counted) {
+  VisibilitySet vis(network);
+  const std::size_t n = std::min(votes_counted, story.votes.size());
+  for (std::size_t i = 0; i < n; ++i) vis.add_voter(story.votes[i].user);
+  return vis.influence();
+}
+
+FriendsActivity friends_activity(UserId user,
+                                 const std::vector<Story>& stories,
+                                 const graph::Digraph& network, Minutes now,
+                                 Minutes lookback) {
+  FriendsActivity out;
+  if (user >= network.node_count()) return out;
+  const auto friends = network.friends(user);
+  auto is_friend = [&](UserId other) {
+    return std::binary_search(friends.begin(), friends.end(), other);
+  };
+  const Minutes horizon = now - lookback;
+  for (const Story& s : stories) {
+    if (s.submitted_at <= now && s.submitted_at >= horizon &&
+        is_friend(s.submitter)) {
+      out.submitted_by_friends.push_back(s.id);
+    }
+    for (std::size_t i = 1; i < s.votes.size(); ++i) {  // skip submitter digg
+      const Vote& v = s.votes[i];
+      if (v.time > now) break;
+      if (v.time >= horizon && is_friend(v.user)) {
+        out.dugg_by_friends.push_back(s.id);
+        break;  // one appearance per story is enough
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace digg::platform

@@ -1,0 +1,87 @@
+#pragma once
+// The Friends interface (§3): a user's fans can see the stories the user
+// submitted or dugg. A story's *influence* (§4.1) is the number of users who
+// can see it through this interface — the union of fans of the submitter and
+// of everyone who has voted so far.
+//
+// VisibilitySet supports incremental updates (add one voter at a time) so
+// the vote-dynamics simulation stays O(sum of fan degrees) per story.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/digg/types.h"
+#include "src/stats/rng.h"
+
+namespace digg::platform {
+
+/// Incrementally maintained set of users who can see a story through the
+/// Friends interface. Voters themselves are excluded (they already saw it).
+/// Holds a reference to `network`: the graph must outlive the set.
+class VisibilitySet {
+ public:
+  explicit VisibilitySet(const graph::Digraph& network);
+
+  /// Records a vote: `voter` stops being a watcher (they have acted) and all
+  /// of the voter's fans become watchers.
+  void add_voter(UserId voter);
+
+  /// Users who can currently see the story but have not voted.
+  [[nodiscard]] std::size_t influence() const noexcept {
+    return watchers_.size();
+  }
+  [[nodiscard]] bool can_see(UserId user) const {
+    return watchers_.count(user) > 0;
+  }
+  [[nodiscard]] bool has_voted(UserId user) const {
+    return voters_.count(user) > 0;
+  }
+  [[nodiscard]] const std::unordered_set<UserId>& watchers() const noexcept {
+    return watchers_;
+  }
+  [[nodiscard]] std::size_t voter_count() const noexcept {
+    return voters_.size();
+  }
+
+  /// Uniform-ish random current watcher in O(1) expected time (rejection
+  /// sampling over an insertion pool with lazy deletion). Returns nullopt if
+  /// there are no watchers. Used by the vote simulator's fan channel.
+  [[nodiscard]] std::optional<UserId> sample_watcher(stats::Rng& rng) const;
+
+  /// Append-only log of users in the order they first became watchers.
+  /// Entries may be stale (the user has since voted); each user appears at
+  /// most once. The vote simulator consumes this incrementally to drive its
+  /// one-shot exposure model.
+  [[nodiscard]] const std::vector<UserId>& exposure_log() const noexcept {
+    return watcher_pool_;
+  }
+
+ private:
+  const graph::Digraph* network_;
+  std::unordered_set<UserId> watchers_;
+  std::unordered_set<UserId> voters_;
+  std::vector<UserId> watcher_pool_;  // insertion log; may contain stale ids
+};
+
+/// Influence of a story after its first `votes_counted` votes (including the
+/// submitter's digg as the first): number of non-voting users who could see
+/// it through the Friends interface. This is the quantity of Fig. 3(a).
+[[nodiscard]] std::size_t story_influence(const Story& story,
+                                          const graph::Digraph& network,
+                                          std::size_t votes_counted);
+
+/// Friends-interface activity summary ("stories my friends submitted /
+/// dugg in the preceding 48 hours", §3): ids of stories visible to `user`
+/// among `stories` given vote records up to time `now`.
+struct FriendsActivity {
+  std::vector<StoryId> submitted_by_friends;
+  std::vector<StoryId> dugg_by_friends;
+};
+[[nodiscard]] FriendsActivity friends_activity(
+    UserId user, const std::vector<Story>& stories,
+    const graph::Digraph& network, Minutes now,
+    Minutes lookback = 48.0 * kMinutesPerHour);
+
+}  // namespace digg::platform

@@ -1,0 +1,81 @@
+#include "src/digg/platform.h"
+
+#include <stdexcept>
+
+#include "src/digg/story.h"
+
+namespace digg::platform {
+
+Platform::Platform(graph::Digraph network, std::vector<UserProfile> users,
+                   std::unique_ptr<PromotionPolicy> policy,
+                   QueueParams queue_params)
+    : network_(std::move(network)),
+      users_(std::move(users)),
+      policy_(std::move(policy)),
+      queue_params_(queue_params) {
+  if (!policy_) throw std::invalid_argument("Platform: null promotion policy");
+  if (users_.size() != network_.node_count())
+    throw std::invalid_argument(
+        "Platform: user population and network size mismatch");
+}
+
+StoryId Platform::submit(UserId submitter, double quality, Minutes now) {
+  if (submitter >= users_.size())
+    throw std::out_of_range("Platform::submit: unknown user");
+  const auto id = static_cast<StoryId>(stories_.size());
+  stories_.push_back(make_story(id, submitter, now, quality));
+  visibility_.emplace_back(network_);
+  visibility_.back().add_voter(submitter);
+  upcoming_.push_front(id);
+  return id;
+}
+
+bool Platform::vote(StoryId story_id, UserId user, Minutes now) {
+  if (story_id >= stories_.size())
+    throw std::out_of_range("Platform::vote: unknown story");
+  if (user >= users_.size())
+    throw std::out_of_range("Platform::vote: unknown user");
+  Story& s = stories_[story_id];
+  if (s.phase == StoryPhase::kExpired)
+    throw std::logic_error("Platform::vote: story expired");
+  add_vote(s, user, now);
+  visibility_[story_id].add_voter(user);
+
+  if (s.phase == StoryPhase::kUpcoming &&
+      policy_->should_promote(s, network_, now)) {
+    s.phase = StoryPhase::kFrontPage;
+    s.promoted_at = now;
+    upcoming_.remove(story_id);
+    front_page_.push_front(story_id);
+    return true;
+  }
+  return false;
+}
+
+void Platform::expire_stale(Minutes now) {
+  // Collect first: Listing::remove invalidates iteration order.
+  std::vector<StoryId> stale;
+  for (StoryId id : upcoming_.items()) {
+    const Story& s = stories_[id];
+    if (now - s.submitted_at > queue_params_.upcoming_lifetime)
+      stale.push_back(id);
+  }
+  for (StoryId id : stale) {
+    stories_[id].phase = StoryPhase::kExpired;
+    upcoming_.remove(id);
+  }
+}
+
+const Story& Platform::story(StoryId id) const {
+  if (id >= stories_.size())
+    throw std::out_of_range("Platform::story: unknown story");
+  return stories_[id];
+}
+
+const VisibilitySet& Platform::visibility(StoryId id) const {
+  if (id >= visibility_.size())
+    throw std::out_of_range("Platform::visibility: unknown story");
+  return visibility_[id];
+}
+
+}  // namespace digg::platform

@@ -1,0 +1,75 @@
+#pragma once
+// The Digg platform simulator: owns the user population, the fan network,
+// all stories, the upcoming/front-page listings, and the promotion policy.
+// The vote *dynamics* (who votes when) live in src/dynamics; this class is
+// the mechanics — it validates votes, maintains per-story visibility, runs
+// the promotion check after every vote, and expires stale submissions.
+
+#include <memory>
+#include <vector>
+
+#include "src/digg/friends_interface.h"
+#include "src/digg/promotion.h"
+#include "src/digg/queue.h"
+#include "src/digg/types.h"
+#include "src/digg/user.h"
+
+namespace digg::platform {
+
+class Platform {
+ public:
+  Platform(graph::Digraph network, std::vector<UserProfile> users,
+           std::unique_ptr<PromotionPolicy> policy,
+           QueueParams queue_params = {});
+
+  /// Submits a story; records the submitter's own digg and places the story
+  /// at the top of the upcoming queue.
+  StoryId submit(UserId submitter, double quality, Minutes now);
+
+  /// Records a digg. Returns true if this vote triggered promotion.
+  /// Throws if the user already voted or the story is expired.
+  bool vote(StoryId story, UserId user, Minutes now);
+
+  /// Expires upcoming stories older than the queue lifetime.
+  void expire_stale(Minutes now);
+
+  [[nodiscard]] const Story& story(StoryId id) const;
+  [[nodiscard]] const std::vector<Story>& stories() const noexcept {
+    return stories_;
+  }
+  [[nodiscard]] const Listing& upcoming() const noexcept { return upcoming_; }
+  [[nodiscard]] const Listing& front_page() const noexcept {
+    return front_page_;
+  }
+  [[nodiscard]] const graph::Digraph& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] const std::vector<UserProfile>& users() const noexcept {
+    return users_;
+  }
+  [[nodiscard]] const PromotionPolicy& policy() const noexcept {
+    return *policy_;
+  }
+  [[nodiscard]] const QueueParams& queue_params() const noexcept {
+    return queue_params_;
+  }
+  /// Live visibility set of a story (who can see it via the Friends
+  /// interface right now).
+  [[nodiscard]] const VisibilitySet& visibility(StoryId id) const;
+
+  [[nodiscard]] std::size_t story_count() const noexcept {
+    return stories_.size();
+  }
+
+ private:
+  graph::Digraph network_;
+  std::vector<UserProfile> users_;
+  std::unique_ptr<PromotionPolicy> policy_;
+  QueueParams queue_params_;
+  std::vector<Story> stories_;
+  std::vector<VisibilitySet> visibility_;  // parallel to stories_
+  Listing upcoming_;
+  Listing front_page_;
+};
+
+}  // namespace digg::platform

@@ -1,0 +1,76 @@
+#include "src/digg/promotion.h"
+
+#include <unordered_set>
+
+namespace digg::platform {
+
+VoteCountPolicy::VoteCountPolicy(std::size_t threshold, Minutes window)
+    : threshold_(threshold), window_(window) {}
+
+bool VoteCountPolicy::should_promote(const Story& story,
+                                     const graph::Digraph& /*network*/,
+                                     Minutes now) const {
+  if (now - story.submitted_at > window_) return false;
+  return story.vote_count() >= threshold_;
+}
+
+VoteRatePolicy::VoteRatePolicy(std::size_t threshold, std::size_t rate_votes,
+                               Minutes rate_window, Minutes window)
+    : threshold_(threshold),
+      rate_votes_(rate_votes),
+      rate_window_(rate_window),
+      window_(window) {}
+
+bool VoteRatePolicy::should_promote(const Story& story,
+                                    const graph::Digraph& /*network*/,
+                                    Minutes now) const {
+  if (now - story.submitted_at > window_) return false;
+  if (story.vote_count() < threshold_) return false;
+  if (story.vote_count() < rate_votes_) return false;
+  const Vote& window_start =
+      story.votes[story.vote_count() - rate_votes_];
+  return story.votes.back().time - window_start.time <= rate_window_;
+}
+
+DiversityPolicy::DiversityPolicy(double weighted_threshold,
+                                 double fan_vote_weight, Minutes window)
+    : weighted_threshold_(weighted_threshold),
+      fan_vote_weight_(fan_vote_weight),
+      window_(window) {}
+
+double DiversityPolicy::weighted_votes(const Story& story,
+                                       const graph::Digraph& network) const {
+  // A vote is "in-network" if the voter is a fan of any prior voter
+  // (including the submitter). visible = users who follow some prior voter.
+  std::unordered_set<UserId> watchers_of_prior;
+  double mass = 0.0;
+  for (std::size_t i = 0; i < story.votes.size(); ++i) {
+    const UserId voter = story.votes[i].user;
+    if (i == 0) {
+      mass += 1.0;  // submitter's own digg counts fully
+    } else {
+      mass += watchers_of_prior.count(voter) ? fan_vote_weight_ : 1.0;
+    }
+    if (voter < network.node_count()) {
+      for (UserId fan : network.fans(voter)) watchers_of_prior.insert(fan);
+    }
+  }
+  return mass;
+}
+
+bool DiversityPolicy::should_promote(const Story& story,
+                                     const graph::Digraph& network,
+                                     Minutes now) const {
+  if (now - story.submitted_at > window_) return false;
+  return weighted_votes(story, network) >= weighted_threshold_;
+}
+
+std::unique_ptr<PromotionPolicy> make_june2006_policy() {
+  return std::make_unique<VoteCountPolicy>();
+}
+
+std::unique_ptr<PromotionPolicy> make_september2006_policy() {
+  return std::make_unique<DiversityPolicy>();
+}
+
+}  // namespace digg::platform

@@ -1,0 +1,53 @@
+#include "src/digg/story.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace digg::platform {
+
+void add_vote(Story& story, UserId user, Minutes time) {
+  if (story.votes.empty()) {
+    if (user != story.submitter)
+      throw std::invalid_argument(
+          "add_vote: first vote must be the submitter's digg");
+  } else {
+    if (time < story.votes.back().time)
+      throw std::invalid_argument("add_vote: votes must be chronological");
+    if (has_voted(story, user))
+      throw std::invalid_argument("add_vote: duplicate voter");
+  }
+  story.votes.push_back(Vote{user, time});
+}
+
+bool has_voted(const Story& story, UserId user) {
+  return std::any_of(story.votes.begin(), story.votes.end(),
+                     [user](const Vote& v) { return v.user == user; });
+}
+
+std::span<const Vote> early_votes(const Story& story, std::size_t n) {
+  if (story.votes.empty()) return {};
+  const std::size_t available = story.votes.size() - 1;  // skip submitter
+  return {story.votes.data() + 1, std::min(n, available)};
+}
+
+std::vector<UserId> voters(const Story& story) {
+  std::vector<UserId> out;
+  out.reserve(story.votes.size());
+  for (const Vote& v : story.votes) out.push_back(v.user);
+  return out;
+}
+
+Story make_story(StoryId id, UserId submitter, Minutes submitted_at,
+                 double quality) {
+  if (quality < 0.0 || quality > 1.0)
+    throw std::invalid_argument("make_story: quality outside [0,1]");
+  Story s;
+  s.id = id;
+  s.submitter = submitter;
+  s.submitted_at = submitted_at;
+  s.quality = quality;
+  s.votes.push_back(Vote{submitter, submitted_at});
+  return s;
+}
+
+}  // namespace digg::platform

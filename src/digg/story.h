@@ -1,0 +1,34 @@
+#pragma once
+// Story bookkeeping helpers on top of the plain `Story` record: vote
+// insertion with invariant checks, voter-set queries, and the early-vote
+// slices the analysis layer consumes ("first N votes not counting the
+// submitter", per Fig. 4 and §5.2).
+
+#include <span>
+#include <vector>
+
+#include "src/digg/types.h"
+
+namespace digg::platform {
+
+/// Appends a vote, enforcing chronological order, no duplicate voters, and
+/// that the first vote belongs to the submitter. Throws on violations.
+void add_vote(Story& story, UserId user, Minutes time);
+
+/// True if `user` has already voted on `story`. O(votes).
+[[nodiscard]] bool has_voted(const Story& story, UserId user);
+
+/// The first `n` votes *after* the submitter's own (paper convention:
+/// "within the first (not counting the submitter) six, 10 and 20 votes").
+/// Returns fewer if the story has fewer votes.
+[[nodiscard]] std::span<const Vote> early_votes(const Story& story,
+                                                std::size_t n);
+
+/// All voters, in vote order (submitter first).
+[[nodiscard]] std::vector<UserId> voters(const Story& story);
+
+/// Creates a story with the submitter's initial digg recorded.
+[[nodiscard]] Story make_story(StoryId id, UserId submitter,
+                               Minutes submitted_at, double quality);
+
+}  // namespace digg::platform

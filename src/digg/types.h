@@ -1,0 +1,76 @@
+#pragma once
+// Core domain types shared by the platform simulator, the vote dynamics, and
+// the analysis library. Conventions follow the paper's dataset (§3.1):
+// votes are stored in chronological order and the submitter's own digg is
+// always the first vote on a story.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+namespace digg::platform {
+
+using UserId = graph::NodeId;
+using StoryId = std::uint32_t;
+
+/// Simulation time in minutes since the start of the observation window.
+using Minutes = double;
+
+inline constexpr Minutes kMinutesPerHour = 60.0;
+inline constexpr Minutes kMinutesPerDay = 24.0 * kMinutesPerHour;
+
+/// A single digg. `time` is unknown for scraped data (the paper only has
+/// vote order), so analysis code must rely on order, not timestamps.
+struct Vote {
+  UserId user = 0;
+  Minutes time = 0.0;
+
+  friend bool operator==(const Vote&, const Vote&) = default;
+};
+
+/// Where a story currently lives on the site.
+enum class StoryPhase : std::uint8_t {
+  kUpcoming,   // visible in the upcoming stories queue
+  kFrontPage,  // promoted to the front page
+  kExpired,    // aged out of the upcoming queue without promotion
+};
+
+/// A story and its complete voting record.
+struct Story {
+  StoryId id = 0;
+  UserId submitter = 0;
+  Minutes submitted_at = 0.0;
+
+  /// Latent interestingness in [0, 1]: the probability scale at which users
+  /// who *see* the story choose to digg it. Hidden from analysis code; the
+  /// observable proxy is the final vote count.
+  double quality = 0.0;
+
+  /// Chronological votes; votes.front() is the submitter's own digg.
+  std::vector<Vote> votes;
+
+  StoryPhase phase = StoryPhase::kUpcoming;
+  std::optional<Minutes> promoted_at;
+
+  [[nodiscard]] std::size_t vote_count() const noexcept {
+    return votes.size();
+  }
+  [[nodiscard]] bool promoted() const noexcept {
+    return promoted_at.has_value();
+  }
+  /// Votes cast strictly before `cutoff`.
+  [[nodiscard]] std::size_t votes_before(Minutes cutoff) const {
+    std::size_t n = 0;
+    for (const Vote& v : votes) {
+      if (v.time < cutoff)
+        ++n;
+      else
+        break;
+    }
+    return n;
+  }
+};
+
+}  // namespace digg::platform

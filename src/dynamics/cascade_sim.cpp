@@ -1,0 +1,82 @@
+#include "src/dynamics/cascade_sim.h"
+
+#include <stdexcept>
+
+namespace digg::dynamics {
+
+CascadeResult independent_cascade(const graph::Digraph& g,
+                                  const std::vector<graph::NodeId>& seeds,
+                                  const CascadeParams& params,
+                                  stats::Rng& rng) {
+  if (params.activation_prob < 0.0 || params.activation_prob > 1.0)
+    throw std::invalid_argument("independent_cascade: bad probability");
+  CascadeResult result;
+  result.activated.assign(g.node_count(), false);
+  std::vector<graph::NodeId> frontier;
+  for (graph::NodeId s : seeds) {
+    if (s >= g.node_count())
+      throw std::out_of_range("independent_cascade: bad seed");
+    if (!result.activated[s]) {
+      result.activated[s] = true;
+      frontier.push_back(s);
+    }
+  }
+  result.per_round.push_back(frontier.size());
+  result.total_activated = frontier.size();
+
+  std::vector<graph::NodeId> next;
+  for (std::size_t round = 0; round < params.max_rounds && !frontier.empty();
+       ++round) {
+    next.clear();
+    for (graph::NodeId u : frontier) {
+      for (graph::NodeId fan : g.fans(u)) {
+        if (!result.activated[fan] && rng.bernoulli(params.activation_prob)) {
+          result.activated[fan] = true;
+          next.push_back(fan);
+        }
+      }
+    }
+    if (next.empty()) break;
+    result.per_round.push_back(next.size());
+    result.total_activated += next.size();
+    frontier.swap(next);
+  }
+  return result;
+}
+
+double mean_cascade_size(const graph::Digraph& g, const CascadeParams& params,
+                         std::size_t trials, stats::Rng& rng) {
+  if (trials == 0) throw std::invalid_argument("mean_cascade_size: 0 trials");
+  if (g.node_count() == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto seed = static_cast<graph::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+    acc += static_cast<double>(
+        independent_cascade(g, {seed}, params, rng).total_activated);
+  }
+  return acc / static_cast<double>(trials);
+}
+
+double global_cascade_probability(const graph::Digraph& g,
+                                  const CascadeParams& params,
+                                  std::size_t trials, double global_fraction,
+                                  stats::Rng& rng) {
+  if (trials == 0)
+    throw std::invalid_argument("global_cascade_probability: 0 trials");
+  if (global_fraction <= 0.0 || global_fraction > 1.0)
+    throw std::invalid_argument("global_cascade_probability: bad fraction");
+  if (g.node_count() == 0) return 0.0;
+  const double threshold =
+      global_fraction * static_cast<double>(g.node_count());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto seed = static_cast<graph::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+    const CascadeResult r = independent_cascade(g, {seed}, params, rng);
+    if (static_cast<double>(r.total_activated) >= threshold) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace digg::dynamics

@@ -1,0 +1,57 @@
+#pragma once
+// Independent-cascade activation spread (§1 calls voting "analogous to a
+// diffusion, or spread of, activation on a network"; §6 asks how structure
+// affects it, citing Galstyan & Cohen's cascades in modular networks).
+//
+// Activation moves along *fan* edges: when u activates (diggs), each fan of
+// u independently activates with probability p at the next round — exactly
+// the Friends-interface exposure mechanism, abstracted from timing.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/digraph.h"
+#include "src/stats/rng.h"
+
+namespace digg::dynamics {
+
+struct CascadeParams {
+  /// Per-exposure activation probability.
+  double activation_prob = 0.1;
+  /// Maximum rounds (hop depth) to simulate; the cascade usually dies first.
+  std::size_t max_rounds = 50;
+};
+
+struct CascadeResult {
+  /// Total activated nodes, including seeds.
+  std::size_t total_activated = 0;
+  /// Activated count per round (round 0 = seeds).
+  std::vector<std::size_t> per_round;
+  /// Activation flags per node.
+  std::vector<bool> activated;
+
+  [[nodiscard]] std::size_t depth() const noexcept {
+    return per_round.empty() ? 0 : per_round.size() - 1;
+  }
+};
+
+/// Runs one independent cascade from the given seeds.
+[[nodiscard]] CascadeResult independent_cascade(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& seeds,
+    const CascadeParams& params, stats::Rng& rng);
+
+/// Mean cascade size over `trials` runs from a uniformly random single seed.
+[[nodiscard]] double mean_cascade_size(const graph::Digraph& g,
+                                       const CascadeParams& params,
+                                       std::size_t trials, stats::Rng& rng);
+
+/// Fraction of `trials` single-seed cascades that reach at least
+/// `global_fraction` of all nodes — the "global cascade" probability studied
+/// on modular vs homogeneous networks.
+[[nodiscard]] double global_cascade_probability(const graph::Digraph& g,
+                                                const CascadeParams& params,
+                                                std::size_t trials,
+                                                double global_fraction,
+                                                stats::Rng& rng);
+
+}  // namespace digg::dynamics

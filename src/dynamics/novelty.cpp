@@ -1,0 +1,106 @@
+#include "src/dynamics/novelty.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace digg::dynamics {
+
+namespace {
+
+struct Curve {
+  std::vector<double> t;  // minutes since promotion
+  std::vector<double> v;  // votes since promotion
+};
+
+// For a fixed half-life, the least-squares amplitude has the closed form
+// A = sum(v_i * f_i) / sum(f_i^2) with f_i = 1 - 2^(-t_i/hl).
+double solve_amplitude(const Curve& c, double half_life) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < c.t.size(); ++i) {
+    const double f = 1.0 - std::pow(0.5, c.t[i] / half_life);
+    num += c.v[i] * f;
+    den += f * f;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double rmse_for(const Curve& c, double half_life, double amplitude) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < c.t.size(); ++i) {
+    const double f = amplitude * (1.0 - std::pow(0.5, c.t[i] / half_life));
+    acc += (c.v[i] - f) * (c.v[i] - f);
+  }
+  return std::sqrt(acc / static_cast<double>(c.t.size()));
+}
+
+}  // namespace
+
+std::optional<NoveltyFit> fit_novelty_decay(const platform::Story& story,
+                                            std::size_t min_votes,
+                                            std::size_t grid) {
+  if (!story.promoted()) return std::nullopt;
+  const platform::Minutes tp = *story.promoted_at;
+
+  // Post-promotion cumulative curve: (minutes since promotion, votes since
+  // promotion) with one point per vote.
+  Curve curve;
+  for (const platform::Vote& vote : story.votes) {
+    if (vote.time <= tp) continue;
+    curve.t.push_back(vote.time - tp);
+    curve.v.push_back(static_cast<double>(curve.v.size() + 1));
+  }
+  if (curve.t.size() < min_votes) return std::nullopt;
+
+  // Log-spaced grid search over the half-life, then local refinement.
+  const double lo = 10.0;                                // 10 minutes
+  const double hi = 10.0 * platform::kMinutesPerDay;     // 10 days
+  double best_hl = lo;
+  double best_rmse = std::numeric_limits<double>::infinity();
+  double best_amp = 0.0;
+  for (std::size_t k = 0; k < grid; ++k) {
+    const double frac =
+        static_cast<double>(k) / static_cast<double>(grid - 1);
+    const double hl = lo * std::pow(hi / lo, frac);
+    const double amp = solve_amplitude(curve, hl);
+    const double err = rmse_for(curve, hl, amp);
+    if (err < best_rmse) {
+      best_rmse = err;
+      best_hl = hl;
+      best_amp = amp;
+    }
+  }
+  // One refinement pass around the best grid point.
+  const double step = std::pow(hi / lo, 1.0 / static_cast<double>(grid - 1));
+  for (double hl = best_hl / step; hl <= best_hl * step;
+       hl += best_hl * (step - 1.0) / 8.0) {
+    const double amp = solve_amplitude(curve, hl);
+    const double err = rmse_for(curve, hl, amp);
+    if (err < best_rmse) {
+      best_rmse = err;
+      best_hl = hl;
+      best_amp = amp;
+    }
+  }
+
+  NoveltyFit fit;
+  fit.half_life_minutes = best_hl;
+  fit.amplitude = best_amp;
+  fit.rmse = best_rmse;
+  fit.samples = curve.t.size();
+  return fit;
+}
+
+std::vector<NoveltyFit> fit_novelty_decay_all(
+    const std::vector<platform::Story>& stories, std::size_t min_votes) {
+  std::vector<NoveltyFit> fits;
+  for (const platform::Story& s : stories) {
+    if (const auto fit = fit_novelty_decay(s, min_votes)) {
+      fits.push_back(*fit);
+    }
+  }
+  return fits;
+}
+
+}  // namespace digg::dynamics

@@ -1,0 +1,39 @@
+#pragma once
+// Wu–Huberman novelty decay (PNAS 2007), the related work the paper
+// contrasts itself with (§2): after promotion, a story's vote rate decays
+// and its cumulative count saturates with a half-life of about a day. This
+// module fits the decay law to observed vote records so the reproduction
+// can *measure* the half-life rather than assume it.
+//
+// Model: post-promotion cumulative votes follow
+//   V(t) = V_p + A * (1 - 2^(-t / half_life)),
+// i.e. an exponentially decaying rate. We fit (A, half_life) per story by
+// golden-section search on the half-life with A solved in closed form.
+
+#include <optional>
+#include <vector>
+
+#include "src/digg/types.h"
+#include "src/stats/timeseries.h"
+
+namespace digg::dynamics {
+
+struct NoveltyFit {
+  double half_life_minutes = 0.0;
+  double amplitude = 0.0;   // A: asymptotic post-promotion votes
+  double rmse = 0.0;        // fit quality on the sampled curve
+  std::size_t samples = 0;  // points used
+};
+
+/// Fits the decay law to one story's post-promotion vote curve. Returns
+/// nullopt for unpromoted stories or stories with fewer than `min_votes`
+/// post-promotion votes.
+[[nodiscard]] std::optional<NoveltyFit> fit_novelty_decay(
+    const platform::Story& story, std::size_t min_votes = 20,
+    std::size_t grid = 64);
+
+/// Fits every promoted story and returns the distribution of half-lives.
+[[nodiscard]] std::vector<NoveltyFit> fit_novelty_decay_all(
+    const std::vector<platform::Story>& stories, std::size_t min_votes = 20);
+
+}  // namespace digg::dynamics

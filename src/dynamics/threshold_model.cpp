@@ -1,0 +1,81 @@
+#include "src/dynamics/threshold_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace digg::dynamics {
+
+ThresholdResult linear_threshold(const graph::Digraph& g,
+                                 const std::vector<graph::NodeId>& seeds,
+                                 const ThresholdParams& params,
+                                 stats::Rng& rng) {
+  if (params.threshold_lo < 0.0 || params.threshold_hi > 1.0 ||
+      params.threshold_lo > params.threshold_hi)
+    throw std::invalid_argument("linear_threshold: bad threshold range");
+  const std::size_t n = g.node_count();
+
+  std::vector<double> threshold(n);
+  for (double& t : threshold)
+    t = rng.uniform(params.threshold_lo, params.threshold_hi);
+
+  ThresholdResult result;
+  result.adopted.assign(n, false);
+  for (graph::NodeId s : seeds) {
+    if (s >= n) throw std::out_of_range("linear_threshold: bad seed");
+    result.adopted[s] = true;
+  }
+  result.total_adopted =
+      static_cast<std::size_t>(std::count(result.adopted.begin(),
+                                          result.adopted.end(), true));
+  result.per_round.push_back(result.total_adopted);
+
+  std::vector<graph::NodeId> newly;
+  for (std::size_t round = 0; round < params.max_rounds; ++round) {
+    newly.clear();
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (result.adopted[u]) continue;
+      const auto friends = g.friends(u);
+      if (friends.empty()) continue;
+      std::size_t adopted_friends = 0;
+      for (graph::NodeId f : friends)
+        if (result.adopted[f]) ++adopted_friends;
+      const double fraction = static_cast<double>(adopted_friends) /
+                              static_cast<double>(friends.size());
+      if (fraction >= threshold[u]) newly.push_back(u);
+    }
+    if (newly.empty()) break;
+    for (graph::NodeId u : newly) result.adopted[u] = true;
+    result.total_adopted += newly.size();
+    result.per_round.push_back(newly.size());
+  }
+  return result;
+}
+
+std::vector<std::pair<double, double>> cascade_window_sweep(
+    const graph::Digraph& g, const std::vector<double>& thresholds,
+    std::size_t trials, stats::Rng& rng, std::size_t max_rounds) {
+  if (trials == 0)
+    throw std::invalid_argument("cascade_window_sweep: 0 trials");
+  if (g.node_count() == 0)
+    throw std::invalid_argument("cascade_window_sweep: empty graph");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    ThresholdParams params;
+    params.threshold_lo = t;
+    params.threshold_hi = t;
+    params.max_rounds = max_rounds;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < trials; ++k) {
+      const auto seed = static_cast<graph::NodeId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(g.node_count()) - 1));
+      const ThresholdResult r = linear_threshold(g, {seed}, params, rng);
+      acc += static_cast<double>(r.total_adopted) /
+             static_cast<double>(g.node_count());
+    }
+    out.emplace_back(t, acc / static_cast<double>(trials));
+  }
+  return out;
+}
+
+}  // namespace digg::dynamics

@@ -1,0 +1,43 @@
+#pragma once
+// Linear threshold cascades (Granovetter; Watts 2002): a user adopts once
+// the fraction of their *friends* (the users they watch) who have adopted
+// reaches a personal threshold. Complements the independent-cascade model:
+// thresholds capture peer-pressure saturation, cascades capture one-shot
+// exposure. §6's future work asks how structure shapes both.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/digraph.h"
+#include "src/stats/rng.h"
+
+namespace digg::dynamics {
+
+struct ThresholdParams {
+  /// Per-node adoption thresholds are drawn uniformly from
+  /// [threshold_lo, threshold_hi] (fractions of watched neighbors).
+  double threshold_lo = 0.1;
+  double threshold_hi = 0.3;
+  std::size_t max_rounds = 200;
+};
+
+struct ThresholdResult {
+  std::size_t total_adopted = 0;
+  std::vector<std::size_t> per_round;  // round 0 = seeds
+  std::vector<bool> adopted;
+};
+
+/// Synchronous-update linear threshold spread from the given seeds. A node
+/// with no outgoing follows (nobody to watch) never adopts unless seeded.
+[[nodiscard]] ThresholdResult linear_threshold(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& seeds,
+    const ThresholdParams& params, stats::Rng& rng);
+
+/// Watts-style cascade-window sweep: mean adoption fraction from a single
+/// random seed, as a function of the (uniform) threshold value. Returns
+/// (threshold, mean adoption fraction) pairs.
+[[nodiscard]] std::vector<std::pair<double, double>> cascade_window_sweep(
+    const graph::Digraph& g, const std::vector<double>& thresholds,
+    std::size_t trials, stats::Rng& rng, std::size_t max_rounds = 200);
+
+}  // namespace digg::dynamics

@@ -1,0 +1,183 @@
+#include "src/dynamics/vote_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace digg::dynamics {
+
+namespace {
+
+std::vector<double> capped_activity_weights(
+    const std::vector<platform::UserProfile>& users, double cap) {
+  std::vector<double> weights;
+  weights.reserve(users.size());
+  for (const platform::UserProfile& u : users)
+    weights.push_back(std::max(1e-6, std::min(cap, u.activity_rate)));
+  return weights;
+}
+
+}  // namespace
+
+VoteSimulator::VoteSimulator(platform::Platform& platform,
+                             VoteModelParams params, stats::Rng rng)
+    : platform_(&platform),
+      params_(std::move(params)),
+      rng_(std::move(rng)),
+      discovery_sampler_(capped_activity_weights(
+          platform.users(), params_.discovery_activity_cap)) {
+  if (params_.step <= 0.0)
+    throw std::invalid_argument("VoteSimulator: step <= 0");
+  if (params_.horizon < params_.step)
+    throw std::invalid_argument("VoteSimulator: horizon < step");
+}
+
+bool VoteSimulator::pick_discovery_voter(const platform::VisibilitySet& vis,
+                                         UserId& out_voter) {
+  // Rejection-sample an out-of-network voter, weighted by (capped) activity:
+  // Fig. 2(b)'s heavy-tailed per-user vote counts come from this skew, while
+  // the long inactive tail is what makes most voters vote only once.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto user = static_cast<UserId>(discovery_sampler_.sample(rng_));
+    if (!vis.has_voted(user) && !vis.can_see(user)) {
+      out_voter = user;
+      return true;
+    }
+  }
+  return false;
+}
+
+StoryRun VoteSimulator::run_story(StoryId id, const StoryTraits& traits) {
+  if (traits.general < 0.0 || traits.general > 1.0 ||
+      traits.community < 0.0 || traits.community > 1.0)
+    throw std::invalid_argument("run_story: traits outside [0,1]");
+
+  StoryRun run;
+  run.story = id;
+  const Minutes t0 = platform_->story(id).submitted_at;
+  run.votes_over_time.append(0.0, 1.0);  // submitter's digg
+
+  const double dt_days = params_.step / platform::kMinutesPerDay;
+  auto fan_digg_p_now = [&](bool promoted) {
+    const double community_scale =
+        promoted ? params_.fan_digg_community_scale *
+                       params_.post_promotion_community_factor
+                 : params_.fan_digg_community_scale;
+    return std::min(1.0, params_.fan_digg_floor +
+                             community_scale * traits.community +
+                             params_.fan_digg_general_scale * traits.general);
+  };
+
+  // One-shot exposure bookkeeping for the fan channel: `pending` holds
+  // watchers who have not yet considered the story; `pool_cursor` tracks how
+  // much of the visibility exposure log has been ingested.
+  std::vector<UserId> pending;
+  std::size_t pool_cursor = 0;
+
+  std::size_t last_recorded = 1;
+  for (Minutes t = t0 + params_.step; t - t0 <= params_.horizon;
+       t += params_.step) {
+    const platform::Story& s = platform_->story(id);
+    if (s.phase == platform::StoryPhase::kUpcoming &&
+        t - t0 > platform_->queue_params().upcoming_lifetime) {
+      platform_->expire_stale(t);
+    }
+    if (platform_->story(id).phase == platform::StoryPhase::kExpired) break;
+
+    const auto& vis = platform_->visibility(id);
+
+    // Mechanism 2: network-based spread. Ingest newly exposed watchers —
+    // each is engaged (an active Friends-interface user) with probability
+    // scaled by their activity — then let a Poisson-distributed number of
+    // pending watchers consider the story this step.
+    {
+      const auto& log = vis.exposure_log();
+      const auto& users = platform_->users();
+      for (; pool_cursor < log.size(); ++pool_cursor) {
+        const UserId watcher = log[pool_cursor];
+        const double engaged =
+            params_.fan_engagement_scale *
+            (watcher < users.size() ? users[watcher].activity_rate : 1.0);
+        if (rng_.bernoulli(std::min(1.0, engaged)))
+          pending.push_back(watcher);
+      }
+    }
+    const double consider_mean = static_cast<double>(pending.size()) *
+                                 params_.fan_consider_rate * dt_days;
+    // Mechanism 1: interest-based independent discovery.
+    double discovery_rate = 0.0;
+    if (s.phase == platform::StoryPhase::kUpcoming) {
+      const double queue_age = t - t0;
+      const double effective_g =
+          params_.upcoming_quality_floor +
+          (1.0 - params_.upcoming_quality_floor) * traits.general;
+      discovery_rate =
+          (params_.upcoming_discovery_rate *
+               std::exp(-queue_age / params_.upcoming_visibility_decay) +
+           params_.upcoming_background_rate) *
+          effective_g * dt_days;
+    } else {  // front page
+      const double fp_age = t - *s.promoted_at;
+      discovery_rate = params_.front_page_rate * traits.general *
+                       std::pow(0.5, fp_age / params_.novelty_half_life) *
+                       dt_days;
+    }
+
+    const std::int64_t considering =
+        std::min<std::int64_t>(rng_.poisson(consider_mean),
+                               static_cast<std::int64_t>(pending.size()));
+    const std::int64_t discovery_votes = rng_.poisson(discovery_rate);
+    const double fan_digg_p =
+        fan_digg_p_now(s.phase == platform::StoryPhase::kFrontPage);
+
+    for (std::int64_t k = 0; k < considering; ++k) {
+      // Draw a random pending watcher and retire them (one-shot).
+      const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(pending.size()) - 1));
+      const UserId candidate = pending[idx];
+      pending[idx] = pending.back();
+      pending.pop_back();
+      const auto& live = platform_->visibility(id);
+      if (live.has_voted(candidate)) continue;  // acted via another channel
+      if (rng_.bernoulli(fan_digg_p)) {
+        platform_->vote(id, candidate, t);
+        ++run.fan_channel_votes;
+      }
+    }
+    for (std::int64_t k = 0; k < discovery_votes; ++k) {
+      UserId voter;
+      if (!pick_discovery_voter(platform_->visibility(id), voter)) break;
+      platform_->vote(id, voter, t);
+      ++run.discovery_votes;
+    }
+
+    const std::size_t count = platform_->story(id).vote_count();
+    if (count != last_recorded) {
+      run.votes_over_time.append(t - t0, static_cast<double>(count));
+      last_recorded = count;
+    }
+  }
+  // Ensure the series covers the full horizon for resampling.
+  const std::size_t final_count = platform_->story(id).vote_count();
+  if (run.votes_over_time.times().back() < params_.horizon)
+    run.votes_over_time.append(params_.horizon,
+                               static_cast<double>(final_count));
+  return run;
+}
+
+BatchResult simulate_batch(
+    platform::Platform& platform, VoteSimulator& sim,
+    const std::vector<std::pair<UserId, StoryTraits>>& submissions,
+    Minutes spacing_minutes) {
+  BatchResult out;
+  Minutes t = 0.0;
+  for (const auto& [submitter, traits] : submissions) {
+    const StoryId id = platform.submit(submitter, traits.general, t);
+    out.ids.push_back(id);
+    out.runs.push_back(sim.run_story(id, traits));
+    t += spacing_minutes;
+  }
+  return out;
+}
+
+}  // namespace digg::dynamics

@@ -1,0 +1,43 @@
+#pragma once
+// Node centralities over the fan graph. §6 points to structural properties
+// as drivers of voting dynamics; these are the standard instruments:
+//   - PageRank over follow edges — who the network "watches";
+//   - betweenness (Brandes) — brokers between communities;
+//   - k-core decomposition — the densely interlinked top-user core.
+// The centrality_analysis example/bench relates them to story outcomes.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+namespace digg::graph {
+
+struct PageRankParams {
+  double damping = 0.85;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-10;  // L1 change per iteration to stop
+};
+
+/// PageRank over the *follow* direction: u distributes its score to the
+/// users u watches, so highly watched users (many fans) score high.
+/// Dangling mass is redistributed uniformly. Scores sum to 1.
+[[nodiscard]] std::vector<double> pagerank(const Digraph& g,
+                                           const PageRankParams& params = {});
+
+/// Exact betweenness centrality (Brandes 2001) over directed follow edges,
+/// unnormalized (sum over source-target dependency pairs). O(V·E) — fine up
+/// to ~10^5 edges; sample sources via `source_stride` (>1 approximates by
+/// using every stride-th node as a source and scaling).
+[[nodiscard]] std::vector<double> betweenness(const Digraph& g,
+                                              std::size_t source_stride = 1);
+
+/// k-core decomposition over the undirected projection: core_number[u] is
+/// the largest k such that u belongs to a subgraph of minimum degree k.
+[[nodiscard]] std::vector<std::size_t> core_numbers(const Digraph& g);
+
+/// The maximum core number (the depth of the densest nucleus — the
+/// "top-user community" of §5).
+[[nodiscard]] std::size_t degeneracy(const Digraph& g);
+
+}  // namespace digg::graph

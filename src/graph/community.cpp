@@ -1,0 +1,111 @@
+#include "src/graph/community.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace digg::graph {
+
+std::vector<std::size_t> label_propagation(const Digraph& g, stats::Rng& rng,
+                                           std::size_t max_rounds) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> label(n);
+  std::iota(label.begin(), label.end(), std::size_t{0});
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    bool changed = false;
+    std::unordered_map<std::size_t, std::size_t> votes;
+    for (NodeId u : order) {
+      votes.clear();
+      for (NodeId v : g.friends(u)) ++votes[label[v]];
+      for (NodeId v : g.fans(u)) ++votes[label[v]];
+      if (votes.empty()) continue;
+      // Pick the most frequent neighbor label; break ties toward the current
+      // label, then toward the smallest label for determinism.
+      std::size_t best_label = label[u];
+      std::size_t best_count = votes.count(label[u]) ? votes[label[u]] : 0;
+      for (const auto& [l, c] : votes) {
+        if (c > best_count || (c == best_count && l < best_label &&
+                               best_label != label[u])) {
+          best_label = l;
+          best_count = c;
+        }
+      }
+      if (best_label != label[u]) {
+        label[u] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Renumber densely.
+  std::unordered_map<std::size_t, std::size_t> dense;
+  for (std::size_t& l : label) {
+    const auto [it, inserted] = dense.emplace(l, dense.size());
+    l = it->second;
+  }
+  return label;
+}
+
+double modularity(const Digraph& g,
+                  const std::vector<std::size_t>& communities) {
+  if (communities.size() != g.node_count())
+    throw std::invalid_argument("modularity: partition size mismatch");
+  const double m = static_cast<double>(g.edge_count());
+  if (m == 0.0) return 0.0;
+  // Undirected projection where each directed edge contributes one endpoint
+  // pair; degree of u = friends + fans (mutual edges naturally count twice).
+  const std::size_t label_count =
+      communities.empty()
+          ? 0
+          : *std::max_element(communities.begin(), communities.end()) + 1;
+  std::vector<double> internal(label_count, 0.0);
+  std::vector<double> degree_sum(label_count, 0.0);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    degree_sum[communities[u]] +=
+        static_cast<double>(g.friend_count(u) + g.fan_count(u));
+    for (NodeId v : g.friends(u)) {
+      if (communities[u] == communities[v]) internal[communities[u]] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (std::size_t c = 0; c < label_count; ++c) {
+    q += internal[c] / m - (degree_sum[c] / (2.0 * m)) *
+                               (degree_sum[c] / (2.0 * m));
+  }
+  return q;
+}
+
+std::size_t community_count(const std::vector<std::size_t>& communities) {
+  if (communities.empty()) return 0;
+  std::vector<std::size_t> sorted = communities;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return sorted.size();
+}
+
+double rand_index(const std::vector<std::size_t>& a,
+                  const std::vector<std::size_t>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("rand_index: size mismatch");
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+  std::size_t agree = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_a = a[i] == a[j];
+      const bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agree;
+      ++pairs;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(pairs);
+}
+
+}  // namespace digg::graph

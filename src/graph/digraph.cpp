@@ -1,0 +1,84 @@
+#include "src/graph/digraph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace digg::graph {
+
+std::span<const NodeId> Digraph::friends(NodeId u) const {
+  if (u >= node_count()) throw std::out_of_range("Digraph::friends: bad node");
+  return {out_targets_.data() + out_offsets_[u],
+          out_offsets_[u + 1] - out_offsets_[u]};
+}
+
+std::span<const NodeId> Digraph::fans(NodeId u) const {
+  if (u >= node_count()) throw std::out_of_range("Digraph::fans: bad node");
+  return {in_sources_.data() + in_offsets_[u],
+          in_offsets_[u + 1] - in_offsets_[u]};
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  const auto row = friends(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+std::vector<std::size_t> Digraph::out_degrees() const {
+  std::vector<std::size_t> out(node_count());
+  for (std::size_t u = 0; u < out.size(); ++u)
+    out[u] = out_offsets_[u + 1] - out_offsets_[u];
+  return out;
+}
+
+std::vector<std::size_t> Digraph::in_degrees() const {
+  std::vector<std::size_t> out(node_count());
+  for (std::size_t u = 0; u < out.size(); ++u)
+    out[u] = in_offsets_[u + 1] - in_offsets_[u];
+  return out;
+}
+
+DigraphBuilder::DigraphBuilder(std::size_t node_count)
+    : node_count_(node_count) {}
+
+void DigraphBuilder::ensure_nodes(std::size_t count) {
+  node_count_ = std::max(node_count_, count);
+}
+
+void DigraphBuilder::add_follow(NodeId u, NodeId v) {
+  if (u == v) throw std::invalid_argument("DigraphBuilder: self-loop");
+  ensure_nodes(static_cast<std::size_t>(std::max(u, v)) + 1);
+  edges_.emplace_back(u, v);
+}
+
+Digraph DigraphBuilder::build() const {
+  const std::size_t n = node_count_;
+  std::vector<std::pair<NodeId, NodeId>> edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Digraph g;
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++g.out_offsets_[u + 1];
+    ++g.in_offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.out_targets_.resize(edges.size());
+  g.in_sources_.resize(edges.size());
+  std::vector<std::size_t> out_fill(g.out_offsets_.begin(),
+                                    g.out_offsets_.end() - 1);
+  std::vector<std::size_t> in_fill(g.in_offsets_.begin(),
+                                   g.in_offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.out_targets_[out_fill[u]++] = v;
+    g.in_sources_[in_fill[v]++] = u;
+  }
+  // Edges were sorted by (u, v), so each out-row is already sorted by target;
+  // in-rows are filled in (u, v) order, hence sorted by source.
+  return g;
+}
+
+}  // namespace digg::graph

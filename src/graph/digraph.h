@@ -1,0 +1,92 @@
+#pragma once
+// Directed social graph with Digg's fan/friend semantics.
+//
+// On Digg the friendship relation is asymmetric: when user A lists user B as
+// a friend, A watches B's activity. We store the edge A -> B ("A follows B").
+// Then:
+//   - friends of A  = out-neighbors of A (users A watches),
+//   - fans of B     = in-neighbors of B  (users watching B).
+// A story dugg by B becomes visible, via the Friends interface, to all fans
+// of B — so influence and cascade computations iterate *in*-neighbors.
+//
+// The graph is built incrementally with DigraphBuilder and then frozen into
+// an immutable CSR (compressed sparse row) Digraph for cache-friendly
+// iteration; analysis workloads are read-only and fan lists are scanned
+// millions of times.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace digg::graph {
+
+using NodeId = std::uint32_t;
+
+/// Immutable CSR digraph. Create via DigraphBuilder::build().
+class Digraph {
+ public:
+  Digraph() = default;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return out_targets_.size();
+  }
+
+  /// Out-neighbors of u: the users u watches (u's "friends" on Digg).
+  [[nodiscard]] std::span<const NodeId> friends(NodeId u) const;
+  /// In-neighbors of u: the users watching u (u's "fans" on Digg).
+  [[nodiscard]] std::span<const NodeId> fans(NodeId u) const;
+
+  [[nodiscard]] std::size_t friend_count(NodeId u) const {
+    return friends(u).size();
+  }
+  [[nodiscard]] std::size_t fan_count(NodeId u) const { return fans(u).size(); }
+
+  /// True if the edge u -> v exists (u lists v as a friend). O(log deg).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Out-degree (friend count) of every node.
+  [[nodiscard]] std::vector<std::size_t> out_degrees() const;
+  /// In-degree (fan count) of every node.
+  [[nodiscard]] std::vector<std::size_t> in_degrees() const;
+
+ private:
+  friend class DigraphBuilder;
+
+  std::vector<std::size_t> out_offsets_;  // size n+1
+  std::vector<NodeId> out_targets_;       // sorted within each row
+  std::vector<std::size_t> in_offsets_;   // size n+1
+  std::vector<NodeId> in_sources_;        // sorted within each row
+};
+
+/// Mutable edge-list accumulator. Duplicate edges and self-loops are
+/// rejected at build() time (Digg has neither).
+class DigraphBuilder {
+ public:
+  explicit DigraphBuilder(std::size_t node_count = 0);
+
+  /// Grows the node set to at least `count` nodes.
+  void ensure_nodes(std::size_t count);
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  /// Adds the follow edge u -> v (u lists v as friend; u becomes a fan of v).
+  /// Nodes are created implicitly. Self-loops throw immediately.
+  void add_follow(NodeId u, NodeId v);
+
+  /// Convenience inverse: records that `fan` watches `target`.
+  void add_fan(NodeId target, NodeId fan) { add_follow(fan, target); }
+
+  /// Freezes into a CSR digraph. Duplicate edges are removed (keeping one).
+  [[nodiscard]] Digraph build() const;
+
+ private:
+  std::size_t node_count_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace digg::graph

@@ -1,0 +1,102 @@
+#include "src/graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/summary.h"
+
+namespace digg::graph {
+
+DegreeStats degree_stats(const std::vector<std::size_t>& degrees) {
+  DegreeStats s;
+  if (degrees.empty()) return s;
+  std::vector<double> d(degrees.begin(), degrees.end());
+  const stats::Summary sum = stats::summarize(std::move(d));
+  s.min = *std::min_element(degrees.begin(), degrees.end());
+  s.max = *std::max_element(degrees.begin(), degrees.end());
+  s.mean = sum.mean;
+  s.median = sum.median;
+  return s;
+}
+
+double reciprocity(const Digraph& g) {
+  if (g.edge_count() == 0) return 0.0;
+  std::size_t mutual = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.friends(u)) {
+      if (g.has_edge(v, u)) ++mutual;
+    }
+  }
+  return static_cast<double>(mutual) / static_cast<double>(g.edge_count());
+}
+
+namespace {
+
+// Undirected neighbor set of u (friends ∪ fans), deduplicated and sorted.
+std::vector<NodeId> undirected_neighbors(const Digraph& g, NodeId u) {
+  std::vector<NodeId> nbrs;
+  const auto out = g.friends(u);
+  const auto in = g.fans(u);
+  nbrs.reserve(out.size() + in.size());
+  nbrs.insert(nbrs.end(), out.begin(), out.end());
+  nbrs.insert(nbrs.end(), in.begin(), in.end());
+  std::sort(nbrs.begin(), nbrs.end());
+  nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  return nbrs;
+}
+
+}  // namespace
+
+double local_clustering(const Digraph& g, NodeId u) {
+  const std::vector<NodeId> nbrs = undirected_neighbors(g, u);
+  const std::size_t k = nbrs.size();
+  if (k < 2) return 0.0;
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (g.has_edge(nbrs[i], nbrs[j]) || g.has_edge(nbrs[j], nbrs[i]))
+        ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double average_clustering(const Digraph& g) {
+  if (g.node_count() == 0) return 0.0;
+  double acc = 0.0;
+  for (NodeId u = 0; u < g.node_count(); ++u) acc += local_clustering(g, u);
+  return acc / static_cast<double>(g.node_count());
+}
+
+double in_degree_assortativity(const Digraph& g) {
+  if (g.edge_count() < 2) return 0.0;
+  const std::vector<std::size_t> in_deg = g.in_degrees();
+  std::vector<double> src;
+  std::vector<double> dst;
+  src.reserve(g.edge_count());
+  dst.reserve(g.edge_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.friends(u)) {
+      src.push_back(static_cast<double>(in_deg[u]));
+      dst.push_back(static_cast<double>(in_deg[v]));
+    }
+  }
+  try {
+    return stats::pearson(src, dst);
+  } catch (const std::invalid_argument&) {
+    return 0.0;  // zero-variance degenerate graph
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> friends_fans_scatter(
+    const Digraph& g) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    out.emplace_back(g.friend_count(u) + 1, g.fan_count(u) + 1);
+  return out;
+}
+
+}  // namespace digg::graph

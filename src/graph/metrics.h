@@ -1,0 +1,45 @@
+#pragma once
+// Structural metrics of the social graph: degree statistics for the
+// friends-vs-fans scatter (final figure of the paper), reciprocity of the
+// asymmetric fan relation, and clustering, which §6 identifies as relevant
+// to influence-propagation transients.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+namespace digg::graph {
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const std::vector<std::size_t>& degrees);
+
+/// Fraction of edges u->v whose reverse v->u also exists.
+[[nodiscard]] double reciprocity(const Digraph& g);
+
+/// Local clustering coefficient of node u over the undirected projection:
+/// fraction of pairs of neighbors that are themselves connected (either
+/// direction). Returns 0 for degree < 2.
+[[nodiscard]] double local_clustering(const Digraph& g, NodeId u);
+
+/// Mean local clustering over all nodes (Watts–Strogatz average).
+[[nodiscard]] double average_clustering(const Digraph& g);
+
+/// Degree assortativity (Pearson correlation of in-degree across edges:
+/// fan count of source vs fan count of target). Positive values mean
+/// well-connected users follow other well-connected users — the "top user
+/// community" effect of §5.
+[[nodiscard]] double in_degree_assortativity(const Digraph& g);
+
+/// (friends+1, fans+1) pairs for every node — the paper's final scatter
+/// plot. The +1 matches the paper's axes, which plot number+1 on log scales.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+friends_fans_scatter(const Digraph& g);
+
+}  // namespace digg::graph

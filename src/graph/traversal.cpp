@@ -1,0 +1,106 @@
+#include "src/graph/traversal.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace digg::graph {
+
+namespace {
+
+template <typename Visit>
+void for_each_neighbor(const Digraph& g, NodeId u, Direction dir,
+                       Visit&& visit) {
+  if (dir == Direction::kFollowing || dir == Direction::kBoth)
+    for (NodeId v : g.friends(u)) visit(v);
+  if (dir == Direction::kFans || dir == Direction::kBoth)
+    for (NodeId v : g.fans(u)) visit(v);
+}
+
+}  // namespace
+
+std::vector<std::size_t> bfs_distances(const Digraph& g, NodeId source,
+                                       Direction dir) {
+  if (source >= g.node_count())
+    throw std::out_of_range("bfs_distances: bad source");
+  std::vector<std::size_t> dist(g.node_count(), kUnreachable);
+  std::deque<NodeId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for_each_neighbor(g, u, dir, [&](NodeId v) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    });
+  }
+  return dist;
+}
+
+std::vector<std::size_t> weak_components(const Digraph& g) {
+  std::vector<std::size_t> label(g.node_count(), kUnreachable);
+  std::size_t next = 0;
+  std::deque<NodeId> frontier;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (label[s] != kUnreachable) continue;
+    label[s] = next;
+    frontier.push_back(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for_each_neighbor(g, u, Direction::kBoth, [&](NodeId v) {
+        if (label[v] == kUnreachable) {
+          label[v] = next;
+          frontier.push_back(v);
+        }
+      });
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::vector<std::size_t> component_sizes(const Digraph& g) {
+  const std::vector<std::size_t> label = weak_components(g);
+  std::vector<std::size_t> sizes;
+  for (std::size_t l : label) {
+    if (l >= sizes.size()) sizes.resize(l + 1, 0);
+    ++sizes[l];
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+double giant_component_fraction(const Digraph& g) {
+  if (g.node_count() == 0) return 0.0;
+  const std::vector<std::size_t> sizes = component_sizes(g);
+  return static_cast<double>(sizes.front()) /
+         static_cast<double>(g.node_count());
+}
+
+std::vector<NodeId> neighborhood(const Digraph& g, NodeId source,
+                                 std::size_t max_hops, Direction dir) {
+  if (source >= g.node_count())
+    throw std::out_of_range("neighborhood: bad source");
+  std::vector<std::size_t> dist(g.node_count(), kUnreachable);
+  std::deque<NodeId> frontier{source};
+  dist[source] = 0;
+  std::vector<NodeId> out;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    if (dist[u] >= max_hops) continue;
+    for_each_neighbor(g, u, dir, [&](NodeId v) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        out.push_back(v);
+        frontier.push_back(v);
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace digg::graph

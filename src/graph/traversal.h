@@ -1,0 +1,44 @@
+#pragma once
+// Graph traversal: BFS distances, weakly connected components, and reachable
+// sets. Used to validate generated networks (a believable Digg snapshot is
+// dominated by one giant weak component) and by the cascade analysis.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+namespace digg::graph {
+
+inline constexpr std::size_t kUnreachable =
+    std::numeric_limits<std::size_t>::max();
+
+/// Directions a traversal may move along edges.
+enum class Direction {
+  kFollowing,  // along u -> v edges (towards whom u watches)
+  kFans,       // against edges (towards watchers)
+  kBoth,       // undirected projection
+};
+
+/// BFS hop distances from `source`; kUnreachable where not reachable.
+[[nodiscard]] std::vector<std::size_t> bfs_distances(
+    const Digraph& g, NodeId source, Direction dir = Direction::kBoth);
+
+/// Weakly connected component label per node, labels densely numbered from 0
+/// in order of discovery.
+[[nodiscard]] std::vector<std::size_t> weak_components(const Digraph& g);
+
+/// Sizes of the weak components, descending.
+[[nodiscard]] std::vector<std::size_t> component_sizes(const Digraph& g);
+
+/// Fraction of nodes in the largest weak component (0 for the empty graph).
+[[nodiscard]] double giant_component_fraction(const Digraph& g);
+
+/// All nodes within `max_hops` of source (excluding source), moving in the
+/// given direction. max_hops = 1 with kFans gives exactly the fans of source.
+[[nodiscard]] std::vector<NodeId> neighborhood(const Digraph& g, NodeId source,
+                                               std::size_t max_hops,
+                                               Direction dir);
+
+}  // namespace digg::graph

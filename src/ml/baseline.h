@@ -1,0 +1,79 @@
+#pragma once
+// Baseline classifiers to contextualize the C4.5 results: majority class,
+// a single-threshold decision stump (is the two-attribute tree of Fig. 5
+// really better than one cut on v10?), and logistic regression over the same
+// features. All expose the same Classifier signature as validation.h.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/ml/validation.h"
+
+namespace digg::ml {
+
+/// Predicts the training majority class for every instance.
+class MajorityClassifier {
+ public:
+  static MajorityClassifier train(const Dataset& data);
+  [[nodiscard]] std::size_t predict(const std::vector<double>& row) const;
+  [[nodiscard]] std::size_t klass() const noexcept { return klass_; }
+
+ private:
+  std::size_t klass_ = 0;
+};
+
+/// One-level decision tree on the single best numeric attribute (threshold
+/// chosen by information gain). Missing values get the majority class.
+class DecisionStump {
+ public:
+  static DecisionStump train(const Dataset& data);
+  [[nodiscard]] std::size_t predict(const std::vector<double>& row) const;
+
+  [[nodiscard]] std::size_t attribute() const noexcept { return attribute_; }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  std::size_t attribute_ = 0;
+  double threshold_ = 0.0;
+  std::size_t below_class_ = 0;
+  std::size_t above_class_ = 0;
+  std::size_t majority_ = 0;
+  bool trivial_ = true;  // no useful split found -> majority everywhere
+};
+
+struct LogisticParams {
+  double learning_rate = 0.1;
+  std::size_t epochs = 2000;
+  double l2 = 1e-4;
+};
+
+/// Binary logistic regression with feature standardization (mean/stddev
+/// learned on the training data) and full-batch gradient descent.
+class LogisticRegression {
+ public:
+  static LogisticRegression train(const Dataset& data,
+                                  const LogisticParams& params = {});
+  /// Probability of class 1.
+  [[nodiscard]] double predict_proba(const std::vector<double>& row) const;
+  [[nodiscard]] std::size_t predict(const std::vector<double>& row) const;
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  std::vector<double> weights_;  // one per attribute
+  double bias_ = 0.0;
+  std::vector<double> means_;
+  std::vector<double> scales_;
+
+  [[nodiscard]] double linear(const std::vector<double>& row) const;
+};
+
+/// Adapters to the Trainer signature used by cross_validate.
+[[nodiscard]] Trainer majority_trainer();
+[[nodiscard]] Trainer stump_trainer();
+[[nodiscard]] Trainer logistic_trainer(LogisticParams params = {});
+
+}  // namespace digg::ml

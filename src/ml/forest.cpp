@@ -1,0 +1,66 @@
+#include "src/ml/forest.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace digg::ml {
+
+Forest Forest::train(const Dataset& data, const ForestParams& params,
+                     stats::Rng& rng) {
+  if (data.empty()) throw std::invalid_argument("Forest: empty dataset");
+  if (params.tree_count == 0)
+    throw std::invalid_argument("Forest: tree_count == 0");
+  if (params.bag_fraction <= 0.0 || params.bag_fraction > 1.0)
+    throw std::invalid_argument("Forest: bag_fraction outside (0,1]");
+
+  Forest forest;
+  forest.class_count_ = data.class_count();
+  const auto bag_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params.bag_fraction *
+                                  static_cast<double>(data.size())));
+  std::vector<std::size_t> bag(bag_size);
+  for (std::size_t t = 0; t < params.tree_count; ++t) {
+    for (std::size_t& idx : bag) {
+      idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+    }
+    forest.trees_.push_back(DecisionTree::train(data.subset(bag), params.tree));
+  }
+  return forest;
+}
+
+std::size_t Forest::predict(const std::vector<double>& row) const {
+  const std::vector<double> proba = predict_proba(row);
+  return static_cast<std::size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<double> Forest::predict_proba(
+    const std::vector<double>& row) const {
+  if (trees_.empty()) throw std::logic_error("Forest: untrained");
+  std::vector<double> acc(class_count_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> p = tree.predict_proba(row);
+    for (std::size_t k = 0; k < class_count_; ++k) acc[k] += p[k];
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+const DecisionTree& Forest::tree(std::size_t i) const {
+  if (i >= trees_.size()) throw std::out_of_range("Forest::tree");
+  return trees_[i];
+}
+
+Trainer forest_trainer(ForestParams params, std::uint64_t seed) {
+  return [params, seed](const Dataset& data) -> Classifier {
+    stats::Rng rng(seed);
+    auto forest = std::make_shared<Forest>(Forest::train(data, params, rng));
+    return [forest](const std::vector<double>& row) {
+      return forest->predict(row);
+    };
+  };
+}
+
+}  // namespace digg::ml

@@ -1,0 +1,114 @@
+#include "src/ml/roc.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace digg::ml {
+
+namespace {
+
+struct Counts {
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+};
+
+Counts count_classes(const std::vector<Scored>& scored) {
+  Counts c;
+  for (const Scored& s : scored) {
+    if (s.positive)
+      ++c.positives;
+    else
+      ++c.negatives;
+  }
+  if (c.positives == 0 || c.negatives == 0)
+    throw std::invalid_argument("roc: need both classes");
+  return c;
+}
+
+void sort_by_score_desc(std::vector<Scored>& scored) {
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.score > b.score;
+  });
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(std::vector<Scored> scored) {
+  const Counts totals = count_classes(scored);
+  sort_by_score_desc(scored);
+
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{std::numeric_limits<double>::infinity(), 0.0, 0.0,
+                           1.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t i = 0;
+  while (i < scored.size()) {
+    const double threshold = scored[i].score;
+    // Consume all items tied at this score before emitting a point.
+    while (i < scored.size() && scored[i].score == threshold) {
+      if (scored[i].positive)
+        ++tp;
+      else
+        ++fp;
+      ++i;
+    }
+    RocPoint p;
+    p.threshold = threshold;
+    p.tpr = static_cast<double>(tp) / static_cast<double>(totals.positives);
+    p.fpr = static_cast<double>(fp) / static_cast<double>(totals.negatives);
+    p.precision = (tp + fp) == 0
+                      ? 1.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+double roc_auc(const std::vector<Scored>& scored) {
+  const Counts totals = count_classes(scored);
+  // Mann-Whitney U: rank-sum of positives, ties get average ranks.
+  std::vector<Scored> sorted = scored;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Scored& a, const Scored& b) { return a.score < b.score; });
+  double rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1].score == sorted[i].score)
+      ++j;
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (sorted[k].positive) rank_sum += avg_rank;
+    }
+    i = j + 1;
+  }
+  const double np = static_cast<double>(totals.positives);
+  const double nn = static_cast<double>(totals.negatives);
+  return (rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+double pr_auc(std::vector<Scored> scored) {
+  const std::vector<RocPoint> curve = roc_curve(std::move(scored));
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double d_recall = curve[i].tpr - curve[i - 1].tpr;
+    area += d_recall * curve[i].precision;
+  }
+  return area;
+}
+
+double precision_at_recall(std::vector<Scored> scored, double min_recall) {
+  if (min_recall < 0.0 || min_recall > 1.0)
+    throw std::invalid_argument("precision_at_recall: bad recall");
+  const std::vector<RocPoint> curve = roc_curve(std::move(scored));
+  double best = 0.0;
+  for (const RocPoint& p : curve) {
+    if (p.tpr >= min_recall) best = std::max(best, p.precision);
+  }
+  return best;
+}
+
+}  // namespace digg::ml

@@ -1,0 +1,42 @@
+#pragma once
+// Threshold-free evaluation of scoring classifiers: ROC and precision-recall
+// curves with AUC. The paper reports a single operating point (the C4.5
+// leaf decision); the predictor also exposes class probabilities, so the
+// fig5_roc bench sweeps the threshold and reports AUC — a more complete
+// picture of how much signal the early votes carry.
+
+#include <cstddef>
+#include <vector>
+
+namespace digg::ml {
+
+/// One scored prediction: higher score = more confident positive.
+struct Scored {
+  double score = 0.0;
+  bool positive = false;  // ground truth
+};
+
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;  // recall
+  double fpr = 0.0;
+  double precision = 0.0;
+};
+
+/// Points of the ROC/PR curve, one per distinct score (descending
+/// threshold), plus the (0,0) start. Throws if there is not at least one
+/// positive and one negative example.
+[[nodiscard]] std::vector<RocPoint> roc_curve(std::vector<Scored> scored);
+
+/// Area under the ROC curve via the Mann-Whitney statistic (ties counted
+/// half). 0.5 = chance, 1.0 = perfect ranking.
+[[nodiscard]] double roc_auc(const std::vector<Scored>& scored);
+
+/// Area under the precision-recall curve (step interpolation).
+[[nodiscard]] double pr_auc(std::vector<Scored> scored);
+
+/// Precision at the threshold achieving at least `min_recall`.
+[[nodiscard]] double precision_at_recall(std::vector<Scored> scored,
+                                         double min_recall);
+
+}  // namespace digg::ml

@@ -1,0 +1,106 @@
+#include "src/stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/summary.h"
+
+namespace digg::stats {
+
+namespace {
+
+void check_args(std::size_t n, std::size_t resamples, double confidence) {
+  if (n == 0) throw std::invalid_argument("bootstrap: empty data");
+  if (resamples < 10) throw std::invalid_argument("bootstrap: too few resamples");
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("bootstrap: confidence outside (0,1)");
+}
+
+Interval percentile_interval(std::vector<double> estimates, double point,
+                             double confidence) {
+  std::sort(estimates.begin(), estimates.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  Interval ci;
+  ci.point = point;
+  ci.lo = quantile(estimates, alpha);
+  ci.hi = quantile(estimates, 1.0 - alpha);
+  return ci;
+}
+
+}  // namespace
+
+Interval bootstrap_ci(const std::vector<double>& data,
+                      const Statistic& statistic, std::size_t resamples,
+                      double confidence, Rng& rng) {
+  check_args(data.size(), resamples, confidence);
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  std::vector<double> resample(data.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& v : resample) {
+      v = data[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(data.size()) - 1))];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  return percentile_interval(std::move(estimates), statistic(data),
+                             confidence);
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& data,
+                           std::size_t resamples, double confidence,
+                           Rng& rng) {
+  return bootstrap_ci(
+      data, [](const std::vector<double>& v) { return mean(v); }, resamples,
+      confidence, rng);
+}
+
+Interval bootstrap_proportion_ci(const std::vector<bool>& outcomes,
+                                 std::size_t resamples, double confidence,
+                                 Rng& rng) {
+  std::vector<double> data;
+  data.reserve(outcomes.size());
+  for (bool b : outcomes) data.push_back(b ? 1.0 : 0.0);
+  return bootstrap_mean_ci(data, resamples, confidence, rng);
+}
+
+Interval bootstrap_paired_diff_ci(const PairedSample& sample,
+                                  const Statistic& statistic,
+                                  std::size_t resamples, double confidence,
+                                  Rng& rng) {
+  if (sample.a.size() != sample.b.size())
+    throw std::invalid_argument("bootstrap_paired_diff_ci: size mismatch");
+  check_args(sample.a.size(), resamples, confidence);
+  const std::size_t n = sample.a.size();
+
+  auto diff_on = [&](const std::vector<std::size_t>& idx) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (std::size_t i : idx) {
+      if (!std::isnan(sample.a[i])) a.push_back(sample.a[i]);
+      if (!std::isnan(sample.b[i])) b.push_back(sample.b[i]);
+    }
+    const double sa = a.empty() ? 0.0 : statistic(a);
+    const double sb = b.empty() ? 0.0 : statistic(b);
+    return sa - sb;
+  };
+
+  std::vector<std::size_t> identity(n);
+  for (std::size_t i = 0; i < n; ++i) identity[i] = i;
+  const double point = diff_on(identity);
+
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t& i : idx) {
+      i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    estimates.push_back(diff_on(idx));
+  }
+  return percentile_interval(std::move(estimates), point, confidence);
+}
+
+}  // namespace digg::stats

@@ -1,0 +1,122 @@
+#include "src/stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace digg::stats {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double chi_square_sf(double x, std::size_t dof) {
+  if (x <= 0.0) return 1.0;
+  if (dof == 0) throw std::invalid_argument("chi_square_sf: dof == 0");
+  if (dof == 1) return 2.0 * (1.0 - normal_cdf(std::sqrt(x)));
+  if (dof == 2) return std::exp(-x / 2.0);
+  // Wilson–Hilferty: (X/k)^(1/3) ~ Normal(1 - 2/(9k), 2/(9k)).
+  const double k = static_cast<double>(dof);
+  const double z = (std::cbrt(x / k) - (1.0 - 2.0 / (9.0 * k))) /
+                   std::sqrt(2.0 / (9.0 * k));
+  return 1.0 - normal_cdf(z);
+}
+
+TestResult mann_whitney_u(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("mann_whitney_u: empty sample");
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> all;
+  all.reserve(n1 + n2);
+  for (double v : a) all.push_back({v, true});
+  for (double v : b) all.push_back({v, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  // Average ranks with tie bookkeeping for the variance correction.
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  const double n = static_cast<double>(n1 + n2);
+  while (i < all.size()) {
+    std::size_t j = i;
+    while (j + 1 < all.size() && all[j + 1].value == all[i].value) ++j;
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    const double t = static_cast<double>(j - i + 1);
+    if (t > 1.0) tie_term += t * t * t - t;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (all[k].from_a) rank_sum_a += avg_rank;
+    }
+    i = j + 1;
+  }
+
+  const double u1 =
+      rank_sum_a - static_cast<double>(n1) * (static_cast<double>(n1) + 1.0) /
+                       2.0;
+  const double mean_u = static_cast<double>(n1) * static_cast<double>(n2) / 2.0;
+  const double var_u = static_cast<double>(n1) * static_cast<double>(n2) /
+                       12.0 *
+                       ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  TestResult result;
+  result.statistic = u1;
+  if (var_u <= 0.0) {
+    result.p_value = 1.0;  // all observations identical
+    return result;
+  }
+  const double z = (u1 - mean_u) / std::sqrt(var_u);
+  result.p_value = 2.0 * (1.0 - normal_cdf(std::abs(z)));
+  return result;
+}
+
+TestResult chi_square_2x2(double a, double b, double c, double d) {
+  if (a < 0 || b < 0 || c < 0 || d < 0)
+    throw std::invalid_argument("chi_square_2x2: negative cell");
+  const double n = a + b + c + d;
+  if (n <= 0.0) throw std::invalid_argument("chi_square_2x2: empty table");
+  const double row1 = a + b;
+  const double row2 = c + d;
+  const double col1 = a + c;
+  const double col2 = b + d;
+  if (row1 == 0.0 || row2 == 0.0 || col1 == 0.0 || col2 == 0.0) {
+    return TestResult{0.0, 1.0};  // degenerate margin: no association testable
+  }
+  const double det = std::abs(a * d - b * c);
+  const double corrected = std::max(0.0, det - n / 2.0);  // Yates
+  TestResult result;
+  result.statistic = n * corrected * corrected / (row1 * row2 * col1 * col2);
+  result.p_value = chi_square_sf(result.statistic, 1);
+  return result;
+}
+
+TestResult two_proportion_z(std::size_t successes1, std::size_t n1,
+                            std::size_t successes2, std::size_t n2) {
+  if (n1 == 0 || n2 == 0)
+    throw std::invalid_argument("two_proportion_z: empty group");
+  if (successes1 > n1 || successes2 > n2)
+    throw std::invalid_argument("two_proportion_z: successes exceed n");
+  const double p1 = static_cast<double>(successes1) / static_cast<double>(n1);
+  const double p2 = static_cast<double>(successes2) / static_cast<double>(n2);
+  const double pooled = static_cast<double>(successes1 + successes2) /
+                        static_cast<double>(n1 + n2);
+  const double se =
+      std::sqrt(pooled * (1.0 - pooled) *
+                (1.0 / static_cast<double>(n1) + 1.0 / static_cast<double>(n2)));
+  TestResult result;
+  if (se == 0.0) {
+    result.statistic = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  result.statistic = (p1 - p2) / se;
+  result.p_value = 2.0 * (1.0 - normal_cdf(std::abs(result.statistic)));
+  return result;
+}
+
+}  // namespace digg::stats

@@ -1,0 +1,44 @@
+#pragma once
+// Hypothesis tests for the reproduced relationships. The paper argues from
+// plots; the benches back the same claims with p-values:
+//   - Mann–Whitney U: do low-v10 and high-v10 stories draw their final vote
+//     counts from the same distribution? (Fig. 4)
+//   - chi-square independence: is predicted interestingness independent of
+//     the observed class? (Fig. 5's confusion matrix)
+//   - two-proportion z-test: our precision vs Digg's promotion precision.
+
+#include <cstddef>
+#include <vector>
+
+namespace digg::stats {
+
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;  // two-sided unless noted
+};
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z);
+
+/// Mann–Whitney U test (two-sided, normal approximation with tie
+/// correction). Suitable for n1, n2 >= ~8. Throws if either sample is empty.
+[[nodiscard]] TestResult mann_whitney_u(const std::vector<double>& a,
+                                        const std::vector<double>& b);
+
+/// Chi-square test of independence on a 2x2 contingency table
+/// [[a, b], [c, d]] with Yates continuity correction.
+[[nodiscard]] TestResult chi_square_2x2(double a, double b, double c,
+                                        double d);
+
+/// Two-proportion z-test (two-sided): successes1/n1 vs successes2/n2.
+/// Throws if either n is zero.
+[[nodiscard]] TestResult two_proportion_z(std::size_t successes1,
+                                          std::size_t n1,
+                                          std::size_t successes2,
+                                          std::size_t n2);
+
+/// Chi-square upper-tail probability for k degrees of freedom (k = 1 or 2
+/// supported exactly; other k via the Wilson–Hilferty approximation).
+[[nodiscard]] double chi_square_sf(double x, std::size_t dof);
+
+}  // namespace digg::stats

@@ -1,0 +1,63 @@
+#include "src/core/ablation.h"
+
+#include <gtest/gtest.h>
+
+namespace digg::core {
+namespace {
+
+// One shared ablation run (three corpus generations).
+const MechanismAblationResult& shared_result() {
+  static const MechanismAblationResult result = [] {
+    data::SyntheticParams params;
+    params.story_count = 250;
+    params.vote_model.step = 2.0;
+    return mechanism_ablation(params, 42);
+  }();
+  return result;
+}
+
+TEST(MechanismAblation, FullModelShowsPaperPhenomena) {
+  const AblationVariant& full = shared_result().full;
+  EXPECT_GT(full.front_page, 20u);
+  EXPECT_LT(full.spearman_v10_final, -0.3);
+  EXPECT_GT(full.mean_v10, 1.0);
+  EXPECT_GT(full.median_final_votes, 300.0);
+}
+
+TEST(MechanismAblation, NoFanChannelCollapsesPromotion) {
+  const AblationVariant& ablated = shared_result().no_fan_channel;
+  // Without social browsing the network cannot push stories over the bar:
+  // promotions collapse relative to the full model (§1's claim).
+  EXPECT_LT(ablated.front_page, shared_result().full.front_page / 3 + 2);
+  // Whatever promotes has essentially no in-network votes.
+  EXPECT_LT(ablated.mean_v10, 1.0);
+}
+
+TEST(MechanismAblation, NoDiscoveryKillsInterestingness) {
+  const AblationVariant& ablated = shared_result().no_discovery;
+  // Community-only spread: early votes nearly all in-network and nothing
+  // reaches the interesting threshold (community saturates first).
+  if (ablated.front_page > 0) {
+    EXPECT_GT(ablated.mean_v10, 7.0);
+    EXPECT_LT(ablated.interesting_fraction, 0.2);
+    EXPECT_LT(ablated.median_final_votes,
+              shared_result().full.median_final_votes / 2.0);
+  }
+}
+
+TEST(MechanismAblation, StoryCountsConserved) {
+  for (const AblationVariant* v :
+       {&shared_result().full, &shared_result().no_fan_channel,
+        &shared_result().no_discovery}) {
+    EXPECT_EQ(v->front_page + v->upcoming, 250u);
+  }
+}
+
+TEST(MechanismAblation, VariantNamesSet) {
+  EXPECT_EQ(shared_result().full.name, "full model");
+  EXPECT_EQ(shared_result().no_fan_channel.name, "no fan channel");
+  EXPECT_EQ(shared_result().no_discovery.name, "no discovery");
+}
+
+}  // namespace
+}  // namespace digg::core

@@ -1,0 +1,80 @@
+#include "src/core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/data/synthetic.h"
+
+namespace digg::core {
+namespace {
+
+const data::Corpus& report_corpus() {
+  static const data::Corpus corpus = [] {
+    stats::Rng rng(42);
+    data::SyntheticParams params;
+    params.story_count = 400;
+    params.vote_model.step = 2.0;
+    return data::generate_corpus(params, rng).corpus;
+  }();
+  return corpus;
+}
+
+TEST(ReproductionReport, ContainsEverySection) {
+  stats::Rng rng(1);
+  const std::string report = reproduction_report(report_corpus(), rng);
+  for (const char* heading :
+       {"# Reproduction report", "## Figure 1", "## Figure 2a",
+        "## Figure 2b", "## Figure 3", "## Figure 4", "## Figure 5",
+        "## Section 3"}) {
+    EXPECT_NE(report.find(heading), std::string::npos) << heading;
+  }
+}
+
+TEST(ReproductionReport, ContainsPaperReferenceValues) {
+  stats::Rng rng(2);
+  const std::string report = reproduction_report(report_corpus(), rng);
+  EXPECT_NE(report.find("174/207"), std::string::npos);
+  EXPECT_NE(report.find("TP=4 TN=32 FP=11 FN=1"), std::string::npos);
+  EXPECT_NE(report.find("0.36"), std::string::npos);
+  EXPECT_NE(report.find("0.57"), std::string::npos);
+}
+
+TEST(ReproductionReport, RendersTheDecisionTree) {
+  stats::Rng rng(3);
+  const std::string report = reproduction_report(report_corpus(), rng);
+  EXPECT_NE(report.find("v10"), std::string::npos);
+  EXPECT_NE(report.find("```"), std::string::npos);
+}
+
+TEST(ReproductionReport, SignificanceSectionsToggle) {
+  stats::Rng rng1(4);
+  stats::Rng rng2(4);
+  ReportOptions with;
+  with.include_significance = true;
+  ReportOptions without;
+  without.include_significance = false;
+  const std::string a = reproduction_report(report_corpus(), rng1, with);
+  const std::string b = reproduction_report(report_corpus(), rng2, without);
+  EXPECT_NE(a.find("Mann-Whitney"), std::string::npos);
+  EXPECT_EQ(b.find("Mann-Whitney"), std::string::npos);
+  EXPECT_EQ(b.find("z-test"), std::string::npos);
+}
+
+TEST(ReproductionReport, DeterministicGivenSeed) {
+  stats::Rng a(5);
+  stats::Rng b(5);
+  EXPECT_EQ(reproduction_report(report_corpus(), a),
+            reproduction_report(report_corpus(), b));
+}
+
+TEST(WriteReproductionReport, StreamsSameContent) {
+  stats::Rng a(6);
+  stats::Rng b(6);
+  std::ostringstream os;
+  write_reproduction_report(report_corpus(), a, os);
+  EXPECT_EQ(os.str(), reproduction_report(report_corpus(), b));
+}
+
+}  // namespace
+}  // namespace digg::core

@@ -1,0 +1,117 @@
+#include "src/data/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "src/digg/story.h"
+
+namespace digg::data {
+namespace {
+
+using platform::add_vote;
+using platform::make_story;
+
+Corpus tiny_corpus() {
+  Corpus c;
+  graph::DigraphBuilder b(10);
+  b.add_fan(0, 1);
+  c.network = b.build();
+
+  Story fp = make_story(0, 0, 0.0, 0.5);
+  add_vote(fp, 1, 1.0);
+  add_vote(fp, 2, 2.0);
+  fp.promoted_at = 2.0;
+  fp.phase = platform::StoryPhase::kFrontPage;
+  c.front_page.push_back(fp);
+
+  Story up = make_story(1, 3, 5.0, 0.2);
+  add_vote(up, 4, 6.0);
+  c.upcoming.push_back(up);
+
+  c.top_users = {0, 3, 1};
+  return c;
+}
+
+TEST(Corpus, CountsAndRanks) {
+  const Corpus c = tiny_corpus();
+  EXPECT_EQ(c.user_count(), 10u);
+  EXPECT_EQ(c.story_count(), 2u);
+  EXPECT_EQ(c.rank_of(0), 0u);
+  EXPECT_EQ(c.rank_of(1), 2u);
+  EXPECT_EQ(c.rank_of(9), Corpus::npos);
+  EXPECT_TRUE(c.is_top_user(0, 1));
+  EXPECT_FALSE(c.is_top_user(3, 1));
+  EXPECT_TRUE(c.is_top_user(3, 2));
+  EXPECT_FALSE(c.is_top_user(9, 100));
+}
+
+TEST(Corpus, ValidatePassesOnGoodCorpus) {
+  EXPECT_NO_THROW(validate(tiny_corpus()));
+}
+
+TEST(Corpus, ValidateCatchesMissingPromotion) {
+  Corpus c = tiny_corpus();
+  c.front_page[0].promoted_at.reset();
+  EXPECT_THROW(validate(c), std::runtime_error);
+}
+
+TEST(Corpus, ValidateCatchesPromotedUpcoming) {
+  Corpus c = tiny_corpus();
+  c.upcoming[0].promoted_at = 10.0;
+  EXPECT_THROW(validate(c), std::runtime_error);
+}
+
+TEST(Corpus, ValidateCatchesSubmitterNotFirst) {
+  Corpus c = tiny_corpus();
+  c.front_page[0].votes[0].user = 7;
+  EXPECT_THROW(validate(c), std::runtime_error);
+}
+
+TEST(Corpus, ValidateCatchesDuplicateVoter) {
+  Corpus c = tiny_corpus();
+  c.front_page[0].votes.push_back({1, 3.0});
+  EXPECT_THROW(validate(c), std::runtime_error);
+}
+
+TEST(Corpus, ValidateCatchesOutOfOrderVotes) {
+  Corpus c = tiny_corpus();
+  c.front_page[0].votes.push_back({5, 0.5});
+  EXPECT_THROW(validate(c), std::runtime_error);
+}
+
+TEST(Corpus, ValidateCatchesVoterOutsideNetwork) {
+  Corpus c = tiny_corpus();
+  c.front_page[0].votes.push_back({99, 3.0});
+  EXPECT_THROW(validate(c), std::runtime_error);
+}
+
+TEST(Corpus, ValidateCatchesEmptyVotes) {
+  Corpus c = tiny_corpus();
+  c.front_page[0].votes.clear();
+  EXPECT_THROW(validate(c), std::runtime_error);
+}
+
+TEST(Corpus, ValidateCatchesBadTopUser) {
+  Corpus c = tiny_corpus();
+  c.top_users.push_back(99);
+  EXPECT_THROW(validate(c), std::runtime_error);
+}
+
+TEST(UserActivity, CountsFrontPageOnly) {
+  const Corpus c = tiny_corpus();
+  const UserActivity act = user_activity(c);
+  EXPECT_EQ(act.submissions[0], 1u);
+  EXPECT_EQ(act.submissions[3], 0u);  // upcoming submissions excluded
+  EXPECT_EQ(act.votes[0], 1u);        // submitter digg counts as a vote
+  EXPECT_EQ(act.votes[1], 1u);
+  EXPECT_EQ(act.votes[4], 0u);        // only voted on an upcoming story
+}
+
+TEST(FinalVotes, ExtractsCounts) {
+  const Corpus c = tiny_corpus();
+  const std::vector<double> votes = final_votes(c.front_page);
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_DOUBLE_EQ(votes[0], 3.0);
+}
+
+}  // namespace
+}  // namespace digg::data

@@ -1,0 +1,97 @@
+#include "src/data/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "src/digg/story.h"
+
+namespace digg::data {
+namespace {
+
+using platform::add_vote;
+using platform::make_story;
+
+Corpus filter_fixture() {
+  Corpus c;
+  c.network = graph::DigraphBuilder(16).build();
+  c.top_users = {3, 7};
+
+  Story a = make_story(0, 3, /*submitted_at=*/10.0, 0.5);
+  add_vote(a, 1, 11.0);
+  add_vote(a, 2, 12.0);
+  a.promoted_at = 12.0;
+  a.phase = platform::StoryPhase::kFrontPage;
+  c.front_page.push_back(a);
+
+  Story b = make_story(1, 7, 100.0, 0.3);
+  add_vote(b, 4, 101.0);
+  c.upcoming.push_back(b);
+
+  Story d = make_story(2, 9, 200.0, 0.3);
+  c.upcoming.push_back(d);
+  return c;
+}
+
+TEST(Filters, SelectStoriesSpansBothSections) {
+  const Corpus c = filter_fixture();
+  const auto all = select_stories(c, [](const Story&) { return true; });
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Filters, SubmittedBetween) {
+  const Corpus c = filter_fixture();
+  const auto mid = select_stories(c, submitted_between(50.0, 150.0));
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0].id, 1u);
+  // Half-open interval: the boundary story at t=200 is excluded.
+  EXPECT_EQ(select_stories(c, submitted_between(10.0, 200.0)).size(), 2u);
+}
+
+TEST(Filters, MinVotesExcludesSubmitterDigg) {
+  const Corpus c = filter_fixture();
+  // min_votes(1): at least one vote beyond the submitter's.
+  const auto voted = select_stories(c, min_votes(1));
+  EXPECT_EQ(voted.size(), 2u);
+  const auto two = select_stories(c, min_votes(2));
+  ASSERT_EQ(two.size(), 1u);
+  EXPECT_EQ(two[0].id, 0u);
+}
+
+TEST(Filters, ByTopUser) {
+  const Corpus c = filter_fixture();
+  EXPECT_EQ(select_stories(c, by_top_user(c, 2)).size(), 2u);
+  const auto rank1 = select_stories(c, by_top_user(c, 1));
+  ASSERT_EQ(rank1.size(), 1u);
+  EXPECT_EQ(rank1[0].submitter, 3u);
+}
+
+TEST(Filters, Combinators) {
+  const Corpus c = filter_fixture();
+  const auto top_and_voted =
+      select_stories(c, both(by_top_user(c, 2), min_votes(1)));
+  EXPECT_EQ(top_and_voted.size(), 2u);
+  const auto early_or_late = select_stories(
+      c, either(submitted_between(0.0, 50.0), submitted_between(150.0, 250.0)));
+  EXPECT_EQ(early_or_late.size(), 2u);
+  const auto not_top = select_stories(c, negate(by_top_user(c, 2)));
+  ASSERT_EQ(not_top.size(), 1u);
+  EXPECT_EQ(not_top[0].submitter, 9u);
+}
+
+TEST(Filters, FilterCorpusKeepsSections) {
+  const Corpus c = filter_fixture();
+  const Corpus filtered = filter_corpus(c, min_votes(1));
+  EXPECT_EQ(filtered.front_page.size(), 1u);
+  EXPECT_EQ(filtered.upcoming.size(), 1u);
+  EXPECT_EQ(filtered.top_users, c.top_users);
+  EXPECT_EQ(filtered.network.node_count(), c.network.node_count());
+  EXPECT_NO_THROW(validate(filtered));
+}
+
+TEST(Filters, EmptyResultIsValid) {
+  const Corpus c = filter_fixture();
+  const Corpus none = filter_corpus(c, [](const Story&) { return false; });
+  EXPECT_EQ(none.story_count(), 0u);
+}
+
+}  // namespace
+}  // namespace digg::data

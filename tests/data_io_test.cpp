@@ -1,0 +1,122 @@
+#include "src/data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/data/synthetic.h"
+
+namespace digg::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("digg_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+Corpus small_corpus(std::uint64_t seed = 1) {
+  stats::Rng rng(seed);
+  SyntheticParams p;
+  p.user_count = 1500;
+  p.story_count = 40;
+  p.vote_model.horizon = platform::kMinutesPerDay;
+  p.vote_model.step = 2.0;
+  return generate_corpus(p, rng).corpus;
+}
+
+TEST_F(IoTest, RoundTripPreservesEverything) {
+  const Corpus original = small_corpus();
+  save_corpus(original, dir_);
+  const Corpus loaded = load_corpus(dir_);
+
+  EXPECT_EQ(loaded.user_count(), original.user_count());
+  EXPECT_EQ(loaded.network.edge_count(), original.network.edge_count());
+  ASSERT_EQ(loaded.front_page.size(), original.front_page.size());
+  ASSERT_EQ(loaded.upcoming.size(), original.upcoming.size());
+  EXPECT_EQ(loaded.top_users, original.top_users);
+
+  for (std::size_t i = 0; i < original.front_page.size(); ++i) {
+    const Story& a = original.front_page[i];
+    const Story& b = loaded.front_page[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.submitter, b.submitter);
+    EXPECT_EQ(a.votes, b.votes);
+    EXPECT_DOUBLE_EQ(*a.promoted_at, *b.promoted_at);
+    EXPECT_NEAR(a.quality, b.quality, 1e-5);
+  }
+  for (std::size_t i = 0; i < original.upcoming.size(); ++i) {
+    EXPECT_EQ(original.upcoming[i].votes, loaded.upcoming[i].votes);
+    EXPECT_FALSE(loaded.upcoming[i].promoted());
+  }
+
+  // Network structure preserved exactly.
+  for (graph::NodeId u = 0; u < original.network.node_count(); ++u) {
+    const auto fa = original.network.friends(u);
+    const auto fb = loaded.network.friends(u);
+    ASSERT_EQ(fa.size(), fb.size());
+    EXPECT_TRUE(std::equal(fa.begin(), fa.end(), fb.begin()));
+  }
+}
+
+TEST_F(IoTest, CreatesExpectedFiles) {
+  save_corpus(small_corpus(), dir_);
+  EXPECT_TRUE(fs::exists(dir_ / "network.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "stories.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "votes.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "top_users.csv"));
+}
+
+TEST_F(IoTest, MissingDirectoryThrows) {
+  EXPECT_THROW(load_corpus(dir_ / "nonexistent"), std::runtime_error);
+}
+
+TEST_F(IoTest, BadHeaderThrows) {
+  save_corpus(small_corpus(), dir_);
+  std::ofstream(dir_ / "network.csv") << "bogus,header\n0,1\n";
+  EXPECT_THROW(load_corpus(dir_), std::runtime_error);
+}
+
+TEST_F(IoTest, MalformedRowThrows) {
+  save_corpus(small_corpus(), dir_);
+  std::ofstream(dir_ / "votes.csv") << "story_id,user,time\nnot_a_number,1,2\n";
+  EXPECT_THROW(load_corpus(dir_), std::runtime_error);
+}
+
+TEST_F(IoTest, VoteForUnknownStoryThrows) {
+  save_corpus(small_corpus(), dir_);
+  std::ofstream out(dir_ / "votes.csv", std::ios::app);
+  out << "999999,1,2\n";
+  out.close();
+  EXPECT_THROW(load_corpus(dir_), std::runtime_error);
+}
+
+TEST_F(IoTest, SectionMismatchThrows) {
+  save_corpus(small_corpus(), dir_);
+  // front_page story without promoted_at.
+  std::ofstream(dir_ / "stories.csv")
+      << "id,section,submitter,submitted_at,promoted_at,quality\n"
+      << "0,front_page,0,0,,0.5\n";
+  EXPECT_THROW(load_corpus(dir_), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadedCorpusValidates) {
+  save_corpus(small_corpus(2), dir_);
+  // load_corpus runs validate() internally; reaching here means it passed.
+  EXPECT_NO_THROW(load_corpus(dir_));
+}
+
+}  // namespace
+}  // namespace digg::data

@@ -1,0 +1,143 @@
+#include "src/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/corpus.h"
+
+namespace digg::data {
+namespace {
+
+// A small corpus keeps the suite fast; the promotion bar is scaled down
+// with the world (fan waves shrink with the network) and bounds are loose.
+SyntheticParams small_params() {
+  SyntheticParams p;
+  p.user_count = 4000;
+  p.story_count = 150;
+  p.top_submitter_pool = 50;
+  p.promotion_threshold = 12;
+  p.promotion_rate_votes = 5;
+  p.vote_model.horizon = 2.0 * platform::kMinutesPerDay;
+  p.vote_model.step = 2.0;
+  return p;
+}
+
+TEST(GenerateCorpus, ProducesValidCorpus) {
+  stats::Rng rng(1);
+  const SyntheticCorpus syn = generate_corpus(small_params(), rng);
+  EXPECT_NO_THROW(validate(syn.corpus));
+  EXPECT_EQ(syn.corpus.story_count(), 150u);
+  EXPECT_EQ(syn.corpus.user_count(), 4000u);
+  EXPECT_EQ(syn.traits.size(), 150u);
+  EXPECT_EQ(syn.seed, 1u);
+}
+
+TEST(GenerateCorpus, BothSectionsPopulated) {
+  stats::Rng rng(2);
+  const SyntheticCorpus syn = generate_corpus(small_params(), rng);
+  EXPECT_GT(syn.corpus.front_page.size(), 10u);
+  EXPECT_GT(syn.corpus.upcoming.size(), 10u);
+}
+
+TEST(GenerateCorpus, DeterministicForSeed) {
+  stats::Rng rng1(7);
+  stats::Rng rng2(7);
+  const SyntheticCorpus a = generate_corpus(small_params(), rng1);
+  const SyntheticCorpus b = generate_corpus(small_params(), rng2);
+  ASSERT_EQ(a.corpus.front_page.size(), b.corpus.front_page.size());
+  for (std::size_t i = 0; i < a.corpus.front_page.size(); ++i) {
+    EXPECT_EQ(a.corpus.front_page[i].votes, b.corpus.front_page[i].votes);
+  }
+  EXPECT_EQ(a.corpus.top_users, b.corpus.top_users);
+}
+
+TEST(GenerateCorpus, DifferentSeedsDiffer) {
+  stats::Rng rng1(7);
+  stats::Rng rng2(8);
+  const SyntheticCorpus a = generate_corpus(small_params(), rng1);
+  const SyntheticCorpus b = generate_corpus(small_params(), rng2);
+  bool any_difference =
+      a.corpus.front_page.size() != b.corpus.front_page.size();
+  if (!any_difference && !a.corpus.front_page.empty()) {
+    any_difference =
+        a.corpus.front_page[0].votes != b.corpus.front_page[0].votes;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GenerateCorpus, PromotedStoriesHaveAtLeastThresholdVotes) {
+  stats::Rng rng(3);
+  const SyntheticParams params = small_params();
+  const SyntheticCorpus syn = generate_corpus(params, rng);
+  for (const Story& s : syn.corpus.front_page)
+    EXPECT_GE(s.vote_count(), params.promotion_threshold);
+}
+
+TEST(GenerateCorpus, PromotionsHappenWithinUpcomingLifetime) {
+  stats::Rng rng(4);
+  const SyntheticCorpus syn = generate_corpus(small_params(), rng);
+  for (const Story& s : syn.corpus.front_page) {
+    ASSERT_TRUE(s.promoted());
+    EXPECT_LE(*s.promoted_at - s.submitted_at, platform::kMinutesPerDay + 1.0);
+  }
+}
+
+TEST(GenerateCorpus, FrontPageSkewedTowardInteresting) {
+  stats::Rng rng(5);
+  const SyntheticCorpus syn = generate_corpus(small_params(), rng);
+  // Promoted stories accumulate far more votes than stranded ones.
+  double fp_mean = 0.0;
+  for (const Story& s : syn.corpus.front_page)
+    fp_mean += static_cast<double>(s.vote_count());
+  fp_mean /= static_cast<double>(syn.corpus.front_page.size());
+  double up_mean = 0.0;
+  for (const Story& s : syn.corpus.upcoming)
+    up_mean += static_cast<double>(s.vote_count());
+  up_mean /= static_cast<double>(syn.corpus.upcoming.size());
+  EXPECT_GT(fp_mean, 5.0 * up_mean);
+}
+
+TEST(GenerateCorpus, TopUsersRankedByPromotions) {
+  stats::Rng rng(6);
+  const SyntheticCorpus syn = generate_corpus(small_params(), rng);
+  std::vector<std::size_t> promoted(syn.corpus.user_count(), 0);
+  for (const Story& s : syn.corpus.front_page) ++promoted[s.submitter];
+  const auto& top = syn.corpus.top_users;
+  ASSERT_EQ(top.size(), syn.corpus.user_count());
+  for (std::size_t r = 0; r + 1 < 50; ++r)
+    EXPECT_GE(promoted[top[r]], promoted[top[r + 1]]);
+}
+
+TEST(GenerateCorpus, TraitsWithinUnitInterval) {
+  stats::Rng rng(7);
+  const SyntheticCorpus syn = generate_corpus(small_params(), rng);
+  for (const auto& t : syn.traits) {
+    EXPECT_GE(t.general, 0.0);
+    EXPECT_LE(t.general, 1.0);
+    EXPECT_GE(t.community, 0.0);
+    EXPECT_LE(t.community, 1.0);
+  }
+}
+
+TEST(GenerateCorpus, RejectsBadParameters) {
+  stats::Rng rng(1);
+  SyntheticParams p = small_params();
+  p.story_count = 0;
+  EXPECT_THROW(generate_corpus(p, rng), std::invalid_argument);
+  p = small_params();
+  p.top_submitter_pool = 0;
+  EXPECT_THROW(generate_corpus(p, rng), std::invalid_argument);
+  p = small_params();
+  p.top_submitter_pool = p.user_count + 1;
+  EXPECT_THROW(generate_corpus(p, rng), std::invalid_argument);
+}
+
+TEST(GenerateCorpus, UserCountOverridesNestedNetworkParams) {
+  stats::Rng rng(8);
+  SyntheticParams p = small_params();
+  p.user_count = 3000;  // network params still carry the default 20000
+  const SyntheticCorpus syn = generate_corpus(p, rng);
+  EXPECT_EQ(syn.corpus.user_count(), 3000u);
+}
+
+}  // namespace
+}  // namespace digg::data

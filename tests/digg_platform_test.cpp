@@ -1,0 +1,116 @@
+#include "src/digg/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace digg::platform {
+namespace {
+
+Platform make_platform(std::size_t users = 64, std::size_t threshold = 3) {
+  graph::DigraphBuilder b(users);
+  // Users 1..5 are fans of user 0.
+  for (UserId fan = 1; fan <= 5; ++fan) b.add_fan(0, fan);
+  return Platform(b.build(), std::vector<UserProfile>(users),
+                  std::make_unique<VoteCountPolicy>(threshold));
+}
+
+TEST(Platform, SubmitPlacesStoryUpcoming) {
+  Platform p = make_platform();
+  const StoryId id = p.submit(0, 0.5, 10.0);
+  EXPECT_EQ(p.story_count(), 1u);
+  EXPECT_TRUE(p.upcoming().contains(id));
+  EXPECT_FALSE(p.front_page().contains(id));
+  EXPECT_EQ(p.story(id).vote_count(), 1u);
+  EXPECT_EQ(p.visibility(id).influence(), 5u);  // 0's five fans
+}
+
+TEST(Platform, VoteTriggersPromotionAtThreshold) {
+  Platform p = make_platform(64, 3);
+  const StoryId id = p.submit(0, 0.5, 0.0);
+  EXPECT_FALSE(p.vote(id, 10, 1.0));
+  EXPECT_TRUE(p.vote(id, 11, 2.0));  // third vote
+  EXPECT_TRUE(p.story(id).promoted());
+  EXPECT_DOUBLE_EQ(*p.story(id).promoted_at, 2.0);
+  EXPECT_TRUE(p.front_page().contains(id));
+  EXPECT_FALSE(p.upcoming().contains(id));
+  EXPECT_EQ(p.story(id).phase, StoryPhase::kFrontPage);
+}
+
+TEST(Platform, VotesAfterPromotionDoNotRePromote) {
+  Platform p = make_platform(64, 2);
+  const StoryId id = p.submit(0, 0.5, 0.0);
+  EXPECT_TRUE(p.vote(id, 10, 1.0));
+  EXPECT_FALSE(p.vote(id, 11, 2.0));
+  EXPECT_DOUBLE_EQ(*p.story(id).promoted_at, 1.0);
+}
+
+TEST(Platform, DuplicateVoteThrows) {
+  Platform p = make_platform();
+  const StoryId id = p.submit(0, 0.5, 0.0);
+  p.vote(id, 10, 1.0);
+  EXPECT_THROW(p.vote(id, 10, 2.0), std::invalid_argument);
+  EXPECT_THROW(p.vote(id, 0, 2.0), std::invalid_argument);  // submitter
+}
+
+TEST(Platform, UnknownIdsThrow) {
+  Platform p = make_platform();
+  EXPECT_THROW(p.submit(1000, 0.5, 0.0), std::out_of_range);
+  EXPECT_THROW(p.vote(5, 1, 0.0), std::out_of_range);
+  const StoryId id = p.submit(0, 0.5, 0.0);
+  EXPECT_THROW(p.vote(id, 1000, 0.0), std::out_of_range);
+  EXPECT_THROW(p.story(99), std::out_of_range);
+  EXPECT_THROW(p.visibility(99), std::out_of_range);
+}
+
+TEST(Platform, ExpireStaleRemovesOldUpcoming) {
+  Platform p = make_platform();
+  const StoryId oldie = p.submit(0, 0.5, 0.0);
+  const StoryId fresh = p.submit(1, 0.5, 2000.0);
+  p.expire_stale(0.5 + kMinutesPerDay + 100.0);
+  EXPECT_EQ(p.story(oldie).phase, StoryPhase::kExpired);
+  EXPECT_FALSE(p.upcoming().contains(oldie));
+  EXPECT_TRUE(p.upcoming().contains(fresh));
+}
+
+TEST(Platform, VotingOnExpiredStoryThrows) {
+  Platform p = make_platform();
+  const StoryId id = p.submit(0, 0.5, 0.0);
+  p.expire_stale(kMinutesPerDay * 2.0);
+  EXPECT_THROW(p.vote(id, 10, kMinutesPerDay * 2.0), std::logic_error);
+}
+
+TEST(Platform, PromotedStoriesDoNotExpire) {
+  Platform p = make_platform(64, 2);
+  const StoryId id = p.submit(0, 0.5, 0.0);
+  p.vote(id, 10, 1.0);
+  p.expire_stale(kMinutesPerDay * 3.0);
+  EXPECT_EQ(p.story(id).phase, StoryPhase::kFrontPage);
+}
+
+TEST(Platform, VisibilityTracksVotes) {
+  Platform p = make_platform();
+  const StoryId id = p.submit(0, 0.5, 0.0);
+  const std::size_t before = p.visibility(id).influence();
+  p.vote(id, 1, 1.0);  // fan 1 votes; had no fans of their own
+  EXPECT_EQ(p.visibility(id).influence(), before - 1);
+}
+
+TEST(Platform, RejectsNullPolicyAndSizeMismatch) {
+  graph::DigraphBuilder b(4);
+  EXPECT_THROW(
+      Platform(b.build(), std::vector<UserProfile>(4), nullptr),
+      std::invalid_argument);
+  EXPECT_THROW(Platform(b.build(), std::vector<UserProfile>(3),
+                        std::make_unique<VoteCountPolicy>(3)),
+               std::invalid_argument);
+}
+
+TEST(Platform, NewestSubmissionsOnTopOfQueue) {
+  Platform p = make_platform();
+  const StoryId a = p.submit(0, 0.5, 0.0);
+  const StoryId bid = p.submit(1, 0.5, 1.0);
+  EXPECT_EQ(p.upcoming().position(bid), 0u);
+  EXPECT_EQ(p.upcoming().position(a), 1u);
+}
+
+}  // namespace
+}  // namespace digg::platform

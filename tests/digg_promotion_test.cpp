@@ -1,0 +1,137 @@
+#include "src/digg/promotion.h"
+
+#include <gtest/gtest.h>
+
+#include "src/digg/story.h"
+
+namespace digg::platform {
+namespace {
+
+Story story_with_votes(std::size_t votes, Minutes spacing = 1.0) {
+  Story s = make_story(0, 0, 0.0, 0.5);
+  for (UserId u = 1; u < votes; ++u)
+    add_vote(s, u, static_cast<Minutes>(u) * spacing);
+  return s;
+}
+
+graph::Digraph empty_network(std::size_t n = 64) {
+  return graph::DigraphBuilder(n).build();
+}
+
+TEST(VoteCountPolicy, PromotesAtThreshold) {
+  const VoteCountPolicy policy(43);
+  const graph::Digraph net = empty_network();
+  EXPECT_FALSE(policy.should_promote(story_with_votes(42), net, 50.0));
+  EXPECT_TRUE(policy.should_promote(story_with_votes(43), net, 50.0));
+}
+
+TEST(VoteCountPolicy, WindowExpires) {
+  const VoteCountPolicy policy(10, /*window=*/100.0);
+  const graph::Digraph net = empty_network();
+  const Story s = story_with_votes(20);
+  EXPECT_TRUE(policy.should_promote(s, net, 99.0));
+  EXPECT_FALSE(policy.should_promote(s, net, 101.0));
+}
+
+TEST(VoteCountPolicy, ExposesThreshold) {
+  EXPECT_EQ(VoteCountPolicy(43).threshold(), 43u);
+  EXPECT_EQ(VoteCountPolicy().name(), "vote-count");
+}
+
+TEST(VoteRatePolicy, RequiresBothCountAndRate) {
+  // 50 votes spaced 60 min apart: last 10 span 540 min.
+  const VoteRatePolicy policy(43, 10, /*rate_window=*/240.0);
+  const graph::Digraph net = empty_network();
+  const Story slow = story_with_votes(50, 60.0);
+  EXPECT_FALSE(policy.should_promote(slow, net, slow.votes.back().time));
+  const Story fast = story_with_votes(50, 1.0);
+  EXPECT_TRUE(policy.should_promote(fast, net, fast.votes.back().time));
+}
+
+TEST(VoteRatePolicy, BelowThresholdNeverPromotes) {
+  const VoteRatePolicy policy(43, 10, 240.0);
+  const Story s = story_with_votes(42, 0.1);
+  EXPECT_FALSE(policy.should_promote(s, empty_network(), 10.0));
+}
+
+TEST(VoteRatePolicy, RateMeasuredOverLastVotes) {
+  // Slow start, fast finish: last 10 votes packed into 5 minutes.
+  Story s = make_story(0, 0, 0.0, 0.5);
+  Minutes t = 0.0;
+  for (UserId u = 1; u < 40; ++u) add_vote(s, u, t += 30.0);
+  for (UserId u = 40; u < 50; ++u) add_vote(s, u, t += 0.5);
+  const VoteRatePolicy policy(43, 10, 240.0, /*window=*/1e9);
+  EXPECT_TRUE(policy.should_promote(s, empty_network(), t));
+}
+
+TEST(DiversityPolicy, IndependentVotesCountFully) {
+  const DiversityPolicy policy(5.0, 0.4);
+  const graph::Digraph net = empty_network();
+  // No fan links: every vote independent, mass == vote count.
+  const Story s = story_with_votes(7);
+  EXPECT_DOUBLE_EQ(policy.weighted_votes(s, net), 7.0);
+  EXPECT_TRUE(policy.should_promote(s, net, 1.0));
+}
+
+TEST(DiversityPolicy, FanVotesDiscounted) {
+  // Voters 1..4 are all fans of the submitter (0).
+  graph::DigraphBuilder b(8);
+  for (UserId fan = 1; fan <= 4; ++fan) b.add_fan(0, fan);
+  const graph::Digraph net = b.build();
+  Story s = make_story(0, 0, 0.0, 0.5);
+  for (UserId u = 1; u <= 4; ++u) add_vote(s, u, static_cast<Minutes>(u));
+  const DiversityPolicy policy(100.0, 0.4);
+  // submitter 1.0 + 4 fan votes * 0.4
+  EXPECT_DOUBLE_EQ(policy.weighted_votes(s, net), 1.0 + 4 * 0.4);
+}
+
+TEST(DiversityPolicy, FanOfPriorVoterAlsoDiscounted) {
+  // 2 is a fan of 1 (not of the submitter); 1 votes first.
+  graph::DigraphBuilder b(8);
+  b.add_fan(1, 2);
+  const graph::Digraph net = b.build();
+  Story s = make_story(0, 0, 0.0, 0.5);
+  add_vote(s, 1, 1.0);  // independent
+  add_vote(s, 2, 2.0);  // fan of voter 1
+  const DiversityPolicy policy(100.0, 0.5);
+  EXPECT_DOUBLE_EQ(policy.weighted_votes(s, net), 1.0 + 1.0 + 0.5);
+}
+
+TEST(DiversityPolicy, PromotesWhenWeightedMassReached) {
+  const DiversityPolicy policy(3.0, 0.4);
+  const graph::Digraph net = empty_network();
+  EXPECT_FALSE(policy.should_promote(story_with_votes(2), net, 5.0));
+  EXPECT_TRUE(policy.should_promote(story_with_votes(3), net, 5.0));
+}
+
+TEST(DiversityPolicy, RespectsWindow) {
+  const DiversityPolicy policy(2.0, 0.4, /*window=*/10.0);
+  EXPECT_FALSE(
+      policy.should_promote(story_with_votes(5), empty_network(), 100.0));
+}
+
+TEST(Factories, ProduceExpectedPolicies) {
+  EXPECT_EQ(make_june2006_policy()->name(), "vote-count");
+  EXPECT_EQ(make_september2006_policy()->name(), "diversity");
+}
+
+// The September-2006 change's purpose: a fan-driven story needs more raw
+// votes than an independent one to reach the same weighted mass.
+TEST(DiversityPolicy, FanDrivenStoryNeedsMoreVotes) {
+  graph::DigraphBuilder b(64);
+  for (UserId fan = 1; fan < 64; ++fan) b.add_fan(0, fan);
+  const graph::Digraph net = b.build();
+
+  Story fan_driven = make_story(0, 0, 0.0, 0.5);
+  for (UserId u = 1; u <= 20; ++u) add_vote(fan_driven, u, 1.0 * u);
+
+  const DiversityPolicy policy(10.0, 0.25);
+  const double fan_mass = policy.weighted_votes(fan_driven, net);
+  const double independent_mass =
+      policy.weighted_votes(story_with_votes(21), empty_network());
+  EXPECT_LT(fan_mass, independent_mass);
+  EXPECT_DOUBLE_EQ(fan_mass, 1.0 + 20 * 0.25);
+}
+
+}  // namespace
+}  // namespace digg::platform

@@ -1,0 +1,113 @@
+#include "src/digg/user.h"
+
+#include <gtest/gtest.h>
+
+#include "src/digg/story.h"
+
+namespace digg::platform {
+namespace {
+
+TEST(GeneratePopulation, SizesAndPositivity) {
+  stats::Rng rng(1);
+  PopulationParams params;
+  params.user_count = 500;
+  const auto users = generate_population(params, rng);
+  ASSERT_EQ(users.size(), 500u);
+  for (const UserProfile& u : users) {
+    EXPECT_GT(u.activity_rate, 0.0);
+    EXPECT_GE(u.submission_rate, 0.0);
+    EXPECT_GT(u.friends_interface_weight, 0.0);
+    EXPECT_GT(u.front_page_weight, 0.0);
+  }
+}
+
+TEST(GeneratePopulation, ActivityDecreasesWithRank) {
+  stats::Rng rng(2);
+  PopulationParams params;
+  params.user_count = 2000;
+  const auto users = generate_population(params, rng);
+  double head = 0.0;
+  double tail = 0.0;
+  for (std::size_t u = 0; u < 100; ++u) head += users[u].activity_rate;
+  for (std::size_t u = 1900; u < 2000; ++u) tail += users[u].activity_rate;
+  EXPECT_GT(head, 10.0 * tail);
+}
+
+TEST(GeneratePopulation, HeavyUsersFavorFriendsInterface) {
+  stats::Rng rng(3);
+  PopulationParams params;
+  params.user_count = 1000;
+  const auto users = generate_population(params, rng);
+  EXPECT_GT(users[0].friends_interface_weight,
+            users[999].friends_interface_weight);
+}
+
+TEST(GeneratePopulation, RejectsEmptyPopulation) {
+  stats::Rng rng(1);
+  PopulationParams params;
+  params.user_count = 0;
+  EXPECT_THROW(generate_population(params, rng), std::invalid_argument);
+}
+
+TEST(PromotedSubmissionCounts, CountsOnlyPromoted) {
+  std::vector<Story> stories;
+  Story a = make_story(0, 3, 0.0, 0.5);
+  a.promoted_at = 10.0;
+  Story b = make_story(1, 3, 0.0, 0.5);  // not promoted
+  Story c = make_story(2, 4, 0.0, 0.5);
+  c.promoted_at = 20.0;
+  stories = {a, b, c};
+  const auto counts = promoted_submission_counts(stories, 8);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(counts[4], 1u);
+  EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(TopUserRanking, SortsByReputationDescending) {
+  const auto order = top_user_ranking({1, 5, 3});
+  EXPECT_EQ(order, (std::vector<UserId>{1, 2, 0}));
+}
+
+TEST(TopUserRanking, TiebreakByScoreThenId) {
+  const std::vector<std::uint32_t> rep = {2, 2, 2, 5};
+  const std::vector<std::size_t> fans = {10, 30, 20, 0};
+  const auto order = top_user_ranking(rep, fans);
+  EXPECT_EQ(order, (std::vector<UserId>{3, 1, 2, 0}));
+}
+
+TEST(TopUserRanking, TiebreakSizeMismatchThrows) {
+  EXPECT_THROW(top_user_ranking({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(TopShare, UniformCountsGiveProportionalShare) {
+  const std::vector<std::uint32_t> counts(100, 5);
+  EXPECT_NEAR(top_share(counts, 0.03), 0.03, 1e-9);
+}
+
+TEST(TopShare, ConcentratedCountsGiveLargeShare) {
+  std::vector<std::uint32_t> counts(100, 1);
+  counts[0] = 200;
+  counts[1] = 100;
+  counts[2] = 50;
+  // top 3% = 3 users with 350 of 447 submissions.
+  EXPECT_NEAR(top_share(counts, 0.03), 350.0 / 447.0, 1e-9);
+}
+
+TEST(TopShare, ZeroTotalIsZero) {
+  EXPECT_DOUBLE_EQ(top_share(std::vector<std::uint32_t>(10, 0), 0.1), 0.0);
+}
+
+TEST(TopShare, RejectsBadFraction) {
+  EXPECT_THROW(top_share({1, 2}, 0.0), std::invalid_argument);
+  EXPECT_THROW(top_share({1, 2}, 1.5), std::invalid_argument);
+}
+
+TEST(TopShare, AtLeastOneUserInHead) {
+  // fraction so small it rounds to zero users: still counts the top one.
+  std::vector<std::uint32_t> counts(10, 1);
+  counts[0] = 91;
+  EXPECT_NEAR(top_share(counts, 0.01), 0.91, 1e-9);
+}
+
+}  // namespace
+}  // namespace digg::platform

@@ -1,0 +1,148 @@
+#include "src/dynamics/cascade_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/graph/generators.h"
+
+namespace digg::dynamics {
+namespace {
+
+// Chain of fans: activation flows 0 -> 1 -> 2 -> 3 (i+1 is a fan of i).
+graph::Digraph fan_chain(std::size_t n) {
+  graph::DigraphBuilder b(n);
+  for (graph::NodeId u = 0; u + 1 < n; ++u) b.add_fan(u, u + 1);
+  return b.build();
+}
+
+TEST(IndependentCascade, ZeroProbabilityActivatesOnlySeeds) {
+  stats::Rng rng(1);
+  CascadeParams params;
+  params.activation_prob = 0.0;
+  const CascadeResult r = independent_cascade(fan_chain(10), {0, 5}, params, rng);
+  EXPECT_EQ(r.total_activated, 2u);
+  EXPECT_EQ(r.depth(), 0u);
+}
+
+TEST(IndependentCascade, CertainActivationFloodsChain) {
+  stats::Rng rng(1);
+  CascadeParams params;
+  params.activation_prob = 1.0;
+  const CascadeResult r = independent_cascade(fan_chain(10), {0}, params, rng);
+  EXPECT_EQ(r.total_activated, 10u);
+  EXPECT_EQ(r.depth(), 9u);
+  for (bool a : r.activated) EXPECT_TRUE(a);
+}
+
+TEST(IndependentCascade, PerRoundCountsSumToTotal) {
+  stats::Rng rng(5);
+  CascadeParams params;
+  params.activation_prob = 0.5;
+  const CascadeResult r =
+      independent_cascade(fan_chain(50), {0}, params, rng);
+  const std::size_t sum =
+      std::accumulate(r.per_round.begin(), r.per_round.end(), std::size_t{0});
+  EXPECT_EQ(sum, r.total_activated);
+}
+
+TEST(IndependentCascade, MaxRoundsCapsDepth) {
+  stats::Rng rng(1);
+  CascadeParams params;
+  params.activation_prob = 1.0;
+  params.max_rounds = 3;
+  const CascadeResult r = independent_cascade(fan_chain(10), {0}, params, rng);
+  EXPECT_EQ(r.total_activated, 4u);  // seed + 3 rounds
+}
+
+TEST(IndependentCascade, DuplicateSeedsCountedOnce) {
+  stats::Rng rng(1);
+  CascadeParams params;
+  params.activation_prob = 0.0;
+  const CascadeResult r =
+      independent_cascade(fan_chain(5), {2, 2, 2}, params, rng);
+  EXPECT_EQ(r.total_activated, 1u);
+}
+
+TEST(IndependentCascade, RejectsBadInput) {
+  stats::Rng rng(1);
+  CascadeParams params;
+  params.activation_prob = 1.5;
+  EXPECT_THROW(independent_cascade(fan_chain(5), {0}, params, rng),
+               std::invalid_argument);
+  params.activation_prob = 0.5;
+  EXPECT_THROW(independent_cascade(fan_chain(5), {99}, params, rng),
+               std::out_of_range);
+}
+
+TEST(IndependentCascade, ActivationFollowsFanEdgesOnly) {
+  // 1 is a fan of 0; activating 1 must NOT activate 0 (0 doesn't watch 1).
+  graph::DigraphBuilder b(2);
+  b.add_fan(0, 1);
+  stats::Rng rng(1);
+  CascadeParams params;
+  params.activation_prob = 1.0;
+  const CascadeResult r = independent_cascade(b.build(), {1}, params, rng);
+  EXPECT_EQ(r.total_activated, 1u);
+}
+
+TEST(MeanCascadeSize, MonotoneInActivationProbability) {
+  stats::Rng rng1(3);
+  stats::Rng rng2(3);
+  graph::PreferentialAttachmentParams net_params;
+  net_params.node_count = 500;
+  stats::Rng net_rng(9);
+  const graph::Digraph g = graph::preferential_attachment(net_params, net_rng);
+  CascadeParams low;
+  low.activation_prob = 0.02;
+  CascadeParams high;
+  high.activation_prob = 0.3;
+  EXPECT_LT(mean_cascade_size(g, low, 200, rng1),
+            mean_cascade_size(g, high, 200, rng2));
+}
+
+TEST(MeanCascadeSize, RejectsZeroTrials) {
+  stats::Rng rng(1);
+  EXPECT_THROW(mean_cascade_size(fan_chain(5), {}, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(GlobalCascadeProbability, BoundsAndExtremes) {
+  stats::Rng rng(7);
+  // Bidirectional chain: with certain activation any seed floods the graph.
+  graph::DigraphBuilder b(20);
+  for (graph::NodeId u = 0; u + 1 < 20; ++u) {
+    b.add_fan(u, u + 1);
+    b.add_fan(u + 1, u);
+  }
+  const graph::Digraph chain = b.build();
+  CascadeParams sure;
+  sure.activation_prob = 1.0;
+  EXPECT_DOUBLE_EQ(global_cascade_probability(chain, sure, 20, 0.9, rng), 1.0);
+  CascadeParams never;
+  never.activation_prob = 0.0;
+  EXPECT_DOUBLE_EQ(global_cascade_probability(chain, never, 20, 0.5, rng),
+                   0.0);
+}
+
+TEST(GlobalCascadeProbability, DirectedChainDependsOnSeedPosition) {
+  // On a one-way fan chain, only seeds near the head reach 90% of nodes, so
+  // the probability is roughly the fraction of such seeds.
+  stats::Rng rng(9);
+  CascadeParams sure;
+  sure.activation_prob = 1.0;
+  const double p = global_cascade_probability(fan_chain(20), sure, 400, 0.9, rng);
+  EXPECT_GT(p, 0.02);
+  EXPECT_LT(p, 0.35);
+}
+
+TEST(GlobalCascadeProbability, RejectsBadFraction) {
+  stats::Rng rng(1);
+  EXPECT_THROW(global_cascade_probability(fan_chain(5), {}, 10, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(global_cascade_probability(fan_chain(5), {}, 10, 1.5, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace digg::dynamics

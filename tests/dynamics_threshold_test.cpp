@@ -1,0 +1,109 @@
+#include "src/dynamics/threshold_model.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/graph/generators.h"
+
+namespace digg::dynamics {
+namespace {
+
+// Chain where each node watches the previous: 1 watches 0, 2 watches 1, ...
+// With threshold <= 1 the adoption travels the whole chain.
+graph::Digraph watch_chain(std::size_t n) {
+  graph::DigraphBuilder b(n);
+  for (graph::NodeId u = 1; u < n; ++u) b.add_follow(u, u - 1);
+  return b.build();
+}
+
+TEST(LinearThreshold, LowThresholdFloodsChain) {
+  stats::Rng rng(1);
+  ThresholdParams params;
+  params.threshold_lo = params.threshold_hi = 0.5;
+  const ThresholdResult r = linear_threshold(watch_chain(10), {0}, params, rng);
+  EXPECT_EQ(r.total_adopted, 10u);
+}
+
+TEST(LinearThreshold, ImpossibleThresholdStopsAtSeeds) {
+  stats::Rng rng(1);
+  ThresholdParams params;
+  // threshold above 1 is invalid; use 1.0 with a diluted neighborhood.
+  params.threshold_lo = params.threshold_hi = 1.0;
+  // Node 2 watches both 0 and 1; only 0 is seeded -> fraction 0.5 < 1.
+  graph::DigraphBuilder b(3);
+  b.add_follow(2, 0);
+  b.add_follow(2, 1);
+  const ThresholdResult r = linear_threshold(b.build(), {0}, params, rng);
+  EXPECT_EQ(r.total_adopted, 1u);
+}
+
+TEST(LinearThreshold, PerRoundSumsToTotal) {
+  stats::Rng rng(3);
+  ThresholdParams params;
+  params.threshold_lo = 0.2;
+  params.threshold_hi = 0.6;
+  const graph::Digraph g = graph::erdos_renyi(200, 0.04, rng);
+  const ThresholdResult r = linear_threshold(g, {0, 1, 2, 3, 4}, params, rng);
+  const std::size_t sum =
+      std::accumulate(r.per_round.begin(), r.per_round.end(), std::size_t{0});
+  EXPECT_EQ(sum, r.total_adopted);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(r.adopted.begin(), r.adopted.end(), true)),
+            r.total_adopted);
+}
+
+TEST(LinearThreshold, NodesWithoutFriendsNeverAdopt) {
+  stats::Rng rng(1);
+  ThresholdParams params;
+  params.threshold_lo = params.threshold_hi = 0.0;
+  graph::DigraphBuilder b(3);
+  b.add_follow(1, 0);  // node 2 watches nobody
+  const ThresholdResult r = linear_threshold(b.build(), {0}, params, rng);
+  EXPECT_TRUE(r.adopted[1]);
+  EXPECT_FALSE(r.adopted[2]);
+}
+
+TEST(LinearThreshold, MaxRoundsBoundsSpread) {
+  stats::Rng rng(1);
+  ThresholdParams params;
+  params.threshold_lo = params.threshold_hi = 0.5;
+  params.max_rounds = 3;
+  const ThresholdResult r = linear_threshold(watch_chain(10), {0}, params, rng);
+  EXPECT_EQ(r.total_adopted, 4u);  // seed + 3 rounds
+}
+
+TEST(LinearThreshold, RejectsBadInput) {
+  stats::Rng rng(1);
+  ThresholdParams params;
+  params.threshold_lo = 0.8;
+  params.threshold_hi = 0.2;
+  EXPECT_THROW(linear_threshold(watch_chain(3), {0}, params, rng),
+               std::invalid_argument);
+  params = {};
+  EXPECT_THROW(linear_threshold(watch_chain(3), {99}, params, rng),
+               std::out_of_range);
+}
+
+TEST(CascadeWindowSweep, AdoptionDecreasesWithThreshold) {
+  stats::Rng rng(5);
+  const graph::Digraph g = graph::erdos_renyi(300, 8.0 / 299.0, rng);
+  const auto sweep =
+      cascade_window_sweep(g, {0.05, 0.4}, /*trials=*/10, rng, 100);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_GE(sweep[0].second, sweep[1].second);
+  // Low threshold on a connected ER graph triggers near-global adoption.
+  EXPECT_GT(sweep[0].second, 0.3);
+}
+
+TEST(CascadeWindowSweep, RejectsDegenerateInput) {
+  stats::Rng rng(1);
+  EXPECT_THROW(cascade_window_sweep(watch_chain(3), {0.5}, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      cascade_window_sweep(graph::DigraphBuilder(0).build(), {0.5}, 5, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace digg::dynamics

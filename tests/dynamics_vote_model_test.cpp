@@ -1,0 +1,176 @@
+#include "src/dynamics/vote_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/generators.h"
+
+namespace digg::dynamics {
+namespace {
+
+using platform::Platform;
+using platform::StoryPhase;
+using platform::UserProfile;
+using platform::VoteCountPolicy;
+
+struct Fixture {
+  graph::Digraph network;
+  Platform platform;
+
+  explicit Fixture(std::uint64_t seed = 1, std::size_t users = 2000,
+                   std::size_t threshold = 43)
+      : network(make_network(seed, users)),
+        platform(network, std::vector<UserProfile>(users),
+                 std::make_unique<VoteCountPolicy>(threshold)) {}
+
+  static graph::Digraph make_network(std::uint64_t seed, std::size_t users) {
+    stats::Rng rng(seed);
+    graph::PreferentialAttachmentParams params;
+    params.node_count = users;
+    params.mean_out_degree = 4.0;
+    return graph::preferential_attachment(params, rng);
+  }
+};
+
+VoteModelParams fast_params() {
+  VoteModelParams p;
+  p.step = 2.0;
+  p.horizon = platform::kMinutesPerDay;  // short runs for tests
+  return p;
+}
+
+TEST(VoteSimulator, HotStoryGathersManyVotes) {
+  Fixture fx;
+  VoteSimulator sim(fx.platform, fast_params(), stats::Rng(7));
+  const auto id = fx.platform.submit(0, 0.9, 0.0);
+  const StoryRun run = sim.run_story(id, {0.9, 0.7});
+  EXPECT_GT(fx.platform.story(id).vote_count(), 50u);
+  EXPECT_GT(run.discovery_votes, 10u);
+  EXPECT_TRUE(fx.platform.story(id).promoted());
+}
+
+TEST(VoteSimulator, DullUnconnectedStoryStaysSmall) {
+  Fixture fx;
+  VoteSimulator sim(fx.platform, fast_params(), stats::Rng(7));
+  // Late-arriving user: few fans.
+  const auto id = fx.platform.submit(1999, 0.03, 0.0);
+  sim.run_story(id, {0.03, 0.1});
+  EXPECT_LT(fx.platform.story(id).vote_count(), 43u);
+  EXPECT_FALSE(fx.platform.story(id).promoted());
+}
+
+TEST(VoteSimulator, VotesAreChronologicalAndUnique) {
+  Fixture fx;
+  VoteSimulator sim(fx.platform, fast_params(), stats::Rng(3));
+  const auto id = fx.platform.submit(0, 0.6, 0.0);
+  sim.run_story(id, {0.6, 0.6});
+  const platform::Story& s = fx.platform.story(id);
+  ASSERT_GE(s.vote_count(), 2u);
+  EXPECT_EQ(s.votes.front().user, s.submitter);
+  std::set<platform::UserId> seen;
+  platform::Minutes prev = -1.0;
+  for (const platform::Vote& v : s.votes) {
+    EXPECT_TRUE(seen.insert(v.user).second);
+    EXPECT_GE(v.time, prev);
+    prev = v.time;
+  }
+}
+
+TEST(VoteSimulator, TimeSeriesMatchesFinalCount) {
+  Fixture fx;
+  VoteSimulator sim(fx.platform, fast_params(), stats::Rng(5));
+  const auto id = fx.platform.submit(0, 0.5, 0.0);
+  const StoryRun run = sim.run_story(id, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(run.votes_over_time.values().back(),
+                   static_cast<double>(fx.platform.story(id).vote_count()));
+  EXPECT_DOUBLE_EQ(run.votes_over_time.values().front(), 1.0);
+}
+
+TEST(VoteSimulator, ChannelCountsSumToVotes) {
+  Fixture fx;
+  VoteSimulator sim(fx.platform, fast_params(), stats::Rng(11));
+  const auto id = fx.platform.submit(0, 0.7, 0.0);
+  const StoryRun run = sim.run_story(id, {0.7, 0.6});
+  EXPECT_EQ(1 + run.fan_channel_votes + run.discovery_votes,
+            fx.platform.story(id).vote_count());
+}
+
+TEST(VoteSimulator, DeterministicGivenSeeds) {
+  auto run_once = [] {
+    Fixture fx(42);
+    VoteSimulator sim(fx.platform, fast_params(), stats::Rng(9));
+    const auto id = fx.platform.submit(0, 0.6, 0.0);
+    sim.run_story(id, {0.6, 0.5});
+    return fx.platform.story(id).votes;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(VoteSimulator, UnpromotedStoryStopsAtExpiry) {
+  Fixture fx(1, 2000, /*threshold=*/100000);  // promotion unreachable
+  VoteModelParams params = fast_params();
+  params.horizon = 3.0 * platform::kMinutesPerDay;
+  VoteSimulator sim(fx.platform, params, stats::Rng(13));
+  const auto id = fx.platform.submit(0, 0.9, 0.0);
+  sim.run_story(id, {0.9, 0.9});
+  const platform::Story& s = fx.platform.story(id);
+  EXPECT_EQ(s.phase, StoryPhase::kExpired);
+  // No vote should land after the upcoming lifetime.
+  const platform::Minutes lifetime =
+      fx.platform.queue_params().upcoming_lifetime;
+  for (const platform::Vote& v : s.votes)
+    EXPECT_LE(v.time, s.submitted_at + lifetime + params.step + 1e-9);
+}
+
+TEST(VoteSimulator, FanChannelDominatesForConnectedDullStory) {
+  Fixture fx;
+  VoteSimulator sim(fx.platform, fast_params(), stats::Rng(17));
+  // Top user (0) with a dull-but-community-pleasing story.
+  const auto id = fx.platform.submit(0, 0.05, 0.0);
+  const StoryRun run = sim.run_story(id, {0.05, 0.9});
+  EXPECT_GT(run.fan_channel_votes, run.discovery_votes);
+}
+
+TEST(VoteSimulator, DiscoveryDominatesForUnconnectedHotStory) {
+  Fixture fx;
+  VoteSimulator sim(fx.platform, fast_params(), stats::Rng(19));
+  const auto id = fx.platform.submit(1999, 0.9, 0.0);
+  const StoryRun run = sim.run_story(id, {0.9, 0.2});
+  EXPECT_GT(run.discovery_votes, run.fan_channel_votes);
+}
+
+TEST(VoteSimulator, RejectsBadTraitsAndParams) {
+  Fixture fx;
+  VoteSimulator sim(fx.platform, fast_params(), stats::Rng(1));
+  const auto id = fx.platform.submit(0, 0.5, 0.0);
+  EXPECT_THROW(sim.run_story(id, {-0.1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(sim.run_story(id, {0.5, 1.5}), std::invalid_argument);
+
+  VoteModelParams bad = fast_params();
+  bad.step = 0.0;
+  EXPECT_THROW(VoteSimulator(fx.platform, bad, stats::Rng(1)),
+               std::invalid_argument);
+  bad = fast_params();
+  bad.horizon = bad.step / 2.0;
+  EXPECT_THROW(VoteSimulator(fx.platform, bad, stats::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(SimulateBatch, RunsAllSubmissions) {
+  Fixture fx;
+  VoteSimulator sim(fx.platform, fast_params(), stats::Rng(23));
+  const std::vector<std::pair<platform::UserId, StoryTraits>> submissions = {
+      {0, {0.5, 0.5}}, {10, {0.2, 0.3}}, {1500, {0.8, 0.4}}};
+  const BatchResult result = simulate_batch(fx.platform, sim, submissions, 2.0);
+  ASSERT_EQ(result.ids.size(), 3u);
+  ASSERT_EQ(result.runs.size(), 3u);
+  EXPECT_EQ(fx.platform.story_count(), 3u);
+  // Spacing: second story submitted 2 minutes after the first.
+  EXPECT_DOUBLE_EQ(fx.platform.story(result.ids[1]).submitted_at, 2.0);
+}
+
+}  // namespace
+}  // namespace digg::dynamics

@@ -1,0 +1,159 @@
+#include "src/graph/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/graph/generators.h"
+
+namespace digg::graph {
+namespace {
+
+TEST(PageRank, SumsToOne) {
+  stats::Rng rng(1);
+  const Digraph g = erdos_renyi(200, 0.03, rng);
+  const auto pr = pagerank(g);
+  const double total = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRank, WatchedHubScoresHighest) {
+  // Everyone watches node 0; node 0 watches node 1.
+  DigraphBuilder b(10);
+  for (NodeId u = 1; u < 10; ++u) b.add_follow(u, 0);
+  b.add_follow(0, 1);
+  const auto pr = pagerank(b.build());
+  for (NodeId u = 2; u < 10; ++u) EXPECT_GT(pr[0], pr[u]);
+  EXPECT_GT(pr[1], pr[2]);  // 1 inherits 0's rank
+}
+
+TEST(PageRank, SymmetricRingIsUniform) {
+  DigraphBuilder b(8);
+  for (NodeId u = 0; u < 8; ++u)
+    b.add_follow(u, static_cast<NodeId>((u + 1) % 8));
+  const auto pr = pagerank(b.build());
+  for (double p : pr) EXPECT_NEAR(p, 1.0 / 8.0, 1e-9);
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+  // 0 -> 1, 1 dangles. Ranks must still sum to 1.
+  DigraphBuilder b(3);
+  b.add_follow(0, 1);
+  const auto pr = pagerank(b.build());
+  EXPECT_NEAR(pr[0] + pr[1] + pr[2], 1.0, 1e-9);
+  EXPECT_GT(pr[1], pr[0]);
+}
+
+TEST(PageRank, EmptyGraphAndBadDamping) {
+  EXPECT_TRUE(pagerank(DigraphBuilder(0).build()).empty());
+  PageRankParams bad;
+  bad.damping = 1.0;
+  EXPECT_THROW(pagerank(DigraphBuilder(3).build(), bad),
+               std::invalid_argument);
+}
+
+TEST(Betweenness, PathCenterIsHighest) {
+  // Directed path 0 -> 1 -> 2 -> 3 -> 4: node 2 lies on the most paths.
+  DigraphBuilder b;
+  for (NodeId u = 0; u < 4; ++u) b.add_follow(u, u + 1);
+  const auto bc = betweenness(b.build());
+  EXPECT_GT(bc[2], bc[1] - 1e-12);
+  EXPECT_GT(bc[2], bc[3] - 1e-12);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+  // Exact values: node 1 on paths 0->{2,3,4} = 3; node 2 on 0,1 -> 3,4 = 4.
+  EXPECT_DOUBLE_EQ(bc[1], 3.0);
+  EXPECT_DOUBLE_EQ(bc[2], 4.0);
+  EXPECT_DOUBLE_EQ(bc[3], 3.0);
+}
+
+TEST(Betweenness, StarCenterCarriesAllPairs) {
+  // Spokes connected through the hub: u -> hub -> v for all u,v.
+  DigraphBuilder b(5);
+  for (NodeId u = 1; u < 5; ++u) {
+    b.add_follow(u, 0);
+    b.add_follow(0, u);
+  }
+  const auto bc = betweenness(b.build());
+  // Hub sits on paths between each ordered spoke pair: 4*3 = 12.
+  EXPECT_DOUBLE_EQ(bc[0], 12.0);
+  for (NodeId u = 1; u < 5; ++u) EXPECT_DOUBLE_EQ(bc[u], 0.0);
+}
+
+TEST(Betweenness, SplitShortestPathsShareCredit) {
+  // Two equal-length routes 0->1->3 and 0->2->3: nodes 1,2 get 0.5 each.
+  DigraphBuilder b(4);
+  b.add_follow(0, 1);
+  b.add_follow(0, 2);
+  b.add_follow(1, 3);
+  b.add_follow(2, 3);
+  const auto bc = betweenness(b.build());
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+}
+
+TEST(Betweenness, SampledApproximationTracksExact) {
+  stats::Rng rng(5);
+  const Digraph g = erdos_renyi(120, 0.05, rng);
+  const auto exact = betweenness(g, 1);
+  const auto sampled = betweenness(g, 4);
+  // Totals should agree within sampling error.
+  const double sum_exact = std::accumulate(exact.begin(), exact.end(), 0.0);
+  const double sum_sampled =
+      std::accumulate(sampled.begin(), sampled.end(), 0.0);
+  EXPECT_NEAR(sum_sampled / sum_exact, 1.0, 0.35);
+}
+
+TEST(Betweenness, RejectsZeroStride) {
+  EXPECT_THROW(betweenness(DigraphBuilder(2).build(), 0),
+               std::invalid_argument);
+}
+
+TEST(CoreNumbers, CliquePlusTailDecomposesCorrectly) {
+  // 4-clique (mutual) with a pendant chain 4-5.
+  DigraphBuilder b(6);
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = 0; v < 4; ++v)
+      if (u != v) b.add_follow(u, v);
+  b.add_follow(4, 0);
+  b.add_follow(5, 4);
+  const auto core = core_numbers(b.build());
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(core[u], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+  EXPECT_EQ(degeneracy(b.build()), 3u);
+}
+
+TEST(CoreNumbers, RingIsTwoCore) {
+  DigraphBuilder b(6);
+  for (NodeId u = 0; u < 6; ++u)
+    b.add_follow(u, static_cast<NodeId>((u + 1) % 6));
+  const auto core = core_numbers(b.build());
+  for (std::size_t c : core) EXPECT_EQ(c, 2u);  // undirected ring degree 2
+}
+
+TEST(CoreNumbers, IsolatedNodesAreZeroCore) {
+  const auto core = core_numbers(DigraphBuilder(4).build());
+  for (std::size_t c : core) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(degeneracy(DigraphBuilder(0).build()), 0u);
+}
+
+TEST(CoreNumbers, PreferentialAttachmentHasDeepCore) {
+  stats::Rng rng(7);
+  PreferentialAttachmentParams params;
+  params.node_count = 2000;
+  const Digraph g = preferential_attachment(params, rng);
+  const auto core = core_numbers(g);
+  // Early (top) users sit deeper in the core than the typical user.
+  std::size_t head = 0;
+  for (NodeId u = 0; u < 50; ++u) head = std::max(head, core[u]);
+  std::vector<std::size_t> sorted = core;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t median = sorted[sorted.size() / 2];
+  EXPECT_GT(head, median);
+  EXPECT_GE(head, 4u);
+  EXPECT_EQ(degeneracy(g), *std::max_element(core.begin(), core.end()));
+}
+
+}  // namespace
+}  // namespace digg::graph

@@ -1,0 +1,140 @@
+#include "src/graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace digg::graph {
+namespace {
+
+// A lists B as friend => edge A->B => A in fans(B), B in friends(A).
+TEST(Digraph, FanFriendSemantics) {
+  DigraphBuilder b;
+  b.add_follow(0, 1);  // user 0 watches user 1
+  const Digraph g = b.build();
+  ASSERT_EQ(g.node_count(), 2u);
+  ASSERT_EQ(g.friend_count(0), 1u);
+  EXPECT_EQ(g.friends(0)[0], 1u);
+  ASSERT_EQ(g.fan_count(1), 1u);
+  EXPECT_EQ(g.fans(1)[0], 0u);
+  EXPECT_EQ(g.friend_count(1), 0u);
+  EXPECT_EQ(g.fan_count(0), 0u);
+}
+
+TEST(Digraph, AddFanIsInverseOfAddFollow) {
+  DigraphBuilder b;
+  b.add_fan(/*target=*/3, /*fan=*/7);
+  const Digraph g = b.build();
+  EXPECT_TRUE(g.has_edge(7, 3));
+  EXPECT_FALSE(g.has_edge(3, 7));
+}
+
+TEST(Digraph, EmptyGraph) {
+  const Digraph g = DigraphBuilder(0).build();
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, IsolatedNodesPreserved) {
+  const Digraph g = DigraphBuilder(5).build();
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_TRUE(g.friends(4).empty());
+  EXPECT_TRUE(g.fans(4).empty());
+}
+
+TEST(Digraph, DuplicateEdgesDeduplicated) {
+  DigraphBuilder b;
+  b.add_follow(0, 1);
+  b.add_follow(0, 1);
+  b.add_follow(0, 1);
+  const Digraph g = b.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, SelfLoopThrowsImmediately) {
+  DigraphBuilder b;
+  EXPECT_THROW(b.add_follow(2, 2), std::invalid_argument);
+}
+
+TEST(Digraph, NeighborRowsSorted) {
+  DigraphBuilder b;
+  b.add_follow(0, 5);
+  b.add_follow(0, 2);
+  b.add_follow(0, 9);
+  b.add_follow(7, 2);
+  b.add_follow(3, 2);
+  const Digraph g = b.build();
+  EXPECT_TRUE(std::is_sorted(g.friends(0).begin(), g.friends(0).end()));
+  EXPECT_TRUE(std::is_sorted(g.fans(2).begin(), g.fans(2).end()));
+}
+
+TEST(Digraph, HasEdgeOnlyForExistingEdges) {
+  DigraphBuilder b;
+  b.add_follow(1, 2);
+  b.add_follow(2, 3);
+  const Digraph g = b.build();
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(Digraph, DegreesMatchRows) {
+  DigraphBuilder b;
+  b.add_follow(0, 1);
+  b.add_follow(0, 2);
+  b.add_follow(3, 0);
+  const Digraph g = b.build();
+  const auto out = g.out_degrees();
+  const auto in = g.in_degrees();
+  EXPECT_EQ(out[0], 2u);
+  EXPECT_EQ(out[3], 1u);
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[1], 1u);
+  EXPECT_EQ(in[2], 1u);
+  std::size_t out_sum = 0;
+  for (std::size_t d : out) out_sum += d;
+  EXPECT_EQ(out_sum, g.edge_count());
+}
+
+TEST(Digraph, OutOfRangeNodeThrows) {
+  const Digraph g = DigraphBuilder(2).build();
+  EXPECT_THROW(g.friends(2), std::out_of_range);
+  EXPECT_THROW(g.fans(99), std::out_of_range);
+}
+
+TEST(Digraph, EnsureNodesGrowsNodeSet) {
+  DigraphBuilder b;
+  b.ensure_nodes(10);
+  EXPECT_EQ(b.node_count(), 10u);
+  b.ensure_nodes(5);  // never shrinks
+  EXPECT_EQ(b.node_count(), 10u);
+  EXPECT_EQ(b.build().node_count(), 10u);
+}
+
+TEST(Digraph, ImplicitNodeCreationFromEdges) {
+  DigraphBuilder b;
+  b.add_follow(4, 9);
+  EXPECT_EQ(b.node_count(), 10u);
+}
+
+TEST(Digraph, LargerGraphCrossCheck) {
+  // Verify CSR symmetry: u in fans(v) iff v in friends(u), over all pairs.
+  DigraphBuilder b;
+  const std::pair<NodeId, NodeId> edges[] = {{0, 1}, {1, 2}, {2, 0}, {3, 1},
+                                             {4, 1}, {1, 4}, {2, 4}};
+  for (auto [u, v] : edges) b.add_follow(u, v);
+  const Digraph g = b.build();
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.friends(u)) {
+      const auto fans = g.fans(v);
+      EXPECT_TRUE(std::binary_search(fans.begin(), fans.end(), u));
+    }
+    for (NodeId w : g.fans(u)) {
+      EXPECT_TRUE(g.has_edge(w, u));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace digg::graph

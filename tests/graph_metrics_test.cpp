@@ -1,0 +1,132 @@
+#include "src/graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace digg::graph {
+namespace {
+
+Digraph triangle_both_ways() {
+  DigraphBuilder b;
+  for (NodeId u = 0; u < 3; ++u)
+    for (NodeId v = 0; v < 3; ++v)
+      if (u != v) b.add_follow(u, v);
+  return b.build();
+}
+
+TEST(DegreeStats, EmptyAndBasic) {
+  EXPECT_EQ(degree_stats({}).mean, 0.0);
+  const DegreeStats s = degree_stats({1, 2, 3, 10});
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Reciprocity, FullyMutualGraphIsOne) {
+  EXPECT_DOUBLE_EQ(reciprocity(triangle_both_ways()), 1.0);
+}
+
+TEST(Reciprocity, OneWayChainIsZero) {
+  DigraphBuilder b;
+  b.add_follow(0, 1);
+  b.add_follow(1, 2);
+  EXPECT_DOUBLE_EQ(reciprocity(b.build()), 0.0);
+}
+
+TEST(Reciprocity, MixedGraph) {
+  DigraphBuilder b;
+  b.add_follow(0, 1);
+  b.add_follow(1, 0);  // mutual pair: 2 reciprocated edges
+  b.add_follow(0, 2);  // one-way
+  b.add_follow(0, 3);  // one-way
+  EXPECT_DOUBLE_EQ(reciprocity(b.build()), 0.5);
+}
+
+TEST(Reciprocity, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(reciprocity(DigraphBuilder(3).build()), 0.0);
+}
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  const Digraph g = triangle_both_ways();
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+}
+
+TEST(Clustering, StarHasZeroClustering) {
+  DigraphBuilder b;
+  for (NodeId leaf = 1; leaf <= 4; ++leaf) b.add_follow(leaf, 0);
+  const Digraph g = b.build();
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 0.0);
+}
+
+TEST(Clustering, DegreeOneNodeIsZero) {
+  DigraphBuilder b;
+  b.add_follow(0, 1);
+  EXPECT_DOUBLE_EQ(local_clustering(b.build(), 0), 0.0);
+}
+
+TEST(Clustering, UsesUndirectedProjection) {
+  // 0->1, 2->1, 0->2: neighbors of 1 are {0,2}, joined by an edge either way.
+  DigraphBuilder b;
+  b.add_follow(0, 1);
+  b.add_follow(2, 1);
+  b.add_follow(0, 2);
+  EXPECT_DOUBLE_EQ(local_clustering(b.build(), 1), 1.0);
+}
+
+TEST(Assortativity, DisassortativeStar) {
+  // Star with leaves following the hub: hub fan-degree high, leaves 0.
+  DigraphBuilder b;
+  for (NodeId leaf = 1; leaf <= 9; ++leaf) b.add_follow(leaf, 0);
+  // All edges connect fan-degree-0 sources to fan-degree-9 target: source
+  // degree constant -> pearson undefined -> metric returns 0.
+  EXPECT_DOUBLE_EQ(in_degree_assortativity(b.build()), 0.0);
+}
+
+TEST(Assortativity, PositiveWhenHubsFollowHubsAndLeavesFollowLeaves) {
+  DigraphBuilder b;
+  // A mutual clique of four hubs (fan-degree 3 each)...
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = 0; v < 4; ++v)
+      if (u != v) b.add_follow(u, v);
+  // ...plus mutual leaf pairs (fan-degree 1 each). Every edge connects
+  // equal-degree endpoints: assortativity 1.
+  for (NodeId p = 4; p < 10; p += 2) {
+    b.add_follow(p, p + 1);
+    b.add_follow(p + 1, p);
+  }
+  EXPECT_NEAR(in_degree_assortativity(b.build()), 1.0, 1e-9);
+}
+
+TEST(FriendsFansScatter, PlusOneConvention) {
+  DigraphBuilder b;
+  b.add_follow(0, 1);
+  const auto scatter = friends_fans_scatter(b.build());
+  ASSERT_EQ(scatter.size(), 2u);
+  EXPECT_EQ(scatter[0].first, 2u);   // 1 friend + 1
+  EXPECT_EQ(scatter[0].second, 1u);  // 0 fans + 1
+  EXPECT_EQ(scatter[1].first, 1u);
+  EXPECT_EQ(scatter[1].second, 2u);
+}
+
+TEST(FriendsFansScatter, TopOfPreferentialGraphDominates) {
+  stats::Rng rng(5);
+  PreferentialAttachmentParams params;
+  params.node_count = 1000;
+  const Digraph g = preferential_attachment(params, rng);
+  const auto scatter = friends_fans_scatter(g);
+  std::size_t max_fans = 0;
+  NodeId argmax = 0;
+  for (NodeId u = 0; u < scatter.size(); ++u) {
+    if (scatter[u].second > max_fans) {
+      max_fans = scatter[u].second;
+      argmax = u;
+    }
+  }
+  EXPECT_LT(argmax, 50u);  // a very early arrival
+}
+
+}  // namespace
+}  // namespace digg::graph

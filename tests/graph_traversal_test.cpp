@@ -1,0 +1,119 @@
+#include "src/graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace digg::graph {
+namespace {
+
+Digraph path_graph() {
+  // 0 -> 1 -> 2 -> 3
+  DigraphBuilder b;
+  b.add_follow(0, 1);
+  b.add_follow(1, 2);
+  b.add_follow(2, 3);
+  return b.build();
+}
+
+TEST(BfsDistances, DirectedAlongFollowingEdges) {
+  const Digraph g = path_graph();
+  const auto d = bfs_distances(g, 0, Direction::kFollowing);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(BfsDistances, FansDirectionReverses) {
+  const Digraph g = path_graph();
+  const auto d = bfs_distances(g, 3, Direction::kFans);
+  EXPECT_EQ(d[0], 3u);
+  const auto d2 = bfs_distances(g, 0, Direction::kFans);
+  EXPECT_EQ(d2[3], kUnreachable);
+}
+
+TEST(BfsDistances, BothIgnoresDirection) {
+  const Digraph g = path_graph();
+  const auto d = bfs_distances(g, 3, Direction::kBoth);
+  EXPECT_EQ(d[0], 3u);
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  DigraphBuilder b(4);
+  b.add_follow(0, 1);
+  const auto d = bfs_distances(b.build(), 0, Direction::kBoth);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(BfsDistances, BadSourceThrows) {
+  EXPECT_THROW(bfs_distances(path_graph(), 9), std::out_of_range);
+}
+
+TEST(WeakComponents, LabelsComponentsConsistently) {
+  DigraphBuilder b(6);
+  b.add_follow(0, 1);
+  b.add_follow(2, 3);
+  const auto label = weak_components(b.build());
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[2], label[3]);
+  EXPECT_NE(label[0], label[2]);
+  EXPECT_NE(label[4], label[5]);
+}
+
+TEST(ComponentSizes, SortedDescending) {
+  DigraphBuilder b(7);
+  b.add_follow(0, 1);
+  b.add_follow(1, 2);
+  b.add_follow(3, 4);
+  const auto sizes = component_sizes(b.build());
+  ASSERT_EQ(sizes.size(), 4u);  // {0,1,2}, {3,4}, {5}, {6}
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_TRUE(std::is_sorted(sizes.rbegin(), sizes.rend()));
+}
+
+TEST(GiantComponentFraction, FullAndEmptyGraphs) {
+  EXPECT_DOUBLE_EQ(giant_component_fraction(DigraphBuilder(0).build()), 0.0);
+  EXPECT_DOUBLE_EQ(giant_component_fraction(path_graph()), 1.0);
+  DigraphBuilder b(4);
+  b.add_follow(0, 1);
+  EXPECT_DOUBLE_EQ(giant_component_fraction(b.build()), 0.5);
+}
+
+TEST(Neighborhood, OneHopFansAreExactlyFans) {
+  DigraphBuilder b;
+  b.add_follow(1, 0);
+  b.add_follow(2, 0);
+  b.add_follow(0, 3);
+  const Digraph g = b.build();
+  auto n = neighborhood(g, 0, 1, Direction::kFans);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Neighborhood, TwoHopsExpandsFrontier) {
+  // fans chain: 3 -> 2 -> 1 -> 0 (3 watches 2, etc.)
+  DigraphBuilder b;
+  b.add_follow(3, 2);
+  b.add_follow(2, 1);
+  b.add_follow(1, 0);
+  const Digraph g = b.build();
+  auto n = neighborhood(g, 0, 2, Direction::kFans);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Neighborhood, ExcludesSource) {
+  const Digraph g = path_graph();
+  const auto n = neighborhood(g, 1, 5, Direction::kBoth);
+  EXPECT_EQ(std::count(n.begin(), n.end(), 1u), 0);
+  EXPECT_EQ(n.size(), 3u);
+}
+
+TEST(Neighborhood, ZeroHopsIsEmpty) {
+  EXPECT_TRUE(neighborhood(path_graph(), 0, 0, Direction::kBoth).empty());
+}
+
+}  // namespace
+}  // namespace digg::graph

@@ -1,0 +1,120 @@
+#include "src/ml/arff.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace digg::ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+Dataset mixed_dataset() {
+  Dataset d({{"v10", AttributeKind::kNumeric, {}},
+             {"color", AttributeKind::kNominal, {"red", "blue"}}},
+            {"no", "yes"});
+  d.add({3.0, 0.0}, 1);
+  d.add({7.5, 1.0}, 0);
+  d.add({kMissing, 1.0}, 1);
+  d.add({2.0, kMissing}, 0);
+  return d;
+}
+
+class ArffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::temp_directory_path() /
+            (std::string("digg_arff_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".arff");
+    fs::remove(path_);
+  }
+  void TearDown() override { fs::remove(path_); }
+  fs::path path_;
+};
+
+TEST_F(ArffTest, WriteContainsHeaderAndData) {
+  std::ostringstream os;
+  write_arff(mixed_dataset(), "digg_stories", os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("@RELATION digg_stories"), std::string::npos);
+  EXPECT_NE(out.find("@ATTRIBUTE v10 NUMERIC"), std::string::npos);
+  EXPECT_NE(out.find("@ATTRIBUTE color {red,blue}"), std::string::npos);
+  EXPECT_NE(out.find("@ATTRIBUTE class {no,yes}"), std::string::npos);
+  EXPECT_NE(out.find("@DATA"), std::string::npos);
+  EXPECT_NE(out.find("3,red,yes"), std::string::npos);
+  EXPECT_NE(out.find("?,blue,yes"), std::string::npos);
+  EXPECT_NE(out.find("2,?,no"), std::string::npos);
+}
+
+TEST_F(ArffTest, RoundTripPreservesEverything) {
+  const Dataset original = mixed_dataset();
+  save_arff(original, "roundtrip", path_);
+  const Dataset loaded = load_arff(path_);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.attribute_count(), original.attribute_count());
+  EXPECT_EQ(loaded.attribute(0).name, "v10");
+  EXPECT_EQ(loaded.attribute(1).values,
+            (std::vector<std::string>{"red", "blue"}));
+  EXPECT_EQ(loaded.class_names(), original.class_names());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.label(i), original.label(i));
+    for (std::size_t a = 0; a < original.attribute_count(); ++a) {
+      if (is_missing(original.value(i, a))) {
+        EXPECT_TRUE(is_missing(loaded.value(i, a)));
+      } else {
+        EXPECT_DOUBLE_EQ(loaded.value(i, a), original.value(i, a));
+      }
+    }
+  }
+}
+
+TEST_F(ArffTest, LoadsWekaStyleCommentsAndCase) {
+  std::ofstream(path_) << "% a comment\n"
+                       << "@relation test\n\n"
+                       << "@attribute x numeric\n"
+                       << "@attribute class {a,b}\n"
+                       << "@data\n"
+                       << "% another comment\n"
+                       << "1.5,a\n"
+                       << "2.5,b\n";
+  const Dataset d = load_arff(path_);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.value(0, 0), 1.5);
+  EXPECT_EQ(d.label(1), 1u);
+}
+
+TEST_F(ArffTest, RejectsMalformedFiles) {
+  std::ofstream(path_) << "@relation x\n@attribute x numeric\n@data\n1\n";
+  // Only one attribute: no class.
+  EXPECT_THROW(load_arff(path_), std::runtime_error);
+
+  std::ofstream(path_) << "@relation x\n@attribute x numeric\n"
+                       << "@attribute class {a,b}\n@data\n1,c\n";
+  EXPECT_THROW(load_arff(path_), std::runtime_error);  // unknown class
+
+  std::ofstream(path_) << "@relation x\n@attribute x numeric\n"
+                       << "@attribute class {a,b}\n@data\noops,a\n";
+  EXPECT_THROW(load_arff(path_), std::runtime_error);  // bad numeric
+
+  std::ofstream(path_) << "@relation x\n@attribute x numeric\n"
+                       << "@attribute y numeric\n@data\n1,2\n";
+  EXPECT_THROW(load_arff(path_), std::runtime_error);  // numeric class
+
+  std::ofstream(path_) << "bogus\n";
+  EXPECT_THROW(load_arff(path_), std::runtime_error);
+
+  EXPECT_THROW(load_arff(path_ / "nonexistent"), std::runtime_error);
+}
+
+TEST_F(ArffTest, FieldCountMismatchRejected) {
+  std::ofstream(path_) << "@relation x\n@attribute x numeric\n"
+                       << "@attribute class {a,b}\n@data\n1,2,a\n";
+  EXPECT_THROW(load_arff(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace digg::ml

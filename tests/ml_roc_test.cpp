@@ -1,0 +1,108 @@
+#include "src/ml/roc.h"
+
+#include <gtest/gtest.h>
+
+namespace digg::ml {
+namespace {
+
+std::vector<Scored> perfect_ranking() {
+  return {{0.9, true}, {0.8, true}, {0.3, false}, {0.1, false}};
+}
+
+std::vector<Scored> inverted_ranking() {
+  return {{0.9, false}, {0.8, false}, {0.3, true}, {0.1, true}};
+}
+
+TEST(RocAuc, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(roc_auc(perfect_ranking()), 1.0);
+}
+
+TEST(RocAuc, InvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(roc_auc(inverted_ranking()), 0.0);
+}
+
+TEST(RocAuc, ConstantScoresAreChance) {
+  const std::vector<Scored> scored = {
+      {0.5, true}, {0.5, false}, {0.5, true}, {0.5, false}};
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 0.5);
+}
+
+TEST(RocAuc, TiesGetHalfCredit) {
+  // One tied pair (pos/neg at 0.5) among otherwise perfect ranking:
+  // AUC = (pairs won + 0.5*ties) / total pairs = (3 + 0.5) / 4.
+  const std::vector<Scored> scored = {
+      {0.9, true}, {0.5, true}, {0.5, false}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 3.5 / 4.0);
+}
+
+TEST(RocAuc, RequiresBothClasses) {
+  EXPECT_THROW(roc_auc({{0.5, true}}), std::invalid_argument);
+  EXPECT_THROW(roc_auc({{0.5, false}, {0.2, false}}), std::invalid_argument);
+}
+
+TEST(RocCurve, EndpointsAndMonotonicity) {
+  const auto curve = roc_curve(perfect_ranking());
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(RocCurve, TiedScoresProduceOnePoint) {
+  const std::vector<Scored> scored = {
+      {0.5, true}, {0.5, false}, {0.5, true}, {0.5, false}};
+  const auto curve = roc_curve(scored);
+  ASSERT_EQ(curve.size(), 2u);  // start point + one threshold
+  EXPECT_DOUBLE_EQ(curve.back().precision, 0.5);
+}
+
+TEST(RocCurve, PrecisionAtEachThreshold) {
+  const auto curve = roc_curve(perfect_ranking());
+  // After consuming the two 0.9/0.8 positives: precision 1.0.
+  bool saw_perfect_precision_at_full_recall = false;
+  for (const RocPoint& p : curve) {
+    if (p.tpr == 1.0 && p.fpr == 0.0)
+      saw_perfect_precision_at_full_recall = p.precision == 1.0;
+  }
+  EXPECT_TRUE(saw_perfect_precision_at_full_recall);
+}
+
+TEST(PrAuc, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(pr_auc(perfect_ranking()), 1.0);
+}
+
+TEST(PrAuc, RandomScoresNearPositiveRate) {
+  // For uninformative scores, PR-AUC tends toward the positive base rate.
+  std::vector<Scored> scored;
+  for (int i = 0; i < 400; ++i) {
+    scored.push_back({static_cast<double>((i * 7919) % 1000),
+                      i % 4 == 0});  // 25% positives, score independent
+  }
+  const double auc = pr_auc(scored);
+  EXPECT_NEAR(auc, 0.25, 0.1);
+}
+
+TEST(PrecisionAtRecall, FindsBestOperatingPoint) {
+  const std::vector<Scored> scored = {
+      {0.9, true}, {0.8, false}, {0.7, true}, {0.1, false}};
+  // recall >= 0.5 reachable at threshold 0.9 with precision 1.0.
+  EXPECT_DOUBLE_EQ(precision_at_recall(scored, 0.5), 1.0);
+  // recall >= 1.0 requires including the 0.8 negative: precision 2/3.
+  EXPECT_DOUBLE_EQ(precision_at_recall(scored, 1.0), 2.0 / 3.0);
+}
+
+TEST(PrecisionAtRecall, RejectsBadRecall) {
+  EXPECT_THROW(precision_at_recall(perfect_ranking(), -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(precision_at_recall(perfect_ranking(), 1.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace digg::ml

@@ -1,0 +1,118 @@
+#include "src/stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/summary.h"
+
+namespace digg::stats {
+namespace {
+
+TEST(BootstrapMeanCi, CoversTrueMeanOfNormalSample) {
+  Rng rng(1);
+  std::vector<double> data;
+  for (int i = 0; i < 400; ++i) data.push_back(rng.normal(10.0, 2.0));
+  Rng boot(2);
+  const Interval ci = bootstrap_mean_ci(data, 1000, 0.95, boot);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_NEAR(ci.point, mean(data), 1e-12);
+  EXPECT_LT(ci.hi - ci.lo, 1.0);  // n=400, sd=2 -> CI width ~0.4
+  EXPECT_GT(ci.hi, ci.lo);
+}
+
+TEST(BootstrapMeanCi, WidthShrinksWithSampleSize) {
+  Rng rng(3);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 50; ++i) small.push_back(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 5000; ++i) large.push_back(rng.normal(0.0, 1.0));
+  Rng b1(4);
+  Rng b2(4);
+  const Interval ci_small = bootstrap_mean_ci(small, 500, 0.95, b1);
+  const Interval ci_large = bootstrap_mean_ci(large, 500, 0.95, b2);
+  EXPECT_GT(ci_small.hi - ci_small.lo, 3.0 * (ci_large.hi - ci_large.lo));
+}
+
+TEST(BootstrapCi, CustomStatisticMedian) {
+  Rng boot(5);
+  std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 100};
+  const Interval ci = bootstrap_ci(
+      data, [](const std::vector<double>& v) { return quantile(v, 0.5); },
+      500, 0.9, boot);
+  EXPECT_TRUE(ci.contains(5.5));
+  EXPECT_LT(ci.hi, 50.0);  // median robust to the outlier
+}
+
+TEST(BootstrapCi, DeterministicGivenSeed) {
+  std::vector<double> data = {1, 2, 3, 4, 5};
+  Rng a(9);
+  Rng b(9);
+  const Interval ca = bootstrap_mean_ci(data, 200, 0.95, a);
+  const Interval cb = bootstrap_mean_ci(data, 200, 0.95, b);
+  EXPECT_DOUBLE_EQ(ca.lo, cb.lo);
+  EXPECT_DOUBLE_EQ(ca.hi, cb.hi);
+}
+
+TEST(BootstrapCi, RejectsBadArguments) {
+  Rng rng(1);
+  const Statistic m = [](const std::vector<double>& v) { return mean(v); };
+  EXPECT_THROW(bootstrap_ci({}, m, 100, 0.95, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci({1.0}, m, 5, 0.95, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci({1.0}, m, 100, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci({1.0}, m, 100, 0.0, rng), std::invalid_argument);
+}
+
+TEST(BootstrapProportionCi, MatchesBinomialIntuition) {
+  std::vector<bool> outcomes(200, false);
+  for (int i = 0; i < 60; ++i) outcomes[i] = true;  // 30%
+  Rng rng(7);
+  const Interval ci = bootstrap_proportion_ci(outcomes, 1000, 0.95, rng);
+  EXPECT_NEAR(ci.point, 0.3, 1e-12);
+  EXPECT_TRUE(ci.contains(0.3));
+  // Normal-approx half-width ~ 1.96*sqrt(0.3*0.7/200) ~ 0.064.
+  EXPECT_NEAR(ci.hi - ci.lo, 0.127, 0.04);
+}
+
+TEST(BootstrapPairedDiff, DetectsClearGap) {
+  // Condition a succeeds 90%, condition b 40%, over the same 100 items.
+  PairedSample sample;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    sample.a.push_back(rng.bernoulli(0.9) ? 1.0 : 0.0);
+    sample.b.push_back(rng.bernoulli(0.4) ? 1.0 : 0.0);
+  }
+  Rng boot(12);
+  const Interval gap = bootstrap_paired_diff_ci(
+      sample, [](const std::vector<double>& v) { return mean(v); }, 1000,
+      0.95, boot);
+  EXPECT_GT(gap.lo, 0.2);  // clearly positive
+  EXPECT_NEAR(gap.point, 0.5, 0.15);
+}
+
+TEST(BootstrapPairedDiff, NansSkippedPerCondition) {
+  PairedSample sample;
+  // Item 0 counted only under a; item 1 only under b; item 2 under both.
+  sample.a = {1.0, std::nan(""), 1.0};
+  sample.b = {std::nan(""), 0.0, 0.0};
+  Rng boot(13);
+  const Interval gap = bootstrap_paired_diff_ci(
+      sample, [](const std::vector<double>& v) { return mean(v); }, 100, 0.9,
+      boot);
+  EXPECT_DOUBLE_EQ(gap.point, 1.0);  // a: mean{1,1}=1; b: mean{0,0}=0
+}
+
+TEST(BootstrapPairedDiff, RejectsSizeMismatch) {
+  PairedSample sample;
+  sample.a = {1.0};
+  sample.b = {1.0, 2.0};
+  Rng rng(1);
+  EXPECT_THROW(bootstrap_paired_diff_ci(
+                   sample,
+                   [](const std::vector<double>& v) { return mean(v); }, 100,
+                   0.9, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace digg::stats

@@ -1,0 +1,122 @@
+#include "src/stats/hypothesis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stats/rng.h"
+
+namespace digg::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(ChiSquareSf, KnownValues) {
+  // dof=1: P(X > 3.841) = 0.05.
+  EXPECT_NEAR(chi_square_sf(3.841, 1), 0.05, 0.001);
+  // dof=2: P(X > x) = exp(-x/2).
+  EXPECT_NEAR(chi_square_sf(5.991, 2), 0.05, 0.001);
+  // dof=5 via Wilson-Hilferty: P(X > 11.07) ~ 0.05.
+  EXPECT_NEAR(chi_square_sf(11.07, 5), 0.05, 0.01);
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 3), 1.0);
+  EXPECT_THROW(chi_square_sf(1.0, 0), std::invalid_argument);
+}
+
+TEST(MannWhitney, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const TestResult r = mann_whitney_u(a, a);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(MannWhitney, SeparatedSamplesHighlySignificant) {
+  std::vector<double> low;
+  std::vector<double> high;
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    low.push_back(rng.uniform(0.0, 1.0));
+    high.push_back(rng.uniform(10.0, 11.0));
+  }
+  const TestResult r = mann_whitney_u(low, high);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(MannWhitney, DetectsModerateShift) {
+  Rng rng(2);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.8, 1.0));
+  }
+  const TestResult r = mann_whitney_u(a, b);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(MannWhitney, AllTiesGivePValueOne) {
+  const std::vector<double> a = {5, 5, 5};
+  const std::vector<double> b = {5, 5, 5, 5};
+  const TestResult r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(MannWhitney, RejectsEmptySamples) {
+  EXPECT_THROW(mann_whitney_u({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(mann_whitney_u({1.0}, {}), std::invalid_argument);
+}
+
+TEST(ChiSquare2x2, IndependentTableNotSignificant) {
+  // Perfectly proportional table: no association.
+  const TestResult r = chi_square_2x2(20, 30, 40, 60);
+  EXPECT_NEAR(r.statistic, 0.0, 0.3);  // Yates-corrected, near zero
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(ChiSquare2x2, StrongAssociationSignificant) {
+  const TestResult r = chi_square_2x2(50, 5, 5, 50);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquare2x2, DegenerateMarginsHandled) {
+  const TestResult r = chi_square_2x2(0, 0, 10, 20);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(ChiSquare2x2, RejectsNegativeCells) {
+  EXPECT_THROW(chi_square_2x2(-1, 2, 3, 4), std::invalid_argument);
+  EXPECT_THROW(chi_square_2x2(0, 0, 0, 0), std::invalid_argument);
+}
+
+TEST(TwoProportionZ, EqualProportionsNotSignificant) {
+  const TestResult r = two_proportion_z(30, 100, 30, 100);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(TwoProportionZ, LargeGapSignificant) {
+  const TestResult r = two_proportion_z(80, 100, 30, 100);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.statistic, 0.0);
+}
+
+TEST(TwoProportionZ, PaperScaleGapIsBorderline) {
+  // The paper's 4/7 vs 5/14 on tiny samples: suggestive, not conclusive —
+  // which is why the fig5_roc bench adds a bootstrap CI.
+  const TestResult r = two_proportion_z(4, 7, 5, 14);
+  EXPECT_GT(r.p_value, 0.05);
+  EXPECT_LT(r.p_value, 0.9);
+}
+
+TEST(TwoProportionZ, RejectsBadInput) {
+  EXPECT_THROW(two_proportion_z(1, 0, 1, 2), std::invalid_argument);
+  EXPECT_THROW(two_proportion_z(3, 2, 1, 2), std::invalid_argument);
+}
+
+TEST(TwoProportionZ, AllOrNothingPooledVarianceZero) {
+  const TestResult r = two_proportion_z(10, 10, 10, 10);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace digg::stats
