@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_epidemic.dir/ablation_epidemic.cpp.o"
+  "CMakeFiles/ablation_epidemic.dir/ablation_epidemic.cpp.o.d"
+  "ablation_epidemic"
+  "ablation_epidemic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_epidemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

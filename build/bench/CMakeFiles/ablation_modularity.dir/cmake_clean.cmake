@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_modularity.dir/ablation_modularity.cpp.o"
+  "CMakeFiles/ablation_modularity.dir/ablation_modularity.cpp.o.d"
+  "ablation_modularity"
+  "ablation_modularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

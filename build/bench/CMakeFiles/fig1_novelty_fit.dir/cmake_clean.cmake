@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_novelty_fit.dir/fig1_novelty_fit.cpp.o"
+  "CMakeFiles/fig1_novelty_fit.dir/fig1_novelty_fit.cpp.o.d"
+  "fig1_novelty_fit"
+  "fig1_novelty_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_novelty_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_vote_timeseries.dir/fig1_vote_timeseries.cpp.o"
+  "CMakeFiles/fig1_vote_timeseries.dir/fig1_vote_timeseries.cpp.o.d"
+  "fig1_vote_timeseries"
+  "fig1_vote_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_vote_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

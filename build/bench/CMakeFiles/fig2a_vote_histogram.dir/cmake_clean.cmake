@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_vote_histogram.dir/fig2a_vote_histogram.cpp.o"
+  "CMakeFiles/fig2a_vote_histogram.dir/fig2a_vote_histogram.cpp.o.d"
+  "fig2a_vote_histogram"
+  "fig2a_vote_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_vote_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_user_activity.dir/fig2b_user_activity.cpp.o"
+  "CMakeFiles/fig2b_user_activity.dir/fig2b_user_activity.cpp.o.d"
+  "fig2b_user_activity"
+  "fig2b_user_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_user_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_influence.dir/fig3a_influence.cpp.o"
+  "CMakeFiles/fig3a_influence.dir/fig3a_influence.cpp.o.d"
+  "fig3a_influence"
+  "fig3a_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_cascades.dir/fig3b_cascades.cpp.o"
+  "CMakeFiles/fig3b_cascades.dir/fig3b_cascades.cpp.o.d"
+  "fig3b_cascades"
+  "fig3b_cascades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_cascades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_innetwork_vs_final.dir/fig4_innetwork_vs_final.cpp.o"
+  "CMakeFiles/fig4_innetwork_vs_final.dir/fig4_innetwork_vs_final.cpp.o.d"
+  "fig4_innetwork_vs_final"
+  "fig4_innetwork_vs_final.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_innetwork_vs_final.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_innetwork_vs_final.
+# This may be replaced when dependencies are built.

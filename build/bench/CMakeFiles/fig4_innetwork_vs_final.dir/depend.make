@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_innetwork_vs_final.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_decision_tree.dir/fig5_decision_tree.cpp.o"
+  "CMakeFiles/fig5_decision_tree.dir/fig5_decision_tree.cpp.o.d"
+  "fig5_decision_tree"
+  "fig5_decision_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_decision_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

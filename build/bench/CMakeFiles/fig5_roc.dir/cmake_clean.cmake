@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_roc.dir/fig5_roc.cpp.o"
+  "CMakeFiles/fig5_roc.dir/fig5_roc.cpp.o.d"
+  "fig5_roc"
+  "fig5_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

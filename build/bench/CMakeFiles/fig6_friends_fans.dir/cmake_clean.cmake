@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_friends_fans.dir/fig6_friends_fans.cpp.o"
+  "CMakeFiles/fig6_friends_fans.dir/fig6_friends_fans.cpp.o.d"
+  "fig6_friends_fans"
+  "fig6_friends_fans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_friends_fans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

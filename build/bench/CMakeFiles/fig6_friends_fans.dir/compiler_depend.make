@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_friends_fans.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_activity_skew.dir/text_activity_skew.cpp.o"
+  "CMakeFiles/text_activity_skew.dir/text_activity_skew.cpp.o.d"
+  "text_activity_skew"
+  "text_activity_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_activity_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centrality_analysis.dir/centrality_analysis.cpp.o"
+  "CMakeFiles/centrality_analysis.dir/centrality_analysis.cpp.o.d"
+  "centrality_analysis"
+  "centrality_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centrality_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

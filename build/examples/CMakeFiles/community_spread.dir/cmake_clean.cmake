@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_spread.dir/community_spread.cpp.o"
+  "CMakeFiles/community_spread.dir/community_spread.cpp.o.d"
+  "community_spread"
+  "community_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

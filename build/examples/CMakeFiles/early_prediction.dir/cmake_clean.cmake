@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_prediction.dir/early_prediction.cpp.o"
+  "CMakeFiles/early_prediction.dir/early_prediction.cpp.o.d"
+  "early_prediction"
+  "early_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

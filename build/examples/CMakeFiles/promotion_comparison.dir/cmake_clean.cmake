@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promotion_comparison.dir/promotion_comparison.cpp.o"
+  "CMakeFiles/promotion_comparison.dir/promotion_comparison.cpp.o.d"
+  "promotion_comparison"
+  "promotion_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promotion_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weka_export.dir/weka_export.cpp.o"
+  "CMakeFiles/weka_export.dir/weka_export.cpp.o.d"
+  "weka_export"
+  "weka_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weka_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ablation.cpp" "src/core/CMakeFiles/digg_core.dir/ablation.cpp.o" "gcc" "src/core/CMakeFiles/digg_core.dir/ablation.cpp.o.d"
+  "/root/repo/src/core/cascade.cpp" "src/core/CMakeFiles/digg_core.dir/cascade.cpp.o" "gcc" "src/core/CMakeFiles/digg_core.dir/cascade.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/digg_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/digg_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/digg_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/digg_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/influence.cpp" "src/core/CMakeFiles/digg_core.dir/influence.cpp.o" "gcc" "src/core/CMakeFiles/digg_core.dir/influence.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/digg_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/digg_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/digg_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/digg_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/digg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/digg/CMakeFiles/digg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/digg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/digg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/digg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/digg_dynamics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_core.dir/ablation.cpp.o"
+  "CMakeFiles/digg_core.dir/ablation.cpp.o.d"
+  "CMakeFiles/digg_core.dir/cascade.cpp.o"
+  "CMakeFiles/digg_core.dir/cascade.cpp.o.d"
+  "CMakeFiles/digg_core.dir/experiment.cpp.o"
+  "CMakeFiles/digg_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/digg_core.dir/features.cpp.o"
+  "CMakeFiles/digg_core.dir/features.cpp.o.d"
+  "CMakeFiles/digg_core.dir/influence.cpp.o"
+  "CMakeFiles/digg_core.dir/influence.cpp.o.d"
+  "CMakeFiles/digg_core.dir/predictor.cpp.o"
+  "CMakeFiles/digg_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/digg_core.dir/report.cpp.o"
+  "CMakeFiles/digg_core.dir/report.cpp.o.d"
+  "libdigg_core.a"
+  "libdigg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

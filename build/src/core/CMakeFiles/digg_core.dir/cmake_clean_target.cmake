@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdigg_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus.cpp" "src/data/CMakeFiles/digg_data.dir/corpus.cpp.o" "gcc" "src/data/CMakeFiles/digg_data.dir/corpus.cpp.o.d"
+  "/root/repo/src/data/filters.cpp" "src/data/CMakeFiles/digg_data.dir/filters.cpp.o" "gcc" "src/data/CMakeFiles/digg_data.dir/filters.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/digg_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/digg_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/digg_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/digg_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/digg/CMakeFiles/digg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/digg_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/digg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/digg_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

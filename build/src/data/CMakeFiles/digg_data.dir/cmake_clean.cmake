@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_data.dir/corpus.cpp.o"
+  "CMakeFiles/digg_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/digg_data.dir/filters.cpp.o"
+  "CMakeFiles/digg_data.dir/filters.cpp.o.d"
+  "CMakeFiles/digg_data.dir/io.cpp.o"
+  "CMakeFiles/digg_data.dir/io.cpp.o.d"
+  "CMakeFiles/digg_data.dir/synthetic.cpp.o"
+  "CMakeFiles/digg_data.dir/synthetic.cpp.o.d"
+  "libdigg_data.a"
+  "libdigg_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digg/friends_interface.cpp" "src/digg/CMakeFiles/digg_platform.dir/friends_interface.cpp.o" "gcc" "src/digg/CMakeFiles/digg_platform.dir/friends_interface.cpp.o.d"
+  "/root/repo/src/digg/platform.cpp" "src/digg/CMakeFiles/digg_platform.dir/platform.cpp.o" "gcc" "src/digg/CMakeFiles/digg_platform.dir/platform.cpp.o.d"
+  "/root/repo/src/digg/promotion.cpp" "src/digg/CMakeFiles/digg_platform.dir/promotion.cpp.o" "gcc" "src/digg/CMakeFiles/digg_platform.dir/promotion.cpp.o.d"
+  "/root/repo/src/digg/queue.cpp" "src/digg/CMakeFiles/digg_platform.dir/queue.cpp.o" "gcc" "src/digg/CMakeFiles/digg_platform.dir/queue.cpp.o.d"
+  "/root/repo/src/digg/story.cpp" "src/digg/CMakeFiles/digg_platform.dir/story.cpp.o" "gcc" "src/digg/CMakeFiles/digg_platform.dir/story.cpp.o.d"
+  "/root/repo/src/digg/user.cpp" "src/digg/CMakeFiles/digg_platform.dir/user.cpp.o" "gcc" "src/digg/CMakeFiles/digg_platform.dir/user.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/digg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/digg_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

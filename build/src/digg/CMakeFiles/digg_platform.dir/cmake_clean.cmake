@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_platform.dir/friends_interface.cpp.o"
+  "CMakeFiles/digg_platform.dir/friends_interface.cpp.o.d"
+  "CMakeFiles/digg_platform.dir/platform.cpp.o"
+  "CMakeFiles/digg_platform.dir/platform.cpp.o.d"
+  "CMakeFiles/digg_platform.dir/promotion.cpp.o"
+  "CMakeFiles/digg_platform.dir/promotion.cpp.o.d"
+  "CMakeFiles/digg_platform.dir/queue.cpp.o"
+  "CMakeFiles/digg_platform.dir/queue.cpp.o.d"
+  "CMakeFiles/digg_platform.dir/story.cpp.o"
+  "CMakeFiles/digg_platform.dir/story.cpp.o.d"
+  "CMakeFiles/digg_platform.dir/user.cpp.o"
+  "CMakeFiles/digg_platform.dir/user.cpp.o.d"
+  "libdigg_platform.a"
+  "libdigg_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

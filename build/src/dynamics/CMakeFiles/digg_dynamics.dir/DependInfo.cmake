@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamics/cascade_sim.cpp" "src/dynamics/CMakeFiles/digg_dynamics.dir/cascade_sim.cpp.o" "gcc" "src/dynamics/CMakeFiles/digg_dynamics.dir/cascade_sim.cpp.o.d"
+  "/root/repo/src/dynamics/epidemic.cpp" "src/dynamics/CMakeFiles/digg_dynamics.dir/epidemic.cpp.o" "gcc" "src/dynamics/CMakeFiles/digg_dynamics.dir/epidemic.cpp.o.d"
+  "/root/repo/src/dynamics/novelty.cpp" "src/dynamics/CMakeFiles/digg_dynamics.dir/novelty.cpp.o" "gcc" "src/dynamics/CMakeFiles/digg_dynamics.dir/novelty.cpp.o.d"
+  "/root/repo/src/dynamics/site_sim.cpp" "src/dynamics/CMakeFiles/digg_dynamics.dir/site_sim.cpp.o" "gcc" "src/dynamics/CMakeFiles/digg_dynamics.dir/site_sim.cpp.o.d"
+  "/root/repo/src/dynamics/threshold_model.cpp" "src/dynamics/CMakeFiles/digg_dynamics.dir/threshold_model.cpp.o" "gcc" "src/dynamics/CMakeFiles/digg_dynamics.dir/threshold_model.cpp.o.d"
+  "/root/repo/src/dynamics/vote_model.cpp" "src/dynamics/CMakeFiles/digg_dynamics.dir/vote_model.cpp.o" "gcc" "src/dynamics/CMakeFiles/digg_dynamics.dir/vote_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/digg/CMakeFiles/digg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/digg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/digg_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_dynamics.dir/cascade_sim.cpp.o"
+  "CMakeFiles/digg_dynamics.dir/cascade_sim.cpp.o.d"
+  "CMakeFiles/digg_dynamics.dir/epidemic.cpp.o"
+  "CMakeFiles/digg_dynamics.dir/epidemic.cpp.o.d"
+  "CMakeFiles/digg_dynamics.dir/novelty.cpp.o"
+  "CMakeFiles/digg_dynamics.dir/novelty.cpp.o.d"
+  "CMakeFiles/digg_dynamics.dir/site_sim.cpp.o"
+  "CMakeFiles/digg_dynamics.dir/site_sim.cpp.o.d"
+  "CMakeFiles/digg_dynamics.dir/threshold_model.cpp.o"
+  "CMakeFiles/digg_dynamics.dir/threshold_model.cpp.o.d"
+  "CMakeFiles/digg_dynamics.dir/vote_model.cpp.o"
+  "CMakeFiles/digg_dynamics.dir/vote_model.cpp.o.d"
+  "libdigg_dynamics.a"
+  "libdigg_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/centrality.cpp" "src/graph/CMakeFiles/digg_graph.dir/centrality.cpp.o" "gcc" "src/graph/CMakeFiles/digg_graph.dir/centrality.cpp.o.d"
+  "/root/repo/src/graph/community.cpp" "src/graph/CMakeFiles/digg_graph.dir/community.cpp.o" "gcc" "src/graph/CMakeFiles/digg_graph.dir/community.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/digg_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/digg_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/digg_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/digg_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/digg_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/digg_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/graph/CMakeFiles/digg_graph.dir/traversal.cpp.o" "gcc" "src/graph/CMakeFiles/digg_graph.dir/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/digg_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_graph.dir/centrality.cpp.o"
+  "CMakeFiles/digg_graph.dir/centrality.cpp.o.d"
+  "CMakeFiles/digg_graph.dir/community.cpp.o"
+  "CMakeFiles/digg_graph.dir/community.cpp.o.d"
+  "CMakeFiles/digg_graph.dir/digraph.cpp.o"
+  "CMakeFiles/digg_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/digg_graph.dir/generators.cpp.o"
+  "CMakeFiles/digg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/digg_graph.dir/metrics.cpp.o"
+  "CMakeFiles/digg_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/digg_graph.dir/traversal.cpp.o"
+  "CMakeFiles/digg_graph.dir/traversal.cpp.o.d"
+  "libdigg_graph.a"
+  "libdigg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/arff.cpp" "src/ml/CMakeFiles/digg_ml.dir/arff.cpp.o" "gcc" "src/ml/CMakeFiles/digg_ml.dir/arff.cpp.o.d"
+  "/root/repo/src/ml/baseline.cpp" "src/ml/CMakeFiles/digg_ml.dir/baseline.cpp.o" "gcc" "src/ml/CMakeFiles/digg_ml.dir/baseline.cpp.o.d"
+  "/root/repo/src/ml/c45.cpp" "src/ml/CMakeFiles/digg_ml.dir/c45.cpp.o" "gcc" "src/ml/CMakeFiles/digg_ml.dir/c45.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/digg_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/digg_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/digg_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/digg_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/roc.cpp" "src/ml/CMakeFiles/digg_ml.dir/roc.cpp.o" "gcc" "src/ml/CMakeFiles/digg_ml.dir/roc.cpp.o.d"
+  "/root/repo/src/ml/validation.cpp" "src/ml/CMakeFiles/digg_ml.dir/validation.cpp.o" "gcc" "src/ml/CMakeFiles/digg_ml.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/digg_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_ml.dir/arff.cpp.o"
+  "CMakeFiles/digg_ml.dir/arff.cpp.o.d"
+  "CMakeFiles/digg_ml.dir/baseline.cpp.o"
+  "CMakeFiles/digg_ml.dir/baseline.cpp.o.d"
+  "CMakeFiles/digg_ml.dir/c45.cpp.o"
+  "CMakeFiles/digg_ml.dir/c45.cpp.o.d"
+  "CMakeFiles/digg_ml.dir/dataset.cpp.o"
+  "CMakeFiles/digg_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/digg_ml.dir/forest.cpp.o"
+  "CMakeFiles/digg_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/digg_ml.dir/roc.cpp.o"
+  "CMakeFiles/digg_ml.dir/roc.cpp.o.d"
+  "CMakeFiles/digg_ml.dir/validation.cpp.o"
+  "CMakeFiles/digg_ml.dir/validation.cpp.o.d"
+  "libdigg_ml.a"
+  "libdigg_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/digg_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/digg_stats.dir/histogram.cpp.o"
+  "CMakeFiles/digg_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/digg_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/digg_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/digg_stats.dir/powerlaw.cpp.o"
+  "CMakeFiles/digg_stats.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/digg_stats.dir/rng.cpp.o"
+  "CMakeFiles/digg_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/digg_stats.dir/summary.cpp.o"
+  "CMakeFiles/digg_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/digg_stats.dir/table.cpp.o"
+  "CMakeFiles/digg_stats.dir/table.cpp.o.d"
+  "CMakeFiles/digg_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/digg_stats.dir/timeseries.cpp.o.d"
+  "libdigg_stats.a"
+  "libdigg_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

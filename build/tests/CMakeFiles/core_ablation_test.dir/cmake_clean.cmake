@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ablation_test.dir/core_ablation_test.cpp.o"
+  "CMakeFiles/core_ablation_test.dir/core_ablation_test.cpp.o.d"
+  "core_ablation_test"
+  "core_ablation_test.pdb"
+  "core_ablation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cascade_test.dir/core_cascade_test.cpp.o"
+  "CMakeFiles/core_cascade_test.dir/core_cascade_test.cpp.o.d"
+  "core_cascade_test"
+  "core_cascade_test.pdb"
+  "core_cascade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cascade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_corpus_test.dir/data_corpus_test.cpp.o"
+  "CMakeFiles/data_corpus_test.dir/data_corpus_test.cpp.o.d"
+  "data_corpus_test"
+  "data_corpus_test.pdb"
+  "data_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_filters_test.dir/data_filters_test.cpp.o"
+  "CMakeFiles/data_filters_test.dir/data_filters_test.cpp.o.d"
+  "data_filters_test"
+  "data_filters_test.pdb"
+  "data_filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_friends_test.dir/digg_friends_test.cpp.o"
+  "CMakeFiles/digg_friends_test.dir/digg_friends_test.cpp.o.d"
+  "digg_friends_test"
+  "digg_friends_test.pdb"
+  "digg_friends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_friends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

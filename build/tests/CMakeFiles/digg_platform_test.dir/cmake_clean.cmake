@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_platform_test.dir/digg_platform_test.cpp.o"
+  "CMakeFiles/digg_platform_test.dir/digg_platform_test.cpp.o.d"
+  "digg_platform_test"
+  "digg_platform_test.pdb"
+  "digg_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_promotion_test.dir/digg_promotion_test.cpp.o"
+  "CMakeFiles/digg_promotion_test.dir/digg_promotion_test.cpp.o.d"
+  "digg_promotion_test"
+  "digg_promotion_test.pdb"
+  "digg_promotion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_promotion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

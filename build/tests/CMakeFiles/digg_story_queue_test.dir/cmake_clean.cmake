@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_story_queue_test.dir/digg_story_queue_test.cpp.o"
+  "CMakeFiles/digg_story_queue_test.dir/digg_story_queue_test.cpp.o.d"
+  "digg_story_queue_test"
+  "digg_story_queue_test.pdb"
+  "digg_story_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_story_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

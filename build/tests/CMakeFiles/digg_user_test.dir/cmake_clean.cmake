@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digg_user_test.dir/digg_user_test.cpp.o"
+  "CMakeFiles/digg_user_test.dir/digg_user_test.cpp.o.d"
+  "digg_user_test"
+  "digg_user_test.pdb"
+  "digg_user_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digg_user_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamics_cascade_test.dir/dynamics_cascade_test.cpp.o"
+  "CMakeFiles/dynamics_cascade_test.dir/dynamics_cascade_test.cpp.o.d"
+  "dynamics_cascade_test"
+  "dynamics_cascade_test.pdb"
+  "dynamics_cascade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamics_cascade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

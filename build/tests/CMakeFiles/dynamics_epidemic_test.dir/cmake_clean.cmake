@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamics_epidemic_test.dir/dynamics_epidemic_test.cpp.o"
+  "CMakeFiles/dynamics_epidemic_test.dir/dynamics_epidemic_test.cpp.o.d"
+  "dynamics_epidemic_test"
+  "dynamics_epidemic_test.pdb"
+  "dynamics_epidemic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamics_epidemic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

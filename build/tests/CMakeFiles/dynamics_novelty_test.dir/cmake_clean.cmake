@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamics_novelty_test.dir/dynamics_novelty_test.cpp.o"
+  "CMakeFiles/dynamics_novelty_test.dir/dynamics_novelty_test.cpp.o.d"
+  "dynamics_novelty_test"
+  "dynamics_novelty_test.pdb"
+  "dynamics_novelty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamics_novelty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamics_site_sim_test.dir/dynamics_site_sim_test.cpp.o"
+  "CMakeFiles/dynamics_site_sim_test.dir/dynamics_site_sim_test.cpp.o.d"
+  "dynamics_site_sim_test"
+  "dynamics_site_sim_test.pdb"
+  "dynamics_site_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamics_site_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamics_vote_model_test.dir/dynamics_vote_model_test.cpp.o"
+  "CMakeFiles/dynamics_vote_model_test.dir/dynamics_vote_model_test.cpp.o.d"
+  "dynamics_vote_model_test"
+  "dynamics_vote_model_test.pdb"
+  "dynamics_vote_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamics_vote_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_digraph_test.cpp" "tests/CMakeFiles/graph_digraph_test.dir/graph_digraph_test.cpp.o" "gcc" "tests/CMakeFiles/graph_digraph_test.dir/graph_digraph_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/digg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/digg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/digg_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/digg/CMakeFiles/digg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/digg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/digg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/digg_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_arff_test.dir/ml_arff_test.cpp.o"
+  "CMakeFiles/ml_arff_test.dir/ml_arff_test.cpp.o.d"
+  "ml_arff_test"
+  "ml_arff_test.pdb"
+  "ml_arff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_arff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_c45_test.dir/ml_c45_test.cpp.o"
+  "CMakeFiles/ml_c45_test.dir/ml_c45_test.cpp.o.d"
+  "ml_c45_test"
+  "ml_c45_test.pdb"
+  "ml_c45_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_c45_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

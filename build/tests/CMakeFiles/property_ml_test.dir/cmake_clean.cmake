@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_ml_test.dir/property_ml_test.cpp.o"
+  "CMakeFiles/property_ml_test.dir/property_ml_test.cpp.o.d"
+  "property_ml_test"
+  "property_ml_test.pdb"
+  "property_ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
