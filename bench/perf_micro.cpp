@@ -1,16 +1,23 @@
 // Library micro-benchmarks (google-benchmark): the hot paths of the
 // reproduction pipeline — graph construction, visibility/influence updates,
-// cascade extraction, the vote simulator, and C4.5 training.
+// cascade extraction, the vote simulator, and C4.5 training — plus
+// thread-scaling sweeps of the parallel runtime (Arg = DIGG_THREADS).
 
 #include <benchmark/benchmark.h>
 
 #include "src/core/cascade.h"
+#include "src/core/experiment.h"
 #include "src/core/influence.h"
 #include "src/core/predictor.h"
 #include "src/data/synthetic.h"
 #include "src/dynamics/vote_model.h"
+#include "src/graph/centrality.h"
 #include "src/graph/generators.h"
 #include "src/graph/traversal.h"
+#include "src/ml/c45.h"
+#include "src/ml/validation.h"
+#include "src/runtime/thread_pool.h"
+#include "src/stats/bootstrap.h"
 
 namespace {
 
@@ -113,5 +120,74 @@ void BM_FeatureExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureExtraction);
+
+// ------------------------------------------------------- thread scaling --
+// Arg(k) pins the runtime to k threads (overriding DIGG_THREADS) for the
+// measurement; results are bit-identical across args, only wall time moves.
+// UseRealTime: the work happens on pool threads, CPU time of the driving
+// thread is meaningless.
+
+class ThreadSweep : public benchmark::Fixture {
+ public:
+  void SetUp(benchmark::State& state) override {
+    runtime::set_default_threads(static_cast<unsigned>(state.range(0)));
+  }
+  void TearDown(benchmark::State&) override {
+    runtime::set_default_threads(0);
+  }
+};
+
+BENCHMARK_DEFINE_F(ThreadSweep, Fig3aInfluence)(benchmark::State& state) {
+  const auto& c = corpus().corpus;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fig3a_influence(c));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.front_page.size()));
+}
+BENCHMARK_REGISTER_F(ThreadSweep, Fig3aInfluence)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+BENCHMARK_DEFINE_F(ThreadSweep, CrossValidation)(benchmark::State& state) {
+  // Front page + upcoming: both label classes, 10x the training rows of the
+  // front page alone, so each fold trains a non-trivial tree.
+  const auto& c = corpus().corpus;
+  std::vector<data::Story> stories = c.front_page;
+  stories.insert(stories.end(), c.upcoming.begin(), c.upcoming.end());
+  const auto features = core::extract_features(stories, c.network);
+  for (auto _ : state) {
+    stats::Rng rng(17);
+    benchmark::DoNotOptimize(core::cross_validate_predictor(
+        features, core::FeatureSet::kPaper, 10, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(features.size()));
+}
+BENCHMARK_REGISTER_F(ThreadSweep, CrossValidation)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+BENCHMARK_DEFINE_F(ThreadSweep, BootstrapMeanCi)(benchmark::State& state) {
+  std::vector<double> data(2000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<double>(i % 97) / 97.0;
+  for (auto _ : state) {
+    stats::Rng rng(23);
+    benchmark::DoNotOptimize(
+        stats::bootstrap_mean_ci(data, 2000, 0.95, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK_REGISTER_F(ThreadSweep, BootstrapMeanCi)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+BENCHMARK_DEFINE_F(ThreadSweep, Betweenness)(benchmark::State& state) {
+  const graph::Digraph& g = corpus().corpus.network;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::betweenness(g, /*source_stride=*/16));
+  }
+}
+BENCHMARK_REGISTER_F(ThreadSweep, Betweenness)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "src/core/cascade.h"
 #include "src/core/influence.h"
 #include "src/digg/user.h"
+#include "src/runtime/parallel.h"
 
 namespace digg::core {
 
@@ -92,10 +93,15 @@ Fig3aResult fig3a_influence(const data::Corpus& corpus) {
   Fig3aResult result;
   std::size_t under_10_fans = 0;
   std::size_t visible_200_after_10 = 0;
-  for (const data::Story& s : corpus.front_page) {
-    // Checkpoints count total votes; "after 10 votes" = submitter + 10.
-    const std::vector<std::size_t> profile =
-        influence_profile(s, corpus.network, {1, 11, 21});
+  // Per-story influence profiles are independent read-only network scans —
+  // the hot loop. Profiles land by story index; aggregation stays serial.
+  const auto profiles = runtime::parallel_map<std::vector<std::size_t>>(
+      corpus.front_page.size(), [&](std::size_t i) {
+        // Checkpoints count total votes; "after 10 votes" = submitter + 10.
+        return influence_profile(corpus.front_page[i], corpus.network,
+                                 {1, 11, 21});
+      });
+  for (const std::vector<std::size_t>& profile : profiles) {
     result.at_submission.push_back(profile[0]);
     result.after_10.push_back(profile[1]);
     result.after_20.push_back(profile[2]);
@@ -115,9 +121,12 @@ Fig3bResult fig3b_cascades(const data::Corpus& corpus) {
   std::size_t half_of_10 = 0;
   std::size_t ten_after_20 = 0;
   std::size_t ten_after_30 = 0;
-  for (const data::Story& s : corpus.front_page) {
-    const std::vector<std::size_t> cascade =
-        cascade_profile(s, corpus.network, {10, 20, 30});
+  const auto cascades = runtime::parallel_map<std::vector<std::size_t>>(
+      corpus.front_page.size(), [&](std::size_t i) {
+        return cascade_profile(corpus.front_page[i], corpus.network,
+                               {10, 20, 30});
+      });
+  for (const std::vector<std::size_t>& cascade : cascades) {
     result.cascade_after_10.add(static_cast<std::int64_t>(cascade[0]));
     result.cascade_after_20.add(static_cast<std::int64_t>(cascade[1]));
     result.cascade_after_30.add(static_cast<std::int64_t>(cascade[2]));

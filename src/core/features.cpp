@@ -4,6 +4,7 @@
 
 #include "src/core/cascade.h"
 #include "src/core/influence.h"
+#include "src/runtime/parallel.h"
 
 namespace digg::core {
 
@@ -32,11 +33,12 @@ StoryFeatures extract_features(const data::Story& story,
 std::vector<StoryFeatures> extract_features(
     const std::vector<data::Story>& stories, const graph::Digraph& network,
     std::size_t threshold) {
-  std::vector<StoryFeatures> out;
-  out.reserve(stories.size());
-  for (const data::Story& s : stories)
-    out.push_back(extract_features(s, network, threshold));
-  return out;
+  // Stories are independent (read-only CSR network scans); features land by
+  // story index, so the output order matches the input for any thread count.
+  return runtime::parallel_map<StoryFeatures>(
+      stories.size(), [&](std::size_t i) {
+        return extract_features(stories[i], network, threshold);
+      });
 }
 
 std::vector<data::Story> top_user_testset(const data::Corpus& corpus,

@@ -55,7 +55,7 @@ std::vector<std::uint32_t> promoted_submission_counts(
 
 std::vector<UserId> top_user_ranking(
     const std::vector<std::uint32_t>& reputation,
-    const std::vector<std::size_t>& tiebreak) {
+    const std::vector<std::uint32_t>& tiebreak) {
   if (!tiebreak.empty() && tiebreak.size() != reputation.size())
     throw std::invalid_argument("top_user_ranking: tiebreak size mismatch");
   std::vector<UserId> order(reputation.size());

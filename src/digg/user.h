@@ -65,7 +65,7 @@ struct PopulationParams {
 /// "Top Users list"; rank <= 100 defines the held-out test set of §5.2.
 [[nodiscard]] std::vector<UserId> top_user_ranking(
     const std::vector<std::uint32_t>& reputation,
-    const std::vector<std::size_t>& tiebreak = {});
+    const std::vector<std::uint32_t>& tiebreak = {});
 
 /// Share of total submissions attributable to the top `fraction` of users by
 /// submission count (the "top 3% -> 35%" statistic).

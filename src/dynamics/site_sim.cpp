@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/runtime/parallel.h"
+
 namespace digg::dynamics {
 
 SiteSimulator::SiteSimulator(platform::Platform& platform, SiteParams params,
@@ -220,6 +222,25 @@ SiteResult SiteSimulator::run() {
     if (platform_->story(id).promoted()) ++result.promotions;
   }
   return result;
+}
+
+std::vector<SiteReplicate> run_site_replicates(
+    const PlatformFactory& make_platform, const SiteParams& params,
+    const TraitsSampler& traits, const stats::Rng& base_rng,
+    std::size_t replicates) {
+  if (!make_platform)
+    throw std::invalid_argument("run_site_replicates: null platform factory");
+  return runtime::parallel_map<SiteReplicate>(
+      replicates, [&](std::size_t i) {
+        SiteReplicate rep;
+        rep.platform = make_platform();
+        if (!rep.platform)
+          throw std::invalid_argument(
+              "run_site_replicates: factory returned null");
+        SiteSimulator sim(*rep.platform, params, traits, base_rng.split(i));
+        rep.result = sim.run();
+        return rep;
+      });
 }
 
 }  // namespace digg::dynamics

@@ -6,6 +6,8 @@
 #include <stack>
 #include <stdexcept>
 
+#include "src/runtime/parallel.h"
+
 namespace digg::graph {
 
 std::vector<double> pagerank(const Digraph& g, const PageRankParams& params) {
@@ -16,7 +18,7 @@ std::vector<double> pagerank(const Digraph& g, const PageRankParams& params) {
 
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
-  const std::vector<std::size_t> out_deg = g.out_degrees();
+  const std::vector<std::uint32_t> out_deg = g.out_degrees();
 
   for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
     std::fill(next.begin(), next.end(), 0.0);
@@ -43,54 +45,95 @@ std::vector<double> pagerank(const Digraph& g, const PageRankParams& params) {
   return rank;
 }
 
+namespace {
+
+/// Per-thread workspace for Brandes' algorithm (one BFS tree per source).
+struct BrandesScratch {
+  explicit BrandesScratch(std::size_t n)
+      : dist(n), sigma(n), delta(n), predecessors(n) {
+    order.reserve(n);
+  }
+  std::vector<std::size_t> dist;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<std::vector<NodeId>> predecessors;
+  std::vector<NodeId> order;  // nodes in non-decreasing distance
+};
+
+/// One source of Brandes' algorithm with BFS (unweighted): accumulates the
+/// source's dependency contributions into `centrality`.
+void brandes_from_source(const Digraph& g, NodeId s, BrandesScratch& ws,
+                         std::vector<double>& centrality) {
+  std::fill(ws.dist.begin(), ws.dist.end(), static_cast<std::size_t>(-1));
+  std::fill(ws.sigma.begin(), ws.sigma.end(), 0.0);
+  std::fill(ws.delta.begin(), ws.delta.end(), 0.0);
+  for (auto& p : ws.predecessors) p.clear();
+  ws.order.clear();
+
+  ws.dist[s] = 0;
+  ws.sigma[s] = 1.0;
+  std::deque<NodeId> queue{s};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    ws.order.push_back(u);
+    for (NodeId v : g.friends(u)) {
+      if (ws.dist[v] == static_cast<std::size_t>(-1)) {
+        ws.dist[v] = ws.dist[u] + 1;
+        queue.push_back(v);
+      }
+      if (ws.dist[v] == ws.dist[u] + 1) {
+        ws.sigma[v] += ws.sigma[u];
+        ws.predecessors[v].push_back(u);
+      }
+    }
+  }
+  for (auto it = ws.order.rbegin(); it != ws.order.rend(); ++it) {
+    const NodeId w = *it;
+    for (NodeId u : ws.predecessors[w]) {
+      ws.delta[u] += ws.sigma[u] / ws.sigma[w] * (1.0 + ws.delta[w]);
+    }
+    if (w != s) centrality[w] += ws.delta[w];
+  }
+}
+
+}  // namespace
+
 std::vector<double> betweenness(const Digraph& g, std::size_t source_stride) {
   const std::size_t n = g.node_count();
   if (source_stride == 0)
     throw std::invalid_argument("betweenness: stride == 0");
-  std::vector<double> centrality(n, 0.0);
-  if (n == 0) return centrality;
+  if (n == 0) return {};
 
-  // Brandes' algorithm with BFS (unweighted).
-  std::vector<std::size_t> dist(n);
-  std::vector<double> sigma(n);
-  std::vector<double> delta(n);
-  std::vector<std::vector<NodeId>> predecessors(n);
-  std::vector<NodeId> order;  // nodes in non-decreasing distance
-  order.reserve(n);
+  std::vector<NodeId> sources;
+  sources.reserve(n / source_stride + 1);
+  for (NodeId s = 0; s < n; s += static_cast<NodeId>(source_stride))
+    sources.push_back(s);
 
-  for (NodeId s = 0; s < n; s += static_cast<NodeId>(source_stride)) {
-    std::fill(dist.begin(), dist.end(), static_cast<std::size_t>(-1));
-    std::fill(sigma.begin(), sigma.end(), 0.0);
-    std::fill(delta.begin(), delta.end(), 0.0);
-    for (auto& p : predecessors) p.clear();
-    order.clear();
+  // Sources are independent BFS trees over the read-only CSR graph: each
+  // chunk of sources accumulates into its own partial vector with its own
+  // scratch, and partials combine in fixed chunk order — identical output
+  // for any thread count. The grain bounds live partials (each is n
+  // doubles) to at most 32.
+  runtime::ParallelOptions opts;
+  opts.grain = std::max<std::size_t>(1, (sources.size() + 31) / 32);
+  std::vector<double> centrality =
+      runtime::parallel_reduce_ranges<std::vector<double>>(
+          sources.size(), std::vector<double>(n, 0.0),
+          [&](std::size_t begin, std::size_t end) {
+            std::vector<double> partial(n, 0.0);
+            BrandesScratch ws(n);
+            for (std::size_t k = begin; k < end; ++k)
+              brandes_from_source(g, sources[k], ws, partial);
+            return partial;
+          },
+          [](std::vector<double> acc, std::vector<double> partial) {
+            for (std::size_t i = 0; i < acc.size(); ++i)
+              acc[i] += partial[i];
+            return acc;
+          },
+          opts);
 
-    dist[s] = 0;
-    sigma[s] = 1.0;
-    std::deque<NodeId> queue{s};
-    while (!queue.empty()) {
-      const NodeId u = queue.front();
-      queue.pop_front();
-      order.push_back(u);
-      for (NodeId v : g.friends(u)) {
-        if (dist[v] == static_cast<std::size_t>(-1)) {
-          dist[v] = dist[u] + 1;
-          queue.push_back(v);
-        }
-        if (dist[v] == dist[u] + 1) {
-          sigma[v] += sigma[u];
-          predecessors[v].push_back(u);
-        }
-      }
-    }
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      const NodeId w = *it;
-      for (NodeId u : predecessors[w]) {
-        delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
-      }
-      if (w != s) centrality[w] += delta[w];
-    }
-  }
   if (source_stride > 1) {
     const double scale = static_cast<double>(source_stride);
     for (double& c : centrality) c *= scale;

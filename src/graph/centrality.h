@@ -28,7 +28,9 @@ struct PageRankParams {
 /// Exact betweenness centrality (Brandes 2001) over directed follow edges,
 /// unnormalized (sum over source-target dependency pairs). O(V·E) — fine up
 /// to ~10^5 edges; sample sources via `source_stride` (>1 approximates by
-/// using every stride-th node as a source and scaling).
+/// using every stride-th node as a source and scaling). Sources run
+/// concurrently on the parallel runtime (src/runtime); per-chunk partials
+/// combine in fixed order, so output is identical for any DIGG_THREADS.
 [[nodiscard]] std::vector<double> betweenness(const Digraph& g,
                                               std::size_t source_stride = 1);
 

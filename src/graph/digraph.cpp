@@ -22,17 +22,17 @@ bool Digraph::has_edge(NodeId u, NodeId v) const {
   return std::binary_search(row.begin(), row.end(), v);
 }
 
-std::vector<std::size_t> Digraph::out_degrees() const {
-  std::vector<std::size_t> out(node_count());
+std::vector<std::uint32_t> Digraph::out_degrees() const {
+  std::vector<std::uint32_t> out(node_count());
   for (std::size_t u = 0; u < out.size(); ++u)
-    out[u] = out_offsets_[u + 1] - out_offsets_[u];
+    out[u] = static_cast<std::uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
   return out;
 }
 
-std::vector<std::size_t> Digraph::in_degrees() const {
-  std::vector<std::size_t> out(node_count());
+std::vector<std::uint32_t> Digraph::in_degrees() const {
+  std::vector<std::uint32_t> out(node_count());
   for (std::size_t u = 0; u < out.size(); ++u)
-    out[u] = in_offsets_[u + 1] - in_offsets_[u];
+    out[u] = static_cast<std::uint32_t>(in_offsets_[u + 1] - in_offsets_[u]);
   return out;
 }
 

@@ -72,7 +72,7 @@ double average_clustering(const Digraph& g) {
 
 double in_degree_assortativity(const Digraph& g) {
   if (g.edge_count() < 2) return 0.0;
-  const std::vector<std::size_t> in_deg = g.in_degrees();
+  const std::vector<std::uint32_t> in_deg = g.in_degrees();
   std::vector<double> src;
   std::vector<double> dst;
   src.reserve(g.edge_count());

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "src/runtime/parallel.h"
+
 namespace digg::ml {
 
 Forest Forest::train(const Dataset& data, const ForestParams& params,
@@ -19,14 +21,20 @@ Forest Forest::train(const Dataset& data, const ForestParams& params,
   const auto bag_size = std::max<std::size_t>(
       1, static_cast<std::size_t>(params.bag_fraction *
                                   static_cast<double>(data.size())));
-  std::vector<std::size_t> bag(bag_size);
-  for (std::size_t t = 0; t < params.tree_count; ++t) {
-    for (std::size_t& idx : bag) {
-      idx = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
-    }
-    forest.trees_.push_back(DecisionTree::train(data.subset(bag), params.tree));
-  }
+  // Each tree bags from its own index-addressed substream, so trees train
+  // concurrently on the parallel runtime and the forest is identical for
+  // any thread count (and still deterministic given the caller's seed).
+  const stats::Rng base = rng.fork();
+  forest.trees_ = runtime::parallel_map<DecisionTree>(
+      params.tree_count, [&](std::size_t t) {
+        stats::Rng tree_rng = base.split(t);
+        std::vector<std::size_t> bag(bag_size);
+        for (std::size_t& idx : bag) {
+          idx = static_cast<std::size_t>(tree_rng.uniform_int(
+              0, static_cast<std::int64_t>(data.size()) - 1));
+        }
+        return DecisionTree::train(data.subset(bag), params.tree);
+      });
   return forest;
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/runtime/parallel.h"
+
 namespace digg::ml {
 
 double Confusion::accuracy() const {
@@ -85,24 +87,29 @@ CrossValidationResult cross_validate(const Trainer& trainer,
                                      std::size_t positive_class) {
   const std::vector<std::size_t> assignment =
       stratified_folds(data, folds, rng);
+  // Folds train and evaluate independently on the parallel runtime; results
+  // land by fold index and the pooled matrix sums in fold order, so the
+  // outcome is identical for any thread count.
   CrossValidationResult result;
-  for (std::size_t fold = 0; fold < folds; ++fold) {
-    std::vector<std::size_t> train_idx;
-    std::vector<std::size_t> test_idx;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      (assignment[i] == fold ? test_idx : train_idx).push_back(i);
-    }
-    if (train_idx.empty() || test_idx.empty())
-      throw std::logic_error("cross_validate: empty fold");
-    const Dataset train = data.subset(train_idx);
-    const Dataset test = data.subset(test_idx);
-    const Classifier model = trainer(train);
-    const Confusion fold_result = evaluate(model, test, positive_class);
+  result.per_fold = runtime::parallel_map<Confusion>(
+      folds, [&](std::size_t fold) {
+        std::vector<std::size_t> train_idx;
+        std::vector<std::size_t> test_idx;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          (assignment[i] == fold ? test_idx : train_idx).push_back(i);
+        }
+        if (train_idx.empty() || test_idx.empty())
+          throw std::logic_error("cross_validate: empty fold");
+        const Dataset train = data.subset(train_idx);
+        const Dataset test = data.subset(test_idx);
+        const Classifier model = trainer(train);
+        return evaluate(model, test, positive_class);
+      });
+  for (const Confusion& fold_result : result.per_fold) {
     result.pooled.tp += fold_result.tp;
     result.pooled.tn += fold_result.tn;
     result.pooled.fp += fold_result.fp;
     result.pooled.fn += fold_result.fn;
-    result.per_fold.push_back(fold_result);
   }
   return result;
 }

@@ -43,7 +43,10 @@ using Classifier = std::function<std::size_t(const std::vector<double>&)>;
 [[nodiscard]] Confusion evaluate(const Classifier& model, const Dataset& data,
                                  std::size_t positive_class = 1);
 
-/// A model factory trains on a fold's training split.
+/// A model factory trains on a fold's training split. Cross-validation runs
+/// folds concurrently on the parallel runtime, so the trainer must be
+/// thread-safe: train from its arguments (plus captured immutable state or a
+/// captured seed) without mutating shared state.
 using Trainer = std::function<Classifier(const Dataset&)>;
 
 struct CrossValidationResult {

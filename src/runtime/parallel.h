@@ -1,0 +1,149 @@
+#pragma once
+// Deterministic parallel loops over an index space [0, n).
+//
+// Determinism contract: every helper produces results that are bit-identical
+// for any thread count (1 thread vs N threads, any scheduling order):
+//   - parallel_for / parallel_map assign work to output slots by index, so
+//     scheduling cannot reorder results;
+//   - parallel_reduce / parallel_reduce_ranges split [0, n) into a chunk
+//     layout that depends only on n and the grain — never on the thread
+//     count — compute one partial per chunk, and combine the partials in
+//     ascending chunk order on the calling thread. Floating-point reductions
+//     therefore combine in one fixed order regardless of how chunks were
+//     scheduled.
+//
+// Stochastic loop bodies keep the contract by drawing from an
+// index-addressed substream (stats::Rng::split(i)) instead of a shared
+// engine.
+//
+// Requirements on loop bodies: they are invoked concurrently on distinct
+// indices and must not share mutable state (other than through their own
+// synchronization). Exceptions propagate: the exception thrown by the
+// lowest-numbered failing chunk is rethrown on the calling thread.
+//
+// Nested parallel calls (a body that itself calls parallel_*) execute
+// inline on the calling worker — correct, just not further parallelized.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/thread_pool.h"
+
+namespace digg::runtime {
+
+struct ParallelOptions {
+  /// Lane cap for this call; 0 = default_threads(). Values above
+  /// default_threads() are clamped — the pool is sized by the default, so
+  /// use set_default_threads (or DIGG_THREADS) to raise the ceiling.
+  unsigned threads = 0;
+  /// Indices per chunk; 0 = automatic (a fixed layout derived from n only,
+  /// currently min(n, 256) chunks). Reductions over large per-chunk partials
+  /// (e.g. whole vectors) should pass an explicit grain to bound the number
+  /// of partials held alive.
+  std::size_t grain = 0;
+};
+
+namespace detail {
+
+/// Number of chunks for n indices — a function of n and grain only, never
+/// of the thread count (this is what makes reductions thread-count
+/// invariant).
+[[nodiscard]] std::size_t chunk_count_for(std::size_t n,
+                                          std::size_t grain) noexcept;
+
+/// Half-open index range [begin, end) of `chunk` within the fixed layout.
+[[nodiscard]] std::pair<std::size_t, std::size_t> chunk_bounds(
+    std::size_t n, std::size_t chunk_count, std::size_t chunk) noexcept;
+
+/// Runs chunk_fn(c) for c in [0, chunk_count) on the global pool (or inline
+/// when threads <= 1, there is a single chunk, or the caller is already
+/// inside a parallel region).
+void run_chunks(std::size_t chunk_count,
+                const std::function<void(std::size_t)>& chunk_fn,
+                unsigned threads);
+
+}  // namespace detail
+
+/// Invokes fn(begin, end) once per chunk, over disjoint ranges covering
+/// [0, n). Use when the body wants chunk-local scratch space.
+template <typename RangeFn>
+void parallel_for_ranges(std::size_t n, RangeFn&& fn,
+                         ParallelOptions opts = {}) {
+  const std::size_t chunks = detail::chunk_count_for(n, opts.grain);
+  detail::run_chunks(
+      chunks,
+      [&](std::size_t c) {
+        const auto [begin, end] = detail::chunk_bounds(n, chunks, c);
+        fn(begin, end);
+      },
+      opts.threads);
+}
+
+/// Invokes fn(i) for every i in [0, n).
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, ParallelOptions opts = {}) {
+  parallel_for_ranges(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      opts);
+}
+
+/// Returns {fn(0), fn(1), ..., fn(n-1)} — results land by index. T must be
+/// default-constructible and move-assignable.
+template <typename T, typename MapFn>
+[[nodiscard]] std::vector<T> parallel_map(std::size_t n, MapFn&& fn,
+                                          ParallelOptions opts = {}) {
+  std::vector<T> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, opts);
+  return out;
+}
+
+/// Reduction over per-chunk partials: partial(c) = range_fn(begin, end) for
+/// the chunk's range, then combine(acc, partial) folds the partials in
+/// ascending chunk order. The chunk layout depends only on n and the grain,
+/// so the combine order — and hence the result, bit for bit — is the same
+/// for any thread count.
+template <typename T, typename RangeFn, typename CombineFn>
+[[nodiscard]] T parallel_reduce_ranges(std::size_t n, T identity,
+                                       RangeFn&& range_fn,
+                                       CombineFn&& combine,
+                                       ParallelOptions opts = {}) {
+  const std::size_t chunks = detail::chunk_count_for(n, opts.grain);
+  if (chunks == 0) return identity;
+  std::vector<T> partials(chunks, identity);
+  detail::run_chunks(
+      chunks,
+      [&](std::size_t c) {
+        const auto [begin, end] = detail::chunk_bounds(n, chunks, c);
+        partials[c] = range_fn(begin, end);
+      },
+      opts.threads);
+  T acc = std::move(identity);
+  for (T& partial : partials) acc = combine(std::move(acc), std::move(partial));
+  return acc;
+}
+
+/// Map-reduce: acc = combine(acc, map_fn(i)) within each chunk, partials
+/// combined in ascending chunk order (same fixed-layout guarantee as
+/// parallel_reduce_ranges).
+template <typename T, typename MapFn, typename CombineFn>
+[[nodiscard]] T parallel_reduce(std::size_t n, T identity, MapFn&& map_fn,
+                                CombineFn&& combine,
+                                ParallelOptions opts = {}) {
+  return parallel_reduce_ranges(
+      n, identity,
+      [&](std::size_t begin, std::size_t end) {
+        T acc = identity;
+        for (std::size_t i = begin; i < end; ++i)
+          acc = combine(std::move(acc), map_fn(i));
+        return acc;
+      },
+      combine, opts);
+}
+
+}  // namespace digg::runtime

@@ -1,0 +1,137 @@
+#include "src/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace digg::runtime {
+
+namespace {
+
+thread_local bool tl_in_region = false;
+
+std::atomic<unsigned> g_thread_override{0};
+
+unsigned env_threads() {
+  const char* env = std::getenv("DIGG_THREADS");
+  if (!env || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v <= 0) return 0;
+  return static_cast<unsigned>(std::min<long>(v, 1024));
+}
+
+}  // namespace
+
+unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+unsigned default_threads() {
+  if (const unsigned o = g_thread_override.load(std::memory_order_relaxed))
+    return o;
+  if (const unsigned e = env_threads()) return e;
+  return hardware_threads();
+}
+
+void set_default_threads(unsigned threads) {
+  g_thread_override.store(threads, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() noexcept { return tl_in_region; }
+
+ThreadPool::ThreadPool(unsigned threads)
+    : thread_count_(std::max(threads, 1u)) {
+  workers_.reserve(thread_count_ - 1);
+  for (unsigned i = 0; i + 1 < thread_count_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    Job* job = job_;
+    if (!job || job->workers_inside >= job->extra_lanes) continue;
+    ++job->workers_inside;
+    lock.unlock();
+    work_on(*job);
+    lock.lock();
+    if (--job->workers_inside == 0) done_.notify_all();
+  }
+}
+
+void ThreadPool::work_on(Job& job) {
+  tl_in_region = true;
+  while (true) {
+    const std::size_t chunk =
+        job.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.chunk_count) break;
+    std::exception_ptr error;
+    try {
+      (*job.task)(chunk);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && chunk < job.error_chunk) {
+      job.error_chunk = chunk;
+      job.error = error;
+    }
+    if (++job.finished == job.chunk_count) done_.notify_all();
+  }
+  tl_in_region = false;
+}
+
+void ThreadPool::run(std::size_t chunk_count,
+                     const std::function<void(std::size_t)>& task,
+                     unsigned max_threads) {
+  if (chunk_count == 0) return;
+  const unsigned lanes =
+      max_threads == 0 ? thread_count_
+                       : std::min(max_threads, thread_count_);
+  std::lock_guard<std::mutex> serialize(run_mutex_);
+  Job job;
+  job.chunk_count = chunk_count;
+  job.task = &task;
+  job.extra_lanes = lanes - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  if (job.extra_lanes > 0) wake_.notify_all();
+  work_on(job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return job.finished == job.chunk_count && job.workers_inside == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::global() {
+  static std::mutex m;
+  static std::shared_ptr<ThreadPool> pool;
+  const unsigned want = default_threads();
+  std::lock_guard<std::mutex> lock(m);
+  if (!pool || pool->thread_count() != want)
+    pool = std::make_shared<ThreadPool>(want);
+  return pool;
+}
+
+}  // namespace digg::runtime

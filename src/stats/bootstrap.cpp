@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/runtime/parallel.h"
 #include "src/stats/summary.h"
 
 namespace digg::stats {
@@ -34,16 +35,23 @@ Interval bootstrap_ci(const std::vector<double>& data,
                       const Statistic& statistic, std::size_t resamples,
                       double confidence, Rng& rng) {
   check_args(data.size(), resamples, confidence);
-  std::vector<double> estimates;
-  estimates.reserve(resamples);
-  std::vector<double> resample(data.size());
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (double& v : resample) {
-      v = data[static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(data.size()) - 1))];
-    }
-    estimates.push_back(statistic(resample));
-  }
+  // One fork keys this call's resampling plan (so repeated calls on the same
+  // rng see fresh resamples); resample r then draws from the index-addressed
+  // substream base.split(r), which makes the estimates independent of how
+  // resamples are scheduled across threads — any thread count produces
+  // bit-identical intervals.
+  const Rng base = rng.fork();
+  const std::size_t n = data.size();
+  std::vector<double> estimates = runtime::parallel_map<double>(
+      resamples, [&](std::size_t r) {
+        Rng sub = base.split(r);
+        std::vector<double> resample(n);
+        for (double& v : resample) {
+          v = data[static_cast<std::size_t>(
+              sub.uniform_int(0, static_cast<std::int64_t>(n) - 1))];
+        }
+        return statistic(resample);
+      });
   return percentile_interval(std::move(estimates), statistic(data),
                              confidence);
 }
@@ -90,16 +98,17 @@ Interval bootstrap_paired_diff_ci(const PairedSample& sample,
   for (std::size_t i = 0; i < n; ++i) identity[i] = i;
   const double point = diff_on(identity);
 
-  std::vector<double> estimates;
-  estimates.reserve(resamples);
-  std::vector<std::size_t> idx(n);
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (std::size_t& i : idx) {
-      i = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
-    }
-    estimates.push_back(diff_on(idx));
-  }
+  const Rng base = rng.fork();
+  std::vector<double> estimates = runtime::parallel_map<double>(
+      resamples, [&](std::size_t r) {
+        Rng sub = base.split(r);
+        std::vector<std::size_t> idx(n);
+        for (std::size_t& i : idx) {
+          i = static_cast<std::size_t>(
+              sub.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        }
+        return diff_on(idx);
+      });
   return percentile_interval(std::move(estimates), point, confidence);
 }
 

@@ -23,10 +23,14 @@ struct Interval {
 };
 
 /// Statistic evaluated on a resampled dataset (vector of doubles).
+/// Resampling runs on the parallel runtime (src/runtime), so the statistic
+/// is invoked concurrently and must be thread-safe (pure functions are).
 using Statistic = std::function<double(const std::vector<double>&)>;
 
 /// Percentile-bootstrap CI of `statistic` over `data`. `confidence` in
-/// (0,1), e.g. 0.95. Throws on empty data or bad arguments.
+/// (0,1), e.g. 0.95. Throws on empty data or bad arguments. Resamples are
+/// drawn from index-addressed Rng substreams, so the interval is identical
+/// for any DIGG_THREADS setting (see src/runtime/parallel.h).
 [[nodiscard]] Interval bootstrap_ci(const std::vector<double>& data,
                                     const Statistic& statistic,
                                     std::size_t resamples, double confidence,

@@ -11,6 +11,16 @@
 
 namespace digg::stats {
 
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014): a bijective avalanche
+/// mix of a 64-bit value. Used to derive statistically independent stream
+/// keys for Rng::split.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic random source. Thin wrapper over std::mt19937_64 with
 /// convenience draws; copyable so simulations can fork independent streams.
 class Rng {
@@ -73,8 +83,22 @@ class Rng {
   }
 
   /// Fork an independent stream (used to give each story its own stream so
-  /// adding stories does not perturb earlier ones).
+  /// adding stories does not perturb earlier ones). Consumes one draw from
+  /// this stream, so successive forks differ.
   Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  /// Counter-based substream: an independent stream addressed by `index`,
+  /// derived from this stream's *seed* (never its current state). Unlike
+  /// fork(), split does not consume a draw and does not depend on how many
+  /// draws the parent has made — rng.split(i) is the same stream before and
+  /// after any amount of parent activity. This is the contract parallel
+  /// loops rely on: task i draws from split(i) and the result is identical
+  /// for any thread count or execution order. Derivation is two rounds of
+  /// splitmix64 over (seed, index), so substreams for different indices are
+  /// statistically independent of each other and of the parent.
+  [[nodiscard]] Rng split(std::uint64_t index) const {
+    return Rng(splitmix64(splitmix64(seed_) ^ splitmix64(index)));
+  }
 
   /// Access the underlying engine for std:: distributions and std::shuffle.
   std::mt19937_64& engine() noexcept { return engine_; }

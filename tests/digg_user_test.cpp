@@ -70,7 +70,7 @@ TEST(TopUserRanking, SortsByReputationDescending) {
 
 TEST(TopUserRanking, TiebreakByScoreThenId) {
   const std::vector<std::uint32_t> rep = {2, 2, 2, 5};
-  const std::vector<std::size_t> fans = {10, 30, 20, 0};
+  const std::vector<std::uint32_t> fans = {10, 30, 20, 0};
   const auto order = top_user_ranking(rep, fans);
   EXPECT_EQ(order, (std::vector<UserId>{3, 1, 2, 0}));
 }

@@ -133,6 +133,58 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(same, 32);
 }
 
+TEST(RngSplit, IndependentOfParentDrawOrder) {
+  Rng parent(42);
+  Rng before = parent.split(3);
+  for (int i = 0; i < 100; ++i) (void)parent.uniform();
+  Rng after = parent.split(3);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_DOUBLE_EQ(before.uniform(), after.uniform());
+}
+
+TEST(RngSplit, DoesNotPerturbParent) {
+  Rng a(42);
+  Rng b(42);
+  (void)a.split(9);
+  (void)a.split(10);
+  for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngSplit, DistinctIndicesDiverge) {
+  Rng parent(7);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i)
+    if (s0.uniform() != s1.uniform()) ++differing;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngSplit, SubstreamDiffersFromParentStream) {
+  Rng parent(7);
+  Rng sub = parent.split(0);
+  Rng fresh(7);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i)
+    if (sub.uniform() != fresh.uniform()) ++differing;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngSplit, SameIndexSameSeedReproduces) {
+  EXPECT_DOUBLE_EQ(Rng(11).split(5).uniform(), Rng(11).split(5).uniform());
+}
+
+TEST(RngSplit, ComposesWithFork) {
+  // fork() keys a fresh substream root; split is then stable on the fork.
+  Rng a(13);
+  Rng base = a.fork();
+  Rng s1 = base.split(2);
+  for (int i = 0; i < 10; ++i) (void)base.uniform();
+  Rng s2 = base.split(2);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_DOUBLE_EQ(s1.uniform(), s2.uniform());
+}
+
 TEST(PowerLawSampler, SamplesWithinRange) {
   Rng rng(1);
   PowerLawSampler sampler(2.0, 1, 100);
