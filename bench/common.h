@@ -1,13 +1,26 @@
 #pragma once
 // Shared scaffolding for the figure-reproduction benches: every binary
-// generates the standard calibrated corpus (optionally re-seeded from
-// argv[1]) and prints the seed and sample sizes so runs are reproducible.
+// generates the standard calibrated corpus (optionally re-seeded from a
+// positional argument) and prints the seed and sample sizes so runs are
+// reproducible.
+//
+// Usage: <bench> [seed] [--json <path>]
+//   seed          decimal uint64; anything else is rejected with a usage
+//                 message (a silently mis-parsed seed would "reproduce" a
+//                 different run).
+//   --json <path> at exit, dump the obs metrics snapshot plus wall-clock
+//                 timing to <path> (the BENCH_<name>.json perf-trajectory
+//                 format; see scripts/bench_snapshot.sh).
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/data/synthetic.h"
+#include "src/obs/metrics.h"
 
 namespace digg::bench {
 
@@ -16,9 +29,74 @@ struct Context {
   stats::Rng rng;  // stream for experiment-level randomness (CV folds etc.)
 };
 
+/// Strict decimal uint64 parse: rejects empty strings, signs, trailing
+/// garbage, and overflow (strtoull alone accepts all four silently, which
+/// would "reproduce" a different run). Shared with the seed-taking examples.
+inline bool parse_seed_strict(const char* arg, std::uint64_t& out) {
+  if (arg == nullptr || *arg == '\0') return false;
+  for (const char* p = arg; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (errno == ERANGE || end == arg || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+namespace detail {
+
+// State for the atexit JSON report (inline: one definition per binary).
+struct Report {
+  std::string json_path;
+  std::string title;
+  std::uint64_t seed = 0;
+  std::chrono::steady_clock::time_point start;
+};
+
+inline Report& report() {
+  static Report r;
+  return r;
+}
+
+inline void write_report_at_exit() {
+  const Report& r = report();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - r.start)
+          .count();
+  obs::write_bench_report(r.json_path, r.title, r.seed, wall_ms);
+}
+
+[[noreturn]] inline void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [seed] [--json <path>]\n", argv0);
+  std::fprintf(stderr, "  seed must be a decimal unsigned 64-bit integer\n");
+  std::exit(2);
+}
+
+}  // namespace detail
+
 inline Context make_context(int argc, char** argv, const char* title) {
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::uint64_t seed = 42;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) detail::usage(argv[0]);
+      json_path = argv[++i];
+    } else if (!parse_seed_strict(argv[i], seed)) {
+      std::fprintf(stderr, "%s: bad seed '%s'\n", argv[0], argv[i]);
+      detail::usage(argv[0]);
+    }
+  }
+  if (!json_path.empty()) {
+    detail::Report& r = detail::report();
+    r.json_path = std::move(json_path);
+    r.title = title;
+    r.seed = seed;
+    r.start = std::chrono::steady_clock::now();
+    std::atexit(detail::write_report_at_exit);
+  }
   std::printf("== %s ==\n", title);
   stats::Rng rng(seed);
   data::SyntheticParams params;

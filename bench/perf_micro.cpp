@@ -2,8 +2,19 @@
 // reproduction pipeline — graph construction, visibility/influence updates,
 // cascade extraction, the vote simulator, and C4.5 training — plus
 // thread-scaling sweeps of the parallel runtime (Arg = DIGG_THREADS).
+//
+// `--json <path>` (ours, stripped before google-benchmark sees argv) dumps
+// the obs metrics snapshot plus total wall clock as the BENCH_<name>.json
+// perf-trajectory format; scripts/bench_snapshot.sh uses it to refresh
+// BENCH_parallel.json at the repo root.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "src/obs/metrics.h"
 
 #include "src/core/cascade.h"
 #include "src/core/experiment.h"
@@ -191,3 +202,30 @@ BENCHMARK_REGISTER_F(ThreadSweep, Betweenness)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const auto start = std::chrono::steady_clock::now();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    // Seed 42 is the fixed corpus seed above.
+    if (!digg::obs::write_bench_report(json_path, "perf_micro", 42, wall_ms))
+      return 1;
+  }
+  return 0;
+}

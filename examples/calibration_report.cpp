@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/common.h"
 #include "src/core/cascade.h"
 #include "src/data/synthetic.h"
+#include "src/obs/log.h"
 #include "src/stats/summary.h"
 #include "src/stats/table.h"
 
@@ -23,15 +25,22 @@ struct Band {
 
 int main(int argc, char** argv) {
   using namespace digg;
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::uint64_t seed = 42;
+  if (argc > 1 && !bench::parse_seed_strict(argv[1], seed)) {
+    std::fprintf(stderr, "%s: bad seed '%s' (decimal uint64 expected)\n",
+                 argv[0], argv[1]);
+    return 2;
+  }
   stats::Rng rng(seed);
   data::SyntheticParams params;
   const data::SyntheticCorpus synthetic = data::generate_corpus(params, rng);
   const data::Corpus& corpus = synthetic.corpus;
-  std::printf("seed=%llu users=%zu stories=%zu front_page=%zu upcoming=%zu\n\n",
-              static_cast<unsigned long long>(seed), corpus.user_count(),
-              corpus.story_count(), corpus.front_page.size(),
-              corpus.upcoming.size());
+  obs::log_info("calibration_report", "corpus ready",
+                {{"seed", seed},
+                 {"users", corpus.user_count()},
+                 {"stories", corpus.story_count()},
+                 {"front_page", corpus.front_page.size()},
+                 {"upcoming", corpus.upcoming.size()}});
 
   // Index stories by id to join with traits.
   std::vector<const data::Story*> by_id(corpus.story_count(), nullptr);

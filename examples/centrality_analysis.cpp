@@ -11,6 +11,7 @@
 #include "src/core/cascade.h"
 #include "src/data/synthetic.h"
 #include "src/graph/centrality.h"
+#include "src/obs/log.h"
 #include "src/stats/summary.h"
 #include "src/stats/table.h"
 
@@ -23,8 +24,8 @@ int main() {
   const data::SyntheticCorpus syn = data::generate_corpus(params, rng);
   const data::Corpus& corpus = syn.corpus;
 
-  std::printf("computing PageRank and k-cores over %zu users...\n\n",
-              corpus.user_count());
+  obs::log_info("centrality_analysis", "computing PageRank and k-cores",
+                {{"users", corpus.user_count()}});
   const auto pr = graph::pagerank(corpus.network);
   const auto core_num = graph::core_numbers(corpus.network);
 

@@ -12,6 +12,7 @@
 #include "src/dynamics/vote_model.h"
 #include "src/graph/community.h"
 #include "src/graph/generators.h"
+#include "src/obs/log.h"
 #include "src/stats/table.h"
 
 int main() {
@@ -27,9 +28,10 @@ int main() {
   net_params.p_out = 0.001;
   const graph::Digraph network = graph::planted_partition(net_params, rng);
   const auto truth = graph::planted_communities(net_params);
-  std::printf("network: %zu users, %zu follow edges, modularity Q=%.2f\n\n",
-              network.node_count(), network.edge_count(),
-              graph::modularity(network, truth));
+  obs::log_info("community_spread", "modular network built",
+                {{"users", network.node_count()},
+                 {"edges", network.edge_count()},
+                 {"modularity", graph::modularity(network, truth)}});
 
   // Abstract cascade view first: activation spread from one seed.
   dynamics::CascadeParams cascade;

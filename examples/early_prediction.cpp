@@ -14,6 +14,7 @@
 #include "src/core/experiment.h"
 #include "src/data/io.h"
 #include "src/data/synthetic.h"
+#include "src/obs/log.h"
 
 int main() {
   using namespace digg;
@@ -28,20 +29,21 @@ int main() {
   const auto dir = std::filesystem::temp_directory_path() / "digg_example";
   data::save_corpus(corpus, dir);
   const data::Corpus reloaded = data::load_corpus(dir);
-  std::printf("corpus round-tripped through %s (%zu stories)\n\n",
-              dir.c_str(), reloaded.story_count());
+  obs::log_info("early_prediction", "corpus round-tripped",
+                {{"dir", dir.c_str()}, {"stories", reloaded.story_count()}});
 
   // 2. Train on the front page (the paper's 207-story analogue).
   const auto training =
       core::extract_features(reloaded.front_page, reloaded.network);
   const auto predictor = core::InterestingnessPredictor::train(training);
-  std::printf("trained on %zu front-page stories; tree:\n%s\n",
-              training.size(), predictor.tree().render().c_str());
+  obs::log_info("early_prediction", "predictor trained",
+                {{"front_page_stories", training.size()}});
+  std::printf("tree:\n%s\n", predictor.tree().render().c_str());
 
   // 3. Replay fresh top-user queue stories vote by vote; predict at vote 10.
   const auto queue_stories = core::top_user_testset(reloaded);
-  std::printf("replaying %zu top-user queue stories...\n\n",
-              queue_stories.size());
+  obs::log_info("early_prediction", "replaying top-user queue",
+                {{"stories", queue_stories.size()}});
   std::size_t correct = 0;
   std::size_t shown = 0;
   for (const data::Story& story : queue_stories) {

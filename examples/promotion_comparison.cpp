@@ -14,6 +14,7 @@
 #include "src/digg/platform.h"
 #include "src/dynamics/vote_model.h"
 #include "src/graph/generators.h"
+#include "src/obs/log.h"
 #include "src/stats/table.h"
 
 int main() {
@@ -78,8 +79,10 @@ int main() {
       };
 
   std::printf("== Promotion policy comparison (June vs September 2006) ==\n");
-  std::printf("world: %zu users, %zu submissions (half by top-100 users)\n\n",
-              network.node_count(), submissions.size());
+  obs::log_info("promotion_comparison", "world built",
+                {{"users", network.node_count()},
+                 {"submissions", submissions.size()},
+                 {"top_user_share", 0.5}});
 
   const auto june = run_with_policy(platform::make_june2006_policy());
   const auto sept = run_with_policy(platform::make_september2006_policy());

@@ -6,6 +6,7 @@
 
 #include "src/core/experiment.h"
 #include "src/data/synthetic.h"
+#include "src/obs/log.h"
 
 int main() {
   using namespace digg;
@@ -19,9 +20,10 @@ int main() {
   const data::Corpus& corpus = synthetic.corpus;
   data::validate(corpus);
 
-  std::printf("corpus: %zu users, %zu front-page stories, %zu upcoming\n",
-              corpus.user_count(), corpus.front_page.size(),
-              corpus.upcoming.size());
+  obs::log_info("quickstart", "corpus ready",
+                {{"users", corpus.user_count()},
+                 {"front_page", corpus.front_page.size()},
+                 {"upcoming", corpus.upcoming.size()}});
 
   // 2. Headline distribution checks (Fig. 2a).
   const core::Fig2aResult fig2a = core::fig2a_vote_histogram(corpus);

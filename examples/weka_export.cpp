@@ -8,15 +8,21 @@
 
 #include <cstdio>
 
+#include "bench/common.h"
 #include "src/core/features.h"
 #include "src/core/predictor.h"
 #include "src/data/synthetic.h"
 #include "src/ml/arff.h"
+#include "src/obs/log.h"
 
 int main(int argc, char** argv) {
   using namespace digg;
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::uint64_t seed = 42;
+  if (argc > 1 && !bench::parse_seed_strict(argv[1], seed)) {
+    std::fprintf(stderr, "%s: bad seed '%s' (decimal uint64 expected)\n",
+                 argv[0], argv[1]);
+    return 2;
+  }
   stats::Rng rng(seed);
   const data::Corpus corpus =
       data::generate_corpus(data::SyntheticParams{}, rng).corpus;
@@ -38,10 +44,12 @@ int main(int argc, char** argv) {
   ml::save_arff(test, "digg_topuser_queue_test", "digg_test.arff");
   ml::save_arff(extended, "digg_frontpage_extended", "digg_extended.arff");
 
+  obs::log_info("weka_export", "wrote ARFF datasets",
+                {{"train", train.size()},
+                 {"test", test.size()},
+                 {"extended", extended.size()}});
   std::printf(
-      "wrote digg_train.arff (%zu instances), digg_test.arff (%zu),\n"
-      "digg_extended.arff (%zu). Reproduce the paper's run with:\n"
-      "  java weka.classifiers.trees.J48 -t digg_train.arff -T digg_test.arff\n",
-      train.size(), test.size(), extended.size());
+      "Reproduce the paper's run with:\n"
+      "  java weka.classifiers.trees.J48 -t digg_train.arff -T digg_test.arff\n");
   return 0;
 }

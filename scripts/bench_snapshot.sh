@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_parallel.json — the per-PR perf trajectory — by building
+# Release and running the perf_micro suite with its --json reporter (metrics
+# snapshot + wall clock; see bench/perf_micro.cpp).
+#
+# Usage: scripts/bench_snapshot.sh [extra perf_micro args...]
+#   BUILD_DIR       build directory (default build-release)
+#   BENCH_MIN_TIME  --benchmark_min_time seconds (default 0.05; benchmark
+#                   1.7.x takes a bare float)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-release}
+BENCH_MIN_TIME=${BENCH_MIN_TIME:-0.05}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target perf_micro
+
+"$BUILD_DIR/bench/perf_micro" \
+  --json BENCH_parallel.json \
+  --benchmark_min_time="$BENCH_MIN_TIME" \
+  "$@"
+
+echo "wrote $(pwd)/BENCH_parallel.json"

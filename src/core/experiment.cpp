@@ -9,6 +9,8 @@
 #include "src/core/cascade.h"
 #include "src/core/influence.h"
 #include "src/digg/user.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/parallel.h"
 
 namespace digg::core {
@@ -25,6 +27,7 @@ stats::TimeSeries vote_timeseries(const data::Story& story) {
 
 Fig1Result fig1_vote_dynamics(const data::Corpus& corpus, std::size_t count,
                               stats::Rng& rng) {
+  obs::Span span("fig1_vote_dynamics", "core");
   if (corpus.front_page.empty())
     throw std::invalid_argument("fig1: no front-page stories");
   std::vector<std::size_t> order(corpus.front_page.size());
@@ -50,6 +53,7 @@ Fig1Result fig1_vote_dynamics(const data::Corpus& corpus, std::size_t count,
 }
 
 Fig2aResult fig2a_vote_histogram(const data::Corpus& corpus) {
+  obs::Span span("fig2a_vote_histogram", "core");
   Fig2aResult result{stats::LinearHistogram(0.0, 4000.0, 40), 0.0, 0.0, {}};
   const std::vector<double> votes = data::final_votes(corpus.front_page);
   result.histogram.add_many(votes);
@@ -70,6 +74,7 @@ Fig2aResult fig2a_vote_histogram(const data::Corpus& corpus) {
 }
 
 Fig2bResult fig2b_user_activity(const data::Corpus& corpus) {
+  obs::Span span("fig2b_user_activity", "core");
   Fig2bResult result;
   const data::UserActivity activity = data::user_activity(corpus);
   std::vector<std::int64_t> votes_sample;
@@ -90,6 +95,7 @@ Fig2bResult fig2b_user_activity(const data::Corpus& corpus) {
 }
 
 Fig3aResult fig3a_influence(const data::Corpus& corpus) {
+  obs::Span span("fig3a_influence", "core");
   Fig3aResult result;
   std::size_t under_10_fans = 0;
   std::size_t visible_200_after_10 = 0;
@@ -117,6 +123,7 @@ Fig3aResult fig3a_influence(const data::Corpus& corpus) {
 }
 
 Fig3bResult fig3b_cascades(const data::Corpus& corpus) {
+  obs::Span span("fig3b_cascades", "core");
   Fig3bResult result;
   std::size_t half_of_10 = 0;
   std::size_t ten_after_20 = 0;
@@ -164,6 +171,7 @@ std::vector<Fig4Group> group_by_cascade(
 }  // namespace
 
 Fig4Result fig4_innetwork_vs_final(const data::Corpus& corpus) {
+  obs::Span span("fig4_innetwork_vs_final", "core");
   const std::vector<StoryFeatures> features =
       extract_features(corpus.front_page, corpus.network);
   Fig4Result result;
@@ -196,6 +204,7 @@ double Fig5Result::our_precision() const {
 
 Fig5Result fig5_prediction(const data::Corpus& corpus,
                            const Fig5Params& params, stats::Rng& rng) {
+  obs::Span span("fig5_prediction", "core");
   // Held-out "scraped from the queue" sample: top-user stories judged from
   // their first ten votes, final counts retrieved later (§5.2). Sampled
   // before training so the training set can exclude them.
@@ -248,6 +257,7 @@ Fig5Result fig5_prediction(const data::Corpus& corpus,
 }
 
 ActivitySkewResult text_activity_skew(const data::Corpus& corpus) {
+  obs::Span span("text_activity_skew", "core");
   ActivitySkewResult result;
   result.front_page_count = corpus.front_page.size();
   result.upcoming_count = corpus.upcoming.size();
@@ -283,6 +293,7 @@ ActivitySkewResult text_activity_skew(const data::Corpus& corpus) {
 
 std::vector<ScatterPoint> friends_fans_scatter(const data::Corpus& corpus,
                                                std::size_t top_rank_cutoff) {
+  obs::Span span("friends_fans_scatter", "core");
   std::unordered_set<data::UserId> in_dataset;
   auto absorb = [&](const std::vector<data::Story>& stories) {
     for (const data::Story& s : stories)

@@ -4,6 +4,8 @@
 
 #include "src/core/cascade.h"
 #include "src/core/influence.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/parallel.h"
 
 namespace digg::core {
@@ -33,6 +35,10 @@ StoryFeatures extract_features(const data::Story& story,
 std::vector<StoryFeatures> extract_features(
     const std::vector<data::Story>& stories, const graph::Digraph& network,
     std::size_t threshold) {
+  obs::Span span("extract_features", "core");
+  static obs::Counter& extracted =
+      obs::Registry::global().counter("core.features_extracted");
+  extracted.inc(stories.size());
   // Stories are independent (read-only CSR network scans); features land by
   // story index, so the output order matches the input for any thread count.
   return runtime::parallel_map<StoryFeatures>(

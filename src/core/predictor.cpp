@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace digg::core {
 
 namespace {
@@ -52,6 +55,7 @@ InterestingnessPredictor InterestingnessPredictor::train(
     ml::C45Params params) {
   if (sample.empty())
     throw std::invalid_argument("InterestingnessPredictor: empty sample");
+  obs::Span span("predictor_train", "core");
   InterestingnessPredictor p;
   p.features_ = features;
   p.tree_ = ml::DecisionTree::train(make_dataset(sample, features), params);
@@ -59,6 +63,9 @@ InterestingnessPredictor InterestingnessPredictor::train(
 }
 
 bool InterestingnessPredictor::predict(const StoryFeatures& f) const {
+  static obs::Counter& scored =
+      obs::Registry::global().counter("core.predictions_scored");
+  scored.inc();
   return tree_.predict(encode(f, features_)) == 1;
 }
 

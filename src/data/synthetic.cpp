@@ -6,6 +6,9 @@
 #include "src/digg/platform.h"
 #include "src/digg/promotion.h"
 #include "src/digg/user.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace digg::data {
 
@@ -38,6 +41,14 @@ SyntheticCorpus generate_corpus(const SyntheticParams& params,
   if (params.top_submitter_pool == 0 ||
       params.top_submitter_pool > params.user_count)
     throw std::invalid_argument("generate_corpus: bad top_submitter_pool");
+
+  obs::Span span("generate_corpus", "data");
+  static obs::Counter& users_generated =
+      obs::Registry::global().counter("data.users_generated");
+  static obs::Counter& stories_generated =
+      obs::Registry::global().counter("data.stories_generated");
+  users_generated.inc(params.user_count);
+  stories_generated.inc(params.story_count);
 
   SyntheticCorpus out;
   out.seed = rng.seed();
@@ -105,6 +116,12 @@ SyntheticCorpus generate_corpus(const SyntheticParams& params,
                                            params.user_count);
   corpus.top_users =
       platform::top_user_ranking(reputation, network.in_degrees());
+  obs::log_debug("data", "generated corpus",
+                 {{"seed", out.seed},
+                  {"users", params.user_count},
+                  {"stories", params.story_count},
+                  {"front_page", corpus.front_page.size()},
+                  {"upcoming", corpus.upcoming.size()}});
   return out;
 }
 

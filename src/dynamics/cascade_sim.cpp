@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+
 namespace digg::dynamics {
 
 CascadeResult independent_cascade(const graph::Digraph& g,
@@ -41,6 +43,12 @@ CascadeResult independent_cascade(const graph::Digraph& g,
     result.total_activated += next.size();
     frontier.swap(next);
   }
+  static obs::Counter& cascades =
+      obs::Registry::global().counter("dynamics.cascades");
+  static obs::Counter& activations =
+      obs::Registry::global().counter("dynamics.cascade_activations");
+  cascades.inc();
+  activations.inc(result.total_activated);
   return result;
 }
 

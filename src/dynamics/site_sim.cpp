@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/parallel.h"
 
 namespace digg::dynamics {
@@ -221,6 +223,15 @@ SiteResult SiteSimulator::run() {
     result.total_votes += platform_->story(id).vote_count();
     if (platform_->story(id).promoted()) ++result.promotions;
   }
+  static obs::Counter& votes =
+      obs::Registry::global().counter("dynamics.site_votes");
+  static obs::Counter& submissions =
+      obs::Registry::global().counter("dynamics.site_submissions");
+  static obs::Counter& promotions =
+      obs::Registry::global().counter("dynamics.site_promotions");
+  votes.inc(result.total_votes);
+  submissions.inc(result.submissions);
+  promotions.inc(result.promotions);
   return result;
 }
 
@@ -230,8 +241,12 @@ std::vector<SiteReplicate> run_site_replicates(
     std::size_t replicates) {
   if (!make_platform)
     throw std::invalid_argument("run_site_replicates: null platform factory");
+  static obs::Counter& replicate_count =
+      obs::Registry::global().counter("dynamics.site_replicates");
   return runtime::parallel_map<SiteReplicate>(
       replicates, [&](std::size_t i) {
+        obs::Span span("site_replicate", "dynamics");
+        replicate_count.inc();
         SiteReplicate rep;
         rep.platform = make_platform();
         if (!rep.platform)

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace digg::dynamics {
 
 namespace {
@@ -162,6 +165,15 @@ StoryRun VoteSimulator::run_story(StoryId id, const StoryTraits& traits) {
   if (run.votes_over_time.times().back() < params_.horizon)
     run.votes_over_time.append(params_.horizon,
                                static_cast<double>(final_count));
+  static obs::Counter& stories =
+      obs::Registry::global().counter("dynamics.stories_simulated");
+  static obs::Counter& fan_votes =
+      obs::Registry::global().counter("dynamics.fan_votes");
+  static obs::Counter& discovery_votes =
+      obs::Registry::global().counter("dynamics.discovery_votes");
+  stories.inc();
+  fan_votes.inc(run.fan_channel_votes);
+  discovery_votes.inc(run.discovery_votes);
   return run;
 }
 
@@ -169,6 +181,7 @@ BatchResult simulate_batch(
     platform::Platform& platform, VoteSimulator& sim,
     const std::vector<std::pair<UserId, StoryTraits>>& submissions,
     Minutes spacing_minutes) {
+  obs::Span span("simulate_batch", "dynamics");
   BatchResult out;
   Minutes t = 0.0;
   for (const auto& [submitter, traits] : submissions) {

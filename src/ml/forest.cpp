@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/parallel.h"
 
 namespace digg::ml {
@@ -24,9 +26,13 @@ Forest Forest::train(const Dataset& data, const ForestParams& params,
   // Each tree bags from its own index-addressed substream, so trees train
   // concurrently on the parallel runtime and the forest is identical for
   // any thread count (and still deterministic given the caller's seed).
+  obs::Span span("forest_train", "ml");
+  static obs::Counter& trees_trained =
+      obs::Registry::global().counter("ml.trees_trained");
   const stats::Rng base = rng.fork();
   forest.trees_ = runtime::parallel_map<DecisionTree>(
       params.tree_count, [&](std::size_t t) {
+        trees_trained.inc();
         stats::Rng tree_rng = base.split(t);
         std::vector<std::size_t> bag(bag_size);
         for (std::size_t& idx : bag) {

@@ -1,10 +1,13 @@
 #include "src/ml/validation.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/parallel.h"
 
 namespace digg::ml {
@@ -85,14 +88,22 @@ CrossValidationResult cross_validate(const Trainer& trainer,
                                      const Dataset& data, std::size_t folds,
                                      stats::Rng& rng,
                                      std::size_t positive_class) {
+  obs::Span cv_span("cross_validate", "ml");
+  static obs::Counter& folds_run =
+      obs::Registry::global().counter("ml.cv_folds");
+  static obs::Histogram& fold_us =
+      obs::Registry::global().histogram("ml.cv_fold_us");
   const std::vector<std::size_t> assignment =
       stratified_folds(data, folds, rng);
   // Folds train and evaluate independently on the parallel runtime; results
   // land by fold index and the pooled matrix sums in fold order, so the
-  // outcome is identical for any thread count.
+  // outcome is identical for any thread count. Per-fold timing is recorded
+  // and never read back, so it cannot perturb the result.
   CrossValidationResult result;
   result.per_fold = runtime::parallel_map<Confusion>(
       folds, [&](std::size_t fold) {
+        obs::Span fold_span("cv_fold", "ml");
+        const auto fold_start = std::chrono::steady_clock::now();
         std::vector<std::size_t> train_idx;
         std::vector<std::size_t> test_idx;
         for (std::size_t i = 0; i < data.size(); ++i) {
@@ -103,7 +114,12 @@ CrossValidationResult cross_validate(const Trainer& trainer,
         const Dataset train = data.subset(train_idx);
         const Dataset test = data.subset(test_idx);
         const Classifier model = trainer(train);
-        return evaluate(model, test, positive_class);
+        const Confusion c = evaluate(model, test, positive_class);
+        fold_us.observe(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - fold_start)
+                            .count());
+        folds_run.inc();
+        return c;
       });
   for (const Confusion& fold_result : result.per_fold) {
     result.pooled.tp += fold_result.tp;

@@ -1,0 +1,243 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/obs/log.h"
+
+namespace digg::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) noexcept {
+  // lower_bound: first bound >= v, so bucket i counts v <= bounds[i] as
+  // documented (upper_bound would push an exact-bound hit one bucket up).
+  const std::size_t idx =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+                               bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+const std::vector<double>& default_latency_bounds_us() {
+  static const std::vector<double>* bounds = [] {
+    auto* v = new std::vector<double>();
+    for (double b = 1.0; b <= 8.5e6; b *= 2.0) v->push_back(b);
+    return v;
+  }();
+  return *bounds;
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+namespace {
+
+void dump_metrics_at_exit() {
+  const char* path = std::getenv("DIGG_METRICS");
+  if (!path || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "obs: cannot write DIGG_METRICS=%s\n", path);
+    return;
+  }
+  const std::string json = Registry::global().to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+void register_env_dump_once() {
+  static const bool registered = [] {
+    if (const char* path = std::getenv("DIGG_METRICS");
+        path && *path != '\0') {
+      std::atexit(dump_metrics_at_exit);
+    }
+    return true;
+  }();
+  (void)registered;
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out.append(buf);
+}
+
+void append_json_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out.append(buf);
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Registry::Impl* Registry::impl() {
+  if (!impl_) impl_ = new Impl();
+  return impl_;
+}
+
+const Registry::Impl* Registry::impl() const {
+  if (!impl_) impl_ = new Impl();
+  return impl_;
+}
+
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::counter(std::string_view name) {
+  register_env_dump_once();
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mutex);
+  auto it = im->counters.find(name);
+  if (it == im->counters.end()) {
+    it = im->counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  register_env_dump_once();
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mutex);
+  auto it = im->gauges.find(name);
+  if (it == im->gauges.end()) {
+    it = im->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  register_env_dump_once();
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mutex);
+  auto it = im->histograms.find(name);
+  if (it == im->histograms.end()) {
+    if (bounds.empty()) bounds = default_latency_bounds_us();
+    it = im->histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::to_json() const {
+  const Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mutex);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : im->counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    append_json_uint(out, c->value());
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, g] : im->gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    append_json_number(out, g->value());
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : im->histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.append(":{\"count\":");
+    append_json_uint(out, h->count());
+    out.append(",\"sum\":");
+    append_json_number(out, h->sum());
+    out.append(",\"buckets\":[");
+    const std::vector<double>& bounds = h->bounds();
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.push_back('[');
+      if (i < bounds.size()) {
+        append_json_number(out, bounds[i]);
+      } else {
+        out.append("\"+inf\"");
+      }
+      out.push_back(',');
+      append_json_uint(out, counts[i]);
+      out.append("]");
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+void Registry::reset_for_test() {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mutex);
+  im->counters.clear();
+  im->gauges.clear();
+  im->histograms.clear();
+}
+
+Registry& Registry::global() {
+  // Leaked so instruments outlive every other static and atexit handler.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+bool write_bench_report(const std::string& path, std::string_view name,
+                        std::uint64_t seed, double wall_ms) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    log_error("obs", "cannot write bench report", {{"path", path}});
+    return false;
+  }
+  std::string out = "{\"bench\":";
+  append_json_string(out, name);
+  out.append(",\"seed\":");
+  append_json_uint(out, seed);
+  out.append(",\"wall_ms\":");
+  append_json_number(out, wall_ms);
+  out.append(",\"metrics\":");
+  out.append(Registry::global().to_json());
+  out.append("}\n");
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace digg::obs

@@ -1,0 +1,124 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms, all lock-free on the hot path (plain atomics) and snapshotable
+// to JSON. Instrumented layers fetch their instruments once (function-local
+// static references are the common idiom) and update them unconditionally —
+// an update is one or two relaxed atomic ops, cheap enough to leave on.
+//
+// Zero-perturbation contract: metrics record what a run did; nothing reads
+// them back into computation, so numeric results are bit-identical with the
+// registry populated or untouched.
+//
+// DIGG_METRICS=<path>: when set, the registry writes its JSON snapshot to
+// <path> at process exit (registered the first time any instrument is
+// created).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace digg::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) noexcept {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
+/// one implicit overflow bucket above the last bound. Tracks count and sum
+/// (sum via CAS so the class only needs C++11 atomics). Bounds are fixed at
+/// construction — latency histograms use default_latency_bounds_us().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;                    // ascending
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// 1us..~8.4s in powers of 2 — the default latency bucket layout.
+[[nodiscard]] const std::vector<double>& default_latency_bounds_us();
+
+/// Named-instrument registry. Instruments are created on first request and
+/// live for the process (references stay valid); requesting an existing name
+/// returns the same instrument. Names are dotted paths ("runtime.chunks").
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// Empty bounds = default_latency_bounds_us(). Bounds are fixed by the
+  /// first registration; later callers get the existing histogram.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds = {});
+
+  /// JSON snapshot of every instrument:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
+  /// "sum":..,"buckets":[[bound,count],...,["+inf",count]]}}}.
+  /// Keys are sorted, so snapshots diff cleanly.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Zeroes nothing — drops every instrument (references die). Test hook;
+  /// do not call with instrumented code running on other threads.
+  void reset_for_test();
+
+  /// The process-wide registry all instrumented layers use.
+  [[nodiscard]] static Registry& global();
+
+  ~Registry();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+  mutable Impl* impl_ = nullptr;
+};
+
+/// Writes `{"bench":name,"seed":seed,"wall_ms":wall_ms,"metrics":<snapshot>}`
+/// to `path` — the BENCH_<name>.json format shared by bench/common.h and
+/// perf_micro. Returns false (and logs at error) when the file cannot be
+/// written.
+bool write_bench_report(const std::string& path, std::string_view name,
+                        std::uint64_t seed, double wall_ms);
+
+}  // namespace digg::obs

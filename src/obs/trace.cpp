@@ -1,0 +1,154 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "src/obs/log.h"
+
+namespace digg::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  double ts_us;
+  double dur_us;
+  unsigned tid;
+};
+
+// Leaked singleton: spans may fire from worker threads while atexit
+// handlers run on the main thread, so the buffer must never be destroyed.
+struct TraceState {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::string path;
+  std::chrono::steady_clock::time_point epoch;
+  unsigned next_tid = 0;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+// -1 = uninitialized (env not read yet), 0 = off, 1 = recording.
+std::atomic<int> g_tracing{-1};
+
+unsigned thread_tid() {
+  thread_local unsigned tid = [] {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.next_tid++;
+  }();
+  return tid;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - state().epoch)
+      .count();
+}
+
+void init_from_env() {
+  const char* path = std::getenv("DIGG_TRACE");
+  if (!path || *path == '\0') {
+    int expected = -1;
+    g_tracing.compare_exchange_strong(expected, 0,
+                                      std::memory_order_relaxed);
+    return;
+  }
+  TraceState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.path = path;
+    s.epoch = std::chrono::steady_clock::now();
+  }
+  std::atexit(trace_stop);
+  int expected = -1;
+  g_tracing.compare_exchange_strong(expected, 1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  int v = g_tracing.load(std::memory_order_acquire);
+  if (v == -1) {
+    init_from_env();
+    v = g_tracing.load(std::memory_order_acquire);
+  }
+  return v == 1;
+}
+
+void trace_start(const std::string& path) {
+  TraceState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.clear();
+    s.path = path;
+    s.epoch = std::chrono::steady_clock::now();
+  }
+  g_tracing.store(1, std::memory_order_release);
+}
+
+void trace_stop() {
+  // Only one stop writes; subsequent calls (e.g. atexit after an explicit
+  // trace_stop) see tracing already off and return.
+  int expected = 1;
+  if (!g_tracing.compare_exchange_strong(expected, 0,
+                                         std::memory_order_acq_rel))
+    return;
+  TraceState& s = state();
+  std::vector<TraceEvent> events;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    events.swap(s.events);
+    path = s.path;
+  }
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    log_error("obs", "cannot write trace file", {{"path", path}});
+    return;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}%s\n",
+                 e.name, e.cat, e.ts_us, e.dur_us, e.tid,
+                 i + 1 < events.size() ? "," : "");
+  }
+  std::fputs("]}\n", f);
+  std::fclose(f);
+  log_debug("obs", "trace written",
+            {{"path", path}, {"events", events.size()}});
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.events.size();
+}
+
+Span::Span(const char* name, const char* cat) noexcept
+    : name_(name), cat_(cat), active_(trace_enabled()) {
+  if (active_) start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (!active_ || !trace_enabled()) return;
+  const double end_us = now_us();
+  TraceState& s = state();
+  const unsigned tid = thread_tid();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.push_back({name_, cat_, start_us_, end_us - start_us_, tid});
+}
+
+}  // namespace digg::obs

@@ -1,0 +1,53 @@
+#pragma once
+// RAII trace spans exported as Chrome tracing JSON (chrome://tracing /
+// Perfetto "traceEvents" format). Tracing is off by default: a disabled Span
+// costs one relaxed atomic load and records nothing. Enable with
+// DIGG_TRACE=<path> (the trace is written at process exit) or
+// programmatically with trace_start()/trace_stop().
+//
+// Spans nest naturally: each records a complete ("ph":"X") event with its
+// start timestamp, duration, and the recording thread's stable small-integer
+// tid, so the viewer reconstructs the per-thread nesting from timestamps.
+//
+// Zero-perturbation contract: span timing is recorded, never read back —
+// numeric results are bit-identical with tracing on or off, and the
+// runtime's determinism tests pass with DIGG_TRACE set.
+//
+// Span names/categories must be pointers with static storage duration
+// (string literals): events keep the pointer, not a copy.
+
+#include <cstdint>
+#include <string>
+
+namespace digg::obs {
+
+/// True when spans are being recorded. First call resolves DIGG_TRACE.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Starts recording to `path` (overrides any DIGG_TRACE target). Events
+/// recorded before this call are discarded.
+void trace_start(const std::string& path);
+
+/// Stops recording and writes the JSON file. Safe to call when tracing is
+/// off (no-op). Also runs at process exit when tracing is active.
+void trace_stop();
+
+/// Number of events currently buffered (test hook).
+[[nodiscard]] std::size_t trace_event_count();
+
+class Span {
+ public:
+  /// `name` and `cat` must outlive the trace (use string literals).
+  explicit Span(const char* name, const char* cat = "digg") noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  double start_us_ = 0.0;
+  bool active_;
+};
+
+}  // namespace digg::obs

@@ -1,6 +1,10 @@
 #include "src/runtime/parallel.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace digg::runtime::detail {
 
@@ -29,11 +33,30 @@ void run_chunks(std::size_t chunk_count,
                 const std::function<void(std::size_t)>& chunk_fn,
                 unsigned threads) {
   if (chunk_count == 0) return;
+  // Observability only — never read back into computation.
+  static obs::Histogram& chunks_per_job = obs::Registry::global().histogram(
+      "runtime.chunks_per_job",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  chunks_per_job.observe(static_cast<double>(chunk_count));
   if (threads == 0) threads = default_threads();
   if (threads <= 1 || chunk_count == 1 || in_parallel_region()) {
+    static obs::Counter& chunks_done =
+        obs::Registry::global().counter("runtime.chunks");
+    static obs::Histogram& chunk_us =
+        obs::Registry::global().histogram("runtime.chunk_us");
     // Inline execution: chunks run in ascending order, so the first throw
     // is from the lowest failing chunk — same exception the pool reports.
-    for (std::size_t c = 0; c < chunk_count; ++c) chunk_fn(c);
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      const auto chunk_start = std::chrono::steady_clock::now();
+      {
+        obs::Span span("chunk", "runtime");
+        chunk_fn(c);
+      }
+      chunk_us.observe(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - chunk_start)
+                           .count());
+      chunks_done.inc();
+    }
     return;
   }
   ThreadPool::global()->run(chunk_count, chunk_fn, threads);

@@ -1,7 +1,11 @@
 #include "src/runtime/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace digg::runtime {
 
@@ -74,17 +78,31 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::work_on(Job& job) {
+  // Observability only: counts and timings are recorded, never read back,
+  // so results stay bit-identical with instrumentation on or off.
+  static obs::Counter& chunks_done =
+      obs::Registry::global().counter("runtime.chunks");
+  static obs::Histogram& chunk_us =
+      obs::Registry::global().histogram("runtime.chunk_us");
   tl_in_region = true;
   while (true) {
     const std::size_t chunk =
         job.next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job.chunk_count) break;
     std::exception_ptr error;
-    try {
-      (*job.task)(chunk);
-    } catch (...) {
-      error = std::current_exception();
+    const auto chunk_start = std::chrono::steady_clock::now();
+    {
+      obs::Span span("chunk", "runtime");
+      try {
+        (*job.task)(chunk);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
+    chunk_us.observe(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - chunk_start)
+                         .count());
+    chunks_done.inc();
     std::lock_guard<std::mutex> lock(mutex_);
     if (error && chunk < job.error_chunk) {
       job.error_chunk = chunk;
@@ -99,10 +117,24 @@ void ThreadPool::run(std::size_t chunk_count,
                      const std::function<void(std::size_t)>& task,
                      unsigned max_threads) {
   if (chunk_count == 0) return;
+  static obs::Counter& jobs = obs::Registry::global().counter("runtime.jobs");
+  static obs::Histogram& queue_wait_us =
+      obs::Registry::global().histogram("runtime.queue_wait_us");
+  static obs::Gauge& utilization =
+      obs::Registry::global().gauge("runtime.pool_utilization");
   const unsigned lanes =
       max_threads == 0 ? thread_count_
                        : std::min(max_threads, thread_count_);
+  // Queue wait = time this caller spends behind other run() callers.
+  const auto wait_start = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> serialize(run_mutex_);
+  queue_wait_us.observe(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - wait_start)
+                            .count());
+  jobs.inc();
+  utilization.set(static_cast<double>(lanes) /
+                  static_cast<double>(thread_count_));
+  obs::Span job_span("job", "runtime");
   Job job;
   job.chunk_count = chunk_count;
   job.task = &task;

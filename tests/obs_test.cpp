@@ -1,0 +1,331 @@
+// Tests for the observability layer (src/obs): logger level filtering and
+// field formatting, metrics registry correctness under concurrent updates
+// (run under -DDIGG_SANITIZE=thread to prove the hot path is race-free),
+// trace span nesting/ordering, and the zero-perturbation contract — the
+// fig5 pipeline must be bit-identical with tracing on and off.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/data/synthetic.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/runtime/parallel.h"
+
+namespace digg::obs {
+namespace {
+
+// ------------------------------------------------------------------ logger
+
+/// Captures emitted lines and restores the default sink + level on exit.
+class LogCapture {
+ public:
+  LogCapture() : saved_level_(log_level()) {
+    set_log_sink([this](std::string_view line) {
+      lines_.emplace_back(line);
+    });
+  }
+  ~LogCapture() {
+    set_log_sink(nullptr);
+    set_log_level(saved_level_);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+  LogLevel saved_level_;
+};
+
+TEST(LogLevelParse, KnownNamesAndFallback) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kWarn), LogLevel::kWarn);
+}
+
+TEST(LogFilter, DropsBelowThresholdKeepsAtOrAbove) {
+  LogCapture capture;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  log_debug("test", "dropped");
+  log_info("test", "dropped");
+  log_warn("test", "kept");
+  log_error("test", "kept too");
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_NE(capture.lines()[0].find("level=warn"), std::string::npos);
+  EXPECT_NE(capture.lines()[1].find("level=error"), std::string::npos);
+}
+
+TEST(LogFilter, OffSilencesEverything) {
+  LogCapture capture;
+  set_log_level(LogLevel::kOff);
+  log_error("test", "dropped");
+  EXPECT_TRUE(capture.lines().empty());
+}
+
+TEST(LogFormat, FieldKindsRenderAsKeyValue) {
+  const std::string line = format_log_line(
+      LogLevel::kInfo, "comp", "msg",
+      {{"i", -3}, {"u", 7u}, {"d", 0.5}, {"flag", true}, {"s", "plain"}});
+  EXPECT_NE(line.find("level=info"), std::string::npos);
+  EXPECT_NE(line.find("comp=comp"), std::string::npos);
+  EXPECT_NE(line.find("msg=msg"), std::string::npos);
+  EXPECT_NE(line.find(" i=-3"), std::string::npos);
+  EXPECT_NE(line.find(" u=7"), std::string::npos);
+  EXPECT_NE(line.find(" d=0.5"), std::string::npos);
+  EXPECT_NE(line.find(" flag=true"), std::string::npos);
+  EXPECT_NE(line.find(" s=plain"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(LogFormat, StringsWithSpacesOrQuotesAreQuoted) {
+  const std::string line =
+      format_log_line(LogLevel::kInfo, "comp", "two words",
+                      {{"path", "/tmp/x y"}, {"q", "say \"hi\""}});
+  EXPECT_NE(line.find("msg=\"two words\""), std::string::npos);
+  EXPECT_NE(line.find("path=\"/tmp/x y\""), std::string::npos);
+  EXPECT_NE(line.find("q=\"say \\\"hi\\\"\""), std::string::npos);
+}
+
+TEST(LogFormat, StartsWithMonotonicTimestamp) {
+  const std::string line = format_log_line(LogLevel::kInfo, "c", "m", {});
+  EXPECT_EQ(line.rfind("t=", 0), 0u);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, RegistryReturnsSameInstrumentForSameName) {
+  Registry& reg = Registry::global();
+  Counter& a = reg.counter("obs_test.identity");
+  Counter& b = reg.counter("obs_test.identity");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("obs_test.gauge");
+  Gauge& g2 = reg.gauge("obs_test.gauge");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  Counter& c = Registry::global().counter("obs_test.concurrent");
+  const std::uint64_t before = c.value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  {
+    runtime::ParallelOptions opts;
+    opts.threads = kThreads;
+    runtime::parallel_for(
+        kThreads,
+        [&](std::size_t) {
+          for (int i = 0; i < kPerThread; ++i) c.inc();
+        },
+        opts);
+  }
+  EXPECT_EQ(c.value() - before,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, ConcurrentHistogramObservationsAreExact) {
+  Histogram& h =
+      Registry::global().histogram("obs_test.hist", {1.0, 2.0, 4.0});
+  const std::uint64_t before = h.count();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1.5);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count() - before,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, HistogramBucketsSplitAtBounds) {
+  Histogram& h = Registry::global().histogram("obs_test.buckets",
+                                              {10.0, 100.0, 1000.0});
+  h.observe(5.0);     // <= 10
+  h.observe(10.0);    // <= 10 (inclusive upper bound)
+  h.observe(50.0);    // <= 100
+  h.observe(5000.0);  // overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5065.0);
+}
+
+TEST(Metrics, JsonSnapshotContainsInstruments) {
+  Registry& reg = Registry::global();
+  reg.counter("obs_test.json_counter").inc(3);
+  reg.gauge("obs_test.json_gauge").set(2.5);
+  reg.histogram("obs_test.json_hist", {1.0}).observe(0.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_gauge\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"+inf\""), std::string::npos);
+}
+
+TEST(Metrics, WriteBenchReportProducesJsonFile) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "obs_test_bench.json";
+  ASSERT_TRUE(write_bench_report(path.string(), "obs_test", 42, 12.5));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"bench\":\"obs_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------------- trace
+
+TEST(Trace, DisabledByDefaultAndSpansAreFree) {
+  if (trace_enabled()) GTEST_SKIP() << "DIGG_TRACE set in environment";
+  const std::size_t before = trace_event_count();
+  {
+    Span span("noop", "test");
+  }
+  EXPECT_EQ(trace_event_count(), before);
+}
+
+TEST(Trace, SpansNestAndOrderInOutput) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "obs_test_trace.json";
+  trace_start(path.string());
+  {
+    Span outer("outer", "test");
+    {
+      Span inner("inner", "test");
+    }
+    {
+      Span inner2("inner2", "test");
+    }
+  }
+  EXPECT_EQ(trace_event_count(), 3u);
+  trace_stop();
+  EXPECT_FALSE(trace_enabled());
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  // Complete events are recorded at destruction: inner, inner2, outer.
+  const auto inner_pos = json.find("\"name\":\"inner\"");
+  const auto inner2_pos = json.find("\"name\":\"inner2\"");
+  const auto outer_pos = json.find("\"name\":\"outer\"");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(inner2_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, inner2_pos);
+  EXPECT_LT(inner2_pos, outer_pos);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, RuntimeChunkSpansAppearInTrace) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "obs_test_runtime_trace.json";
+  trace_start(path.string());
+  runtime::ParallelOptions opts;
+  opts.threads = 4;
+  std::atomic<int> calls{0};
+  runtime::parallel_for(
+      100, [&](std::size_t) { calls.fetch_add(1); }, opts);
+  trace_stop();
+  EXPECT_EQ(calls.load(), 100);
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"name\":\"chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"runtime\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------- zero-perturbation
+
+const data::SyntheticCorpus& small_corpus() {
+  static const data::SyntheticCorpus c = [] {
+    stats::Rng rng(42);
+    data::SyntheticParams params;
+    // Matches runtime_test's end-to-end corpus: both label classes on the
+    // front page, generated in well under a second.
+    params.user_count = 40000;
+    params.story_count = 400;
+    params.vote_model.step = 2.0;
+    return data::generate_corpus(params, rng);
+  }();
+  return c;
+}
+
+TEST(ZeroPerturbation, Fig5PredictionIdenticalWithTracingEnabled) {
+  auto run = [&] {
+    stats::Rng rng(7);
+    core::Fig5Params params;
+    params.folds = 5;
+    return core::fig5_prediction(small_corpus().corpus, params, rng);
+  };
+  const core::Fig5Result off = run();
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "obs_test_fig5_trace.json";
+  trace_start(path.string());
+  const core::Fig5Result on = run();
+  trace_stop();
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(off.cross_validation.pooled.tp, on.cross_validation.pooled.tp);
+  EXPECT_EQ(off.cross_validation.pooled.tn, on.cross_validation.pooled.tn);
+  EXPECT_EQ(off.cross_validation.pooled.fp, on.cross_validation.pooled.fp);
+  EXPECT_EQ(off.cross_validation.pooled.fn, on.cross_validation.pooled.fn);
+  EXPECT_EQ(off.holdout.tp, on.holdout.tp);
+  EXPECT_EQ(off.holdout.tn, on.holdout.tn);
+  EXPECT_EQ(off.holdout.fp, on.holdout.fp);
+  EXPECT_EQ(off.holdout.fn, on.holdout.fn);
+  EXPECT_EQ(off.holdout_stories, on.holdout_stories);
+  EXPECT_EQ(off.predictor.tree().render(), on.predictor.tree().render());
+}
+
+TEST(ZeroPerturbation, LogLevelDoesNotChangeResults) {
+  LogCapture capture;
+  set_log_level(LogLevel::kTrace);
+  stats::Rng rng_loud(3);
+  const auto loud =
+      data::generate_corpus(data::SyntheticParams{}, rng_loud);
+  set_log_level(LogLevel::kOff);
+  stats::Rng rng_quiet(3);
+  const auto quiet =
+      data::generate_corpus(data::SyntheticParams{}, rng_quiet);
+  EXPECT_EQ(loud.corpus.story_count(), quiet.corpus.story_count());
+  EXPECT_EQ(loud.corpus.front_page.size(), quiet.corpus.front_page.size());
+  EXPECT_EQ(loud.corpus.upcoming.size(), quiet.corpus.upcoming.size());
+}
+
+}  // namespace
+}  // namespace digg::obs
