@@ -5,6 +5,8 @@
 // 0.57-vs-0.36 comparison rests on 48 stories; the interval shows how much
 // of the reproduced gap survives resampling.
 
+#include <unordered_set>
+
 #include "bench/common.h"
 #include "src/core/experiment.h"
 #include "src/ml/roc.h"

@@ -1,0 +1,83 @@
+// Corpus storage benchmark: CSV load vs binary snapshot save/load on the
+// standard calibrated corpus. The snapshot format exists to make repeated
+// analysis runs cheap, so the number that matters is the load-path speedup
+// (acceptance bar: snapshot load at least 5x faster than CSV load).
+//
+// With --json <path> the metrics snapshot (data.snapshot_{load,save}_bytes,
+// *_us histograms, data.corpus_vote_column_bytes) plus wall clock land in
+// the BENCH_corpus_io.json perf-trajectory format.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "bench/common.h"
+#include "src/data/io.h"
+#include "src/data/snapshot.h"
+
+namespace {
+
+template <typename F>
+double best_of_ms(int reps, F&& work) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    work();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  namespace fs = std::filesystem;
+  bench::Context ctx = bench::make_context(
+      argc, argv, "Corpus I/O: CSV load vs binary snapshot");
+  const data::Corpus& corpus = ctx.synthetic.corpus;
+  std::printf("total votes: %zu\n\n", corpus.vote_store.total_votes());
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("digg_perf_corpus_io_" + std::to_string(::getpid()));
+  const fs::path csv_dir = dir / "csv";
+  const fs::path snap_path = dir / "corpus.snap";
+  constexpr int kReps = 5;
+
+  const double csv_save_ms =
+      best_of_ms(kReps, [&] { data::save_corpus(corpus, csv_dir); });
+  const double csv_load_ms = best_of_ms(kReps, [&] {
+    const data::Corpus c = data::load_corpus(csv_dir);
+    if (c.story_count() != corpus.story_count()) std::abort();
+  });
+  const double snap_save_ms =
+      best_of_ms(kReps, [&] { data::save_snapshot(corpus, snap_path); });
+  const double snap_load_ms = best_of_ms(kReps, [&] {
+    const data::Corpus c = data::load_snapshot(snap_path);
+    if (c.story_count() != corpus.story_count()) std::abort();
+  });
+
+  std::uintmax_t csv_bytes = 0;
+  for (const char* name :
+       {"network.csv", "stories.csv", "votes.csv", "top_users.csv"})
+    csv_bytes += fs::file_size(csv_dir / name);
+  const std::uintmax_t snap_bytes = fs::file_size(snap_path);
+
+  std::printf("path                best of %d     size\n", kReps);
+  std::printf("CSV save        %10.1f ms  %7.1f MiB\n", csv_save_ms,
+              static_cast<double>(csv_bytes) / (1024.0 * 1024.0));
+  std::printf("CSV load        %10.1f ms\n", csv_load_ms);
+  std::printf("snapshot save   %10.1f ms  %7.1f MiB\n", snap_save_ms,
+              static_cast<double>(snap_bytes) / (1024.0 * 1024.0));
+  std::printf("snapshot load   %10.1f ms\n\n", snap_load_ms);
+  const double speedup = csv_load_ms / snap_load_ms;
+  std::printf("snapshot load speedup over CSV load: %.1fx %s\n", speedup,
+              speedup >= 5.0 ? "(meets the 5x bar)" : "(BELOW the 5x bar)");
+
+  fs::remove_all(dir);
+  return speedup >= 5.0 ? 0 : 1;
+}

@@ -77,8 +77,8 @@ int main() {
     sim.run_story(id, c.traits);
     const platform::Story& story = plat.story(id);
     std::size_t same_community = 0;
-    for (const platform::Vote& v : story.votes)
-      if (truth[v.user] == truth[0]) ++same_community;
+    for (platform::UserId voter : story.voters)
+      if (truth[voter] == truth[0]) ++same_community;
     table.add_row(
         {c.label, stats::fmt(static_cast<std::int64_t>(story.vote_count())),
          story.promoted() ? "yes" : "no",

@@ -49,8 +49,7 @@ int main() {
   for (const data::Story& story : queue_stories) {
     // Truncate the record to the first 10 votes after the submitter —
     // everything the predictor is allowed to see.
-    data::Story partial = story;
-    partial.votes.resize(std::min<std::size_t>(11, story.votes.size()));
+    data::Story partial = story.truncated(11);
     partial.promoted_at.reset();
     const core::StoryFeatures early =
         core::extract_features(partial, reloaded.network);

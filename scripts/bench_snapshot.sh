@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Refreshes BENCH_parallel.json — the per-PR perf trajectory — by building
-# Release and running the perf_micro suite with its --json reporter (metrics
-# snapshot + wall clock; see bench/perf_micro.cpp).
+# Refreshes the per-PR perf trajectory:
+#   BENCH_parallel.json   perf_micro suite with its --json reporter (metrics
+#                         snapshot + wall clock; see bench/perf_micro.cpp)
+#   BENCH_corpus_io.json  perf_corpus_io (CSV load vs snapshot save/load;
+#                         exits nonzero if the snapshot-load 5x bar is missed)
 #
 # Usage: scripts/bench_snapshot.sh [extra perf_micro args...]
 #   BUILD_DIR       build directory (default build-release)
@@ -14,11 +16,13 @@ BUILD_DIR=${BUILD_DIR:-build-release}
 BENCH_MIN_TIME=${BENCH_MIN_TIME:-0.05}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j --target perf_micro
+cmake --build "$BUILD_DIR" -j --target perf_micro --target perf_corpus_io
 
 "$BUILD_DIR/bench/perf_micro" \
   --json BENCH_parallel.json \
   --benchmark_min_time="$BENCH_MIN_TIME" \
   "$@"
-
 echo "wrote $(pwd)/BENCH_parallel.json"
+
+"$BUILD_DIR/bench/perf_corpus_io" --json BENCH_corpus_io.json
+echo "wrote $(pwd)/BENCH_corpus_io.json"

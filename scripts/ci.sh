@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification matrix in one invocation:
+#   1. Release build + full ctest suite (the tier-1 gate)
+#   2. Debug build with -DDIGG_SANITIZE=address + full ctest suite
+# Fails fast on the first broken configuration.
+#
+# Usage: scripts/ci.sh [ctest args...]
+#   RELEASE_DIR  Release build dir (default build-release)
+#   ASAN_DIR     Debug+ASan build dir (default build-asan)
+#   JOBS         parallelism (default nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RELEASE_DIR=${RELEASE_DIR:-build-release}
+ASAN_DIR=${ASAN_DIR:-build-asan}
+JOBS=${JOBS:-$(nproc)}
+
+run_config() {
+  local dir=$1 label=$2
+  shift 2
+  echo "== [$label] configure + build ($dir) =="
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  echo "== [$label] ctest =="
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${CTEST_ARGS[@]}")
+}
+
+CTEST_ARGS=("$@")
+
+run_config "$RELEASE_DIR" "Release" -DCMAKE_BUILD_TYPE=Release
+run_config "$ASAN_DIR" "Debug+ASan" -DCMAKE_BUILD_TYPE=Debug \
+  -DDIGG_SANITIZE=address
+
+echo "ci.sh: both configurations green"

@@ -2,34 +2,40 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "src/digg/dense_set.h"
 
 namespace digg::core {
 
-std::vector<bool> vote_provenance(const Story& story,
+std::vector<bool> vote_provenance(const StoryView& story,
                                   const graph::Digraph& network) {
   std::vector<bool> provenance;
-  if (story.votes.empty()) return provenance;
-  provenance.reserve(story.votes.size() - 1);
+  const auto voters = story.voters();
+  if (voters.empty()) return provenance;
+  provenance.reserve(voters.size() - 1);
 
   // Users who could have seen the story through the Friends interface:
-  // fans of the submitter, then fans of each voter as they digg.
-  std::unordered_set<UserId> exposed;
+  // fans of the submitter, then fans of each voter as they digg. Scratch
+  // set reused across stories (epoch-bump clear) — this loop dominates the
+  // fig3b cascade sweep.
+  thread_local platform::DenseStampSet exposed;
+  exposed.reset();
+  exposed.ensure_capacity(network.node_count());
   auto expose_fans_of = [&](UserId voter) {
     if (voter < network.node_count()) {
       for (UserId fan : network.fans(voter)) exposed.insert(fan);
     }
   };
   expose_fans_of(story.submitter);
-  for (std::size_t k = 1; k < story.votes.size(); ++k) {
-    const UserId voter = story.votes[k].user;
-    provenance.push_back(exposed.count(voter) > 0);
+  for (std::size_t k = 1; k < voters.size(); ++k) {
+    const UserId voter = voters[k];
+    provenance.push_back(exposed.contains(voter));
     expose_fans_of(voter);
   }
   return provenance;
 }
 
-std::size_t in_network_votes(const Story& story,
+std::size_t in_network_votes(const StoryView& story,
                              const graph::Digraph& network, std::size_t n) {
   const std::vector<bool> provenance = vote_provenance(story, network);
   const std::size_t limit = std::min(n, provenance.size());
@@ -40,7 +46,7 @@ std::size_t in_network_votes(const Story& story,
 }
 
 std::vector<std::size_t> cascade_profile(
-    const Story& story, const graph::Digraph& network,
+    const StoryView& story, const graph::Digraph& network,
     const std::vector<std::size_t>& checkpoints) {
   if (!std::is_sorted(checkpoints.begin(), checkpoints.end()))
     throw std::invalid_argument("cascade_profile: checkpoints not ascending");

@@ -12,27 +12,27 @@
 
 namespace digg::core {
 
-using platform::Story;
+using platform::StoryView;
 using platform::UserId;
 
 /// Per-vote provenance for one story: entry k corresponds to the story's
 /// (k+1)-th vote overall (the first vote after the submitter's digg has
 /// index 0) and is true if that vote was in-network.
-[[nodiscard]] std::vector<bool> vote_provenance(const Story& story,
+[[nodiscard]] std::vector<bool> vote_provenance(const StoryView& story,
                                                 const graph::Digraph& network);
 
 /// Number of in-network votes among the first `n` votes after the
 /// submitter's digg ("the number of in-network votes the story received
 /// within the first n votes"). If the story has fewer than n votes, counts
 /// over what exists.
-[[nodiscard]] std::size_t in_network_votes(const Story& story,
+[[nodiscard]] std::size_t in_network_votes(const StoryView& story,
                                            const graph::Digraph& network,
                                            std::size_t n);
 
 /// Cascade sizes at several checkpoints in one pass (cheaper than repeated
 /// in_network_votes calls). checkpoints must be ascending.
 [[nodiscard]] std::vector<std::size_t> cascade_profile(
-    const Story& story, const graph::Digraph& network,
+    const StoryView& story, const graph::Digraph& network,
     const std::vector<std::size_t>& checkpoints);
 
 }  // namespace digg::core

@@ -17,10 +17,10 @@ namespace digg::core {
 
 stats::TimeSeries vote_timeseries(const data::Story& story) {
   stats::TimeSeries series;
-  std::size_t count = 0;
-  for (const platform::Vote& v : story.votes) {
-    ++count;
-    series.append(v.time - story.submitted_at, static_cast<double>(count));
+  const auto times = story.times();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    series.append(times[i] - story.submitted_at,
+                  static_cast<double>(i + 1));
   }
   return series;
 }
@@ -297,7 +297,7 @@ std::vector<ScatterPoint> friends_fans_scatter(const data::Corpus& corpus,
   std::unordered_set<data::UserId> in_dataset;
   auto absorb = [&](const std::vector<data::Story>& stories) {
     for (const data::Story& s : stories)
-      for (const platform::Vote& v : s.votes) in_dataset.insert(v.user);
+      for (data::UserId voter : s.voters()) in_dataset.insert(voter);
   };
   absorb(corpus.front_page);
   absorb(corpus.upcoming);

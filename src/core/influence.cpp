@@ -7,25 +7,28 @@
 
 namespace digg::core {
 
-std::size_t influence_after(const platform::Story& story,
+std::size_t influence_after(const platform::StoryView& story,
                             const graph::Digraph& network,
                             std::size_t votes_counted) {
   return platform::story_influence(story, network, votes_counted);
 }
 
 std::vector<std::size_t> influence_profile(
-    const platform::Story& story, const graph::Digraph& network,
+    const platform::StoryView& story, const graph::Digraph& network,
     const std::vector<std::size_t>& checkpoints) {
   if (!std::is_sorted(checkpoints.begin(), checkpoints.end()))
     throw std::invalid_argument("influence_profile: checkpoints not ascending");
-  platform::VisibilitySet vis(network);
+  // Scratch set reused across stories: rebinding is an epoch bump, so the
+  // fig3a sweep does no per-story allocation.
+  thread_local platform::VisibilitySet vis;
+  vis.rebind(network);
+  const auto voters = story.voters();
   std::vector<std::size_t> out;
   out.reserve(checkpoints.size());
   std::size_t applied = 0;
   for (std::size_t checkpoint : checkpoints) {
-    const std::size_t limit = std::min(checkpoint, story.votes.size());
-    for (; applied < limit; ++applied)
-      vis.add_voter(story.votes[applied].user);
+    const std::size_t limit = std::min(checkpoint, voters.size());
+    for (; applied < limit; ++applied) vis.add_voter(voters[applied]);
     out.push_back(vis.influence());
   }
   return out;

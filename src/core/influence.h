@@ -14,14 +14,14 @@ namespace digg::core {
 /// Influence after the first `votes_counted` votes (including the
 /// submitter's digg; pass 1 for "at submission"). Voters themselves are not
 /// counted — they have already acted.
-[[nodiscard]] std::size_t influence_after(const platform::Story& story,
+[[nodiscard]] std::size_t influence_after(const platform::StoryView& story,
                                           const graph::Digraph& network,
                                           std::size_t votes_counted);
 
 /// Influence at several vote checkpoints in one incremental pass.
 /// `checkpoints` must be ascending; values beyond the vote record saturate.
 [[nodiscard]] std::vector<std::size_t> influence_profile(
-    const platform::Story& story, const graph::Digraph& network,
+    const platform::StoryView& story, const graph::Digraph& network,
     const std::vector<std::size_t>& checkpoints);
 
 }  // namespace digg::core

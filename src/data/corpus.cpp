@@ -3,9 +3,52 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
-#include <unordered_set>
+
+#include "src/obs/metrics.h"
 
 namespace digg::data {
+
+namespace {
+
+void record_vote_column_bytes(const VoteStore& store) {
+  static obs::Gauge& gauge =
+      obs::Registry::global().gauge("data.corpus_vote_column_bytes");
+  gauge.set(static_cast<double>(store.size_bytes()));
+}
+
+}  // namespace
+
+Corpus& Corpus::operator=(const Corpus& other) {
+  if (this == &other) return *this;
+  network = other.network;
+  vote_store = other.vote_store;
+  front_page = other.front_page;
+  upcoming = other.upcoming;
+  top_users = other.top_users;
+  rebind_views();  // copied views still point at other's arena
+  return *this;
+}
+
+Story& Corpus::add_story(const Story& story, Section section) {
+  const std::uint32_t slot = vote_store.append(story.voters(), story.times());
+  auto& bucket = section == Section::kFrontPage ? front_page : upcoming;
+  Story& resident = bucket.emplace_back(story);
+  resident.bind(vote_store.voters(slot), vote_store.times(slot), slot);
+  // Growing the arena may have relocated the columns under earlier views.
+  rebind_views();
+  record_vote_column_bytes(vote_store);
+  return bucket.back();
+}
+
+void Corpus::rebind_views() {
+  const auto rebind = [&](Story& s) {
+    const std::uint32_t slot = s.store_slot();
+    if (slot != Story::kNoSlot)
+      s.bind(vote_store.voters(slot), vote_store.times(slot), slot);
+  };
+  for (Story& s : front_page) rebind(s);
+  for (Story& s : upcoming) rebind(s);
+}
 
 std::size_t Corpus::rank_of(UserId user) const {
   const auto it = std::find(top_users.begin(), top_users.end(), user);
@@ -25,8 +68,8 @@ UserActivity user_activity(const Corpus& corpus) {
   act.votes.assign(corpus.user_count(), 0);
   for (const Story& s : corpus.front_page) {
     if (s.submitter < act.submissions.size()) ++act.submissions[s.submitter];
-    for (const platform::Vote& v : s.votes) {
-      if (v.user < act.votes.size()) ++act.votes[v.user];
+    for (UserId voter : s.voters()) {
+      if (voter < act.votes.size()) ++act.votes[voter];
     }
   }
   return act;
@@ -46,23 +89,25 @@ void validate_story(const Story& s, std::size_t user_count,
                     const char* which) {
   const std::string ctx = std::string(which) + " story " +
                           std::to_string(s.id) + ": ";
-  if (s.votes.empty())
+  const auto voters = s.voters();
+  const auto times = s.times();
+  if (voters.empty())
     throw std::runtime_error(ctx + "no votes (submitter digg missing)");
-  if (s.votes.front().user != s.submitter)
+  if (voters.front() != s.submitter)
     throw std::runtime_error(ctx + "first vote is not the submitter's");
   if (s.submitter >= user_count)
     throw std::runtime_error(ctx + "submitter outside the network");
-  std::unordered_set<UserId> seen;
-  platform::Minutes prev = s.votes.front().time;
-  for (const platform::Vote& v : s.votes) {
-    if (v.user >= user_count)
+  for (std::size_t i = 0; i < voters.size(); ++i) {
+    if (voters[i] >= user_count)
       throw std::runtime_error(ctx + "voter outside the network");
-    if (!seen.insert(v.user).second)
-      throw std::runtime_error(ctx + "duplicate voter");
-    if (v.time < prev)
+    if (i > 0 && times[i] < times[i - 1])
       throw std::runtime_error(ctx + "votes out of chronological order");
-    prev = v.time;
   }
+  // Duplicate check via sort — no per-story hash set on the hot path.
+  std::vector<UserId> sorted(voters.begin(), voters.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    throw std::runtime_error(ctx + "duplicate voter");
 }
 
 }  // namespace

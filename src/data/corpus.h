@@ -1,33 +1,54 @@
 #pragma once
 // The neutral dataset boundary. Every §4–§5 analysis consumes a Corpus; the
-// synthetic generator (synthetic.h) and the CSV loader (io.h) both produce
-// one, so the real June-2006 scrape could be substituted without touching
-// analysis code. Mirrors the paper's data (§3.1–3.2):
+// synthetic generator (synthetic.h), the CSV loader (io.h), and the binary
+// snapshot loader (snapshot.h) all produce one, so the real June-2006 scrape
+// could be substituted without touching analysis code. Mirrors the paper's
+// data (§3.1–3.2):
 //   - ~200 front-page stories with chronologically ordered votes
 //     (submitter first) and final vote counts,
 //   - ~900 upcoming-queue stories from the same period,
 //   - the fan network of all voters,
 //   - the top-user ranking.
+//
+// Storage is columnar: all vote records live in one arena (VoteStore) and a
+// data::Story is a platform::StoryView — metadata by value plus spans into
+// the arena. Stories enter through add_story(), which copies their votes in
+// and keeps every view bound; copying a Corpus rebinds views to the copied
+// arena, and moves are cheap (spans follow the moved heap buffers).
 
 #include <cstddef>
 #include <vector>
 
+#include "src/data/vote_store.h"
 #include "src/digg/types.h"
 
 namespace digg::data {
 
-using platform::Story;
+using Story = platform::StoryView;
 using platform::StoryId;
 using platform::UserId;
 
 struct Corpus {
   graph::Digraph network;  // fan graph over all users (user id = node id)
+  VoteStore vote_store;    // every story's vote columns, in one arena
   std::vector<Story> front_page;  // promoted stories
   std::vector<Story> upcoming;    // never-promoted stories (final counts known)
   /// Users ranked by reputation (promoted submissions), best first. The
   /// paper's top-user cutoffs (rank <= 100, top 1020 snapshot) index into
   /// this.
   std::vector<UserId> top_users;
+
+  enum class Section { kFrontPage, kUpcoming };
+
+  Corpus() = default;
+  Corpus(const Corpus& other) { *this = other; }
+  Corpus& operator=(const Corpus& other);
+  Corpus(Corpus&&) noexcept = default;
+  Corpus& operator=(Corpus&&) noexcept = default;
+
+  /// Copies `story`'s metadata and votes into the corpus (a platform::Story
+  /// converts implicitly). Returns the arena-bound resident view.
+  Story& add_story(const Story& story, Section section);
 
   [[nodiscard]] std::size_t user_count() const noexcept {
     return network.node_count();
@@ -41,6 +62,10 @@ struct Corpus {
   /// True if `user` is among the `cutoff` highest-ranked users (the paper's
   /// "top users (with rank <= 100)" uses cutoff = 100).
   [[nodiscard]] bool is_top_user(UserId user, std::size_t cutoff) const;
+
+  /// Re-points every story view at this corpus's arena (used after the
+  /// arena relocates: add_story growth, corpus copies, snapshot loads).
+  void rebind_views();
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 };

@@ -16,10 +16,12 @@ Corpus filter_corpus(const Corpus& corpus, const StoryPredicate& keep) {
   Corpus out;
   out.network = corpus.network;
   out.top_users = corpus.top_users;
+  // add_story deep-copies votes into out's own arena, so the filtered corpus
+  // is self-contained and outlives the source.
   for (const Story& s : corpus.front_page)
-    if (keep(s)) out.front_page.push_back(s);
+    if (keep(s)) out.add_story(s, Corpus::Section::kFrontPage);
   for (const Story& s : corpus.upcoming)
-    if (keep(s)) out.upcoming.push_back(s);
+    if (keep(s)) out.add_story(s, Corpus::Section::kUpcoming);
   return out;
 }
 

@@ -13,7 +13,10 @@ namespace digg::data {
 
 using StoryPredicate = std::function<bool(const Story&)>;
 
-/// Stories (from both sections) matching the predicate.
+/// Stories (from both sections) matching the predicate. The returned
+/// stories are views into `corpus`'s vote arena — cheap to copy, but they
+/// must not outlive (or observe mutations of) the source corpus. Use
+/// filter_corpus for a self-contained result.
 [[nodiscard]] std::vector<Story> select_stories(const Corpus& corpus,
                                                 const StoryPredicate& keep);
 

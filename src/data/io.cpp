@@ -2,10 +2,12 @@
 
 #include <charconv>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <stdexcept>
 #include <string_view>
 #include <vector>
+
+#include "src/digg/story.h"
 
 namespace digg::data {
 
@@ -14,6 +16,9 @@ namespace {
 std::ofstream open_out(const std::filesystem::path& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write " + path.string());
+  // Round-trip exact doubles: a corpus written to CSV and reloaded must be
+  // value-identical to one restored from a binary snapshot.
+  out.precision(std::numeric_limits<double>::max_digits10);
   return out;
 }
 
@@ -21,6 +26,14 @@ std::ifstream open_in(const std::filesystem::path& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot read " + path.string());
   return in;
+}
+
+/// Every parse error carries file name and 1-based line number so a broken
+/// row in a multi-million-line vote file can be found directly.
+[[noreturn]] void fail_at(const std::filesystem::path& path, std::size_t line,
+                          const std::string& message) {
+  throw std::runtime_error(path.string() + ":" + std::to_string(line) + ": " +
+                           message);
 }
 
 std::vector<std::string_view> split(std::string_view line, char sep = ',') {
@@ -71,6 +84,26 @@ void expect_header(std::ifstream& in, const std::string& expected,
                              " (expected '" + expected + "')");
 }
 
+/// Runs `body(fields)` for each data row, wrapping any parse exception with
+/// the file name and line number. Empty lines are skipped.
+template <typename Body>
+void for_each_row(const std::filesystem::path& path,
+                  const std::string& header, Body&& body) {
+  std::ifstream in = open_in(path);
+  expect_header(in, header, path);
+  std::string line;
+  std::size_t lineno = 1;  // header was line 1
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      body(split(line), line);
+    } catch (const std::runtime_error& e) {
+      fail_at(path, lineno, e.what());
+    }
+  }
+}
+
 }  // namespace
 
 void save_corpus(const Corpus& corpus, const std::filesystem::path& dir) {
@@ -101,8 +134,10 @@ void save_corpus(const Corpus& corpus, const std::filesystem::path& dir) {
     std::ofstream out = open_out(dir / "votes.csv");
     out << "story_id,user,time\n";
     auto emit = [&](const Story& s) {
-      for (const platform::Vote& v : s.votes)
-        out << s.id << ',' << v.user << ',' << v.time << '\n';
+      const auto voters = s.voters();
+      const auto times = s.times();
+      for (std::size_t i = 0; i < voters.size(); ++i)
+        out << s.id << ',' << voters[i] << ',' << times[i] << '\n';
     };
     for (const Story& s : corpus.front_page) emit(s);
     for (const Story& s : corpus.upcoming) emit(s);
@@ -118,86 +153,100 @@ Corpus load_corpus(const std::filesystem::path& dir) {
   Corpus corpus;
 
   {
-    std::ifstream in = open_in(dir / "network.csv");
-    expect_header(in, "fan,target", dir / "network.csv");
     graph::DigraphBuilder builder;
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      const auto fields = split(line);
-      if (fields.size() != 2)
-        throw std::runtime_error("bad network.csv row: " + line);
-      builder.add_follow(parse_number<graph::NodeId>(fields[0], "fan"),
-                         parse_number<graph::NodeId>(fields[1], "target"));
-    }
+    for_each_row(dir / "network.csv", "fan,target",
+                 [&](const std::vector<std::string_view>& fields,
+                     const std::string& line) {
+                   if (fields.size() != 2)
+                     throw std::runtime_error("bad network row: " + line);
+                   builder.add_follow(
+                       parse_number<graph::NodeId>(fields[0], "fan"),
+                       parse_number<graph::NodeId>(fields[1], "target"));
+                 });
     corpus.network = builder.build();
   }
+  const std::size_t user_count = corpus.network.node_count();
 
-  std::vector<Story*> by_id;
-  {
-    std::ifstream in = open_in(dir / "stories.csv");
-    expect_header(in, "id,section,submitter,submitted_at,promoted_at,quality",
-                  dir / "stories.csv");
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      const auto fields = split(line);
-      if (fields.size() != 6)
-        throw std::runtime_error("bad stories.csv row: " + line);
-      Story s;
-      s.id = parse_number<StoryId>(fields[0], "story id");
-      s.submitter = parse_number<UserId>(fields[2], "submitter");
-      s.submitted_at = parse_double(fields[3], "submitted_at");
-      if (!fields[4].empty()) {
-        s.promoted_at = parse_double(fields[4], "promoted_at");
-        s.phase = platform::StoryPhase::kFrontPage;
-      }
-      s.quality = parse_double(fields[5], "quality");
-      const bool is_front = fields[1] == "front_page";
-      if (!is_front && fields[1] != "upcoming")
-        throw std::runtime_error("bad section in stories.csv: " + line);
-      if (is_front != s.promoted_at.has_value())
-        throw std::runtime_error("section/promoted_at mismatch: " + line);
-      auto& bucket = is_front ? corpus.front_page : corpus.upcoming;
-      bucket.push_back(std::move(s));
-    }
-    // Build the id index after both vectors stopped reallocating.
-    std::size_t max_id = 0;
-    for (const Story& s : corpus.front_page) max_id = std::max<std::size_t>(max_id, s.id);
-    for (const Story& s : corpus.upcoming) max_id = std::max<std::size_t>(max_id, s.id);
-    by_id.assign(max_id + 1, nullptr);
-    for (Story& s : corpus.front_page) by_id[s.id] = &s;
-    for (Story& s : corpus.upcoming) by_id[s.id] = &s;
-  }
+  // Stories and votes are staged as owning platform::Story records (indexed
+  // by story id), then bulk-copied into the corpus arena in file order.
+  std::vector<platform::Story> staged;
+  std::vector<Corpus::Section> sections;
+  std::vector<std::uint32_t> index_of;  // story id -> staged index
+  constexpr std::uint32_t kAbsent = 0xffffffffu;
 
-  {
-    std::ifstream in = open_in(dir / "votes.csv");
-    expect_header(in, "story_id,user,time", dir / "votes.csv");
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      const auto fields = split(line);
-      if (fields.size() != 3)
-        throw std::runtime_error("bad votes.csv row: " + line);
-      const auto story_id = parse_number<StoryId>(fields[0], "story id");
-      if (story_id >= by_id.size() || by_id[story_id] == nullptr)
-        throw std::runtime_error("vote for unknown story: " + line);
-      platform::Vote v;
-      v.user = parse_number<UserId>(fields[1], "voter");
-      v.time = parse_double(fields[2], "vote time");
-      by_id[story_id]->votes.push_back(v);
-    }
-  }
+  for_each_row(
+      dir / "stories.csv",
+      "id,section,submitter,submitted_at,promoted_at,quality",
+      [&](const std::vector<std::string_view>& fields,
+          const std::string& line) {
+        if (fields.size() != 6)
+          throw std::runtime_error("bad stories row: " + line);
+        platform::Story s;
+        s.id = parse_number<StoryId>(fields[0], "story id");
+        s.submitter = parse_number<UserId>(fields[2], "submitter");
+        if (s.submitter >= user_count)
+          throw std::runtime_error("submitter " + std::to_string(s.submitter) +
+                                   " outside the network (" +
+                                   std::to_string(user_count) + " users)");
+        s.submitted_at = parse_double(fields[3], "submitted_at");
+        if (!fields[4].empty()) {
+          s.promoted_at = parse_double(fields[4], "promoted_at");
+          s.phase = platform::StoryPhase::kFrontPage;
+        }
+        s.quality = parse_double(fields[5], "quality");
+        const bool is_front = fields[1] == "front_page";
+        if (!is_front && fields[1] != "upcoming")
+          throw std::runtime_error("bad section: " + line);
+        if (is_front != s.promoted_at.has_value())
+          throw std::runtime_error("section/promoted_at mismatch: " + line);
+        if (s.id >= index_of.size()) index_of.resize(s.id + 1, kAbsent);
+        if (index_of[s.id] != kAbsent)
+          throw std::runtime_error("duplicate story id " +
+                                   std::to_string(s.id));
+        index_of[s.id] = static_cast<std::uint32_t>(staged.size());
+        staged.push_back(std::move(s));
+        sections.push_back(is_front ? Corpus::Section::kFrontPage
+                                    : Corpus::Section::kUpcoming);
+      });
 
-  {
-    std::ifstream in = open_in(dir / "top_users.csv");
-    expect_header(in, "user", dir / "top_users.csv");
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      corpus.top_users.push_back(parse_number<UserId>(line, "top user"));
-    }
-  }
+  for_each_row(dir / "votes.csv", "story_id,user,time",
+               [&](const std::vector<std::string_view>& fields,
+                   const std::string& line) {
+                 if (fields.size() != 3)
+                   throw std::runtime_error("bad votes row: " + line);
+                 const auto story_id =
+                     parse_number<StoryId>(fields[0], "story id");
+                 if (story_id >= index_of.size() ||
+                     index_of[story_id] == kAbsent)
+                   throw std::runtime_error("vote for unknown story: " + line);
+                 const UserId user = parse_number<UserId>(fields[1], "voter");
+                 if (user >= user_count)
+                   throw std::runtime_error(
+                       "voter " + std::to_string(user) +
+                       " outside the network (" + std::to_string(user_count) +
+                       " users)");
+                 platform::Story& s = staged[index_of[story_id]];
+                 s.voters.push_back(user);
+                 s.times.push_back(parse_double(fields[2], "vote time"));
+               });
+
+  for_each_row(dir / "top_users.csv", "user",
+               [&](const std::vector<std::string_view>& fields,
+                   const std::string& line) {
+                 if (fields.size() != 1)
+                   throw std::runtime_error("bad top_users row: " + line);
+                 const UserId u = parse_number<UserId>(fields[0], "top user");
+                 if (u >= user_count)
+                   throw std::runtime_error(
+                       "top user " + std::to_string(u) +
+                       " outside the network (" + std::to_string(user_count) +
+                       " users)");
+                 corpus.top_users.push_back(u);
+                 (void)line;
+               });
+
+  for (std::size_t i = 0; i < staged.size(); ++i)
+    corpus.add_story(staged[i], sections[i]);
 
   validate(corpus);
   return corpus;

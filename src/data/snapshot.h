@@ -1,0 +1,54 @@
+#pragma once
+// Versioned binary snapshots of a Corpus — the fast path next to the CSV
+// pair in io.h. The columnar corpus maps almost 1:1 onto flat arrays, so a
+// snapshot is a header, a section table, and a handful of bulk column
+// blobs; loading is one whole-file read plus a few validated moves instead
+// of millions of text parses.
+//
+// File layout (all integers little-endian; written on little-endian hosts):
+//   magic    8 bytes  "DIGGSNAP"
+//   version  u32      kSnapshotVersion (readers reject newer files)
+//   count    u32      number of section-table entries
+//   table    count * {u32 type, u32 flags, u64 offset, u64 size}
+//   payload  section bodies at their table offsets
+//   checksum u64      FNV-1a over 8-byte LE words of every preceding byte
+//                     (final partial word zero-padded)
+//
+// Sections (offsets are absolute file offsets; sizes in bytes):
+//   1 NETWORK   u64 n, u64 e, out_offsets u64[n+1], out_targets u32[e],
+//               in_offsets u64[n+1], in_sources u32[e]
+//   2 STORIES   u64 front_count, u64 upcoming_count, then columns over all
+//               S stories (front page first, each in corpus order):
+//               id u32[S], submitter u32[S], submitted_at f64[S],
+//               quality f64[S], phase u8[S], has_promoted u8[S],
+//               promoted_at f64[S] (0 where has_promoted is 0)
+//   3 VOTES     u64 S, u64 total, offsets u64[S+1], users u32[total],
+//               times f64[total] — same story order as STORIES
+//   4 TOPUSERS  u64 count, user u32[count]
+//
+// Versioning policy: the version bumps whenever a reader of the old code
+// could misread a new file (section layout or meaning changes). Adding a
+// *new* section type does not bump it — unknown types are ignored — so
+// forward-compatible extensions stay cheap. Readers reject files with a
+// version newer than kSnapshotVersion ("unsupported version"), truncated
+// files, bad magic, and checksum mismatches with distinct messages.
+
+#include <cstdint>
+#include <filesystem>
+
+#include "src/data/corpus.h"
+
+namespace digg::data {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Writes `corpus` as a binary snapshot at `path` (parent directories are
+/// created). Throws std::runtime_error on I/O failure.
+void save_snapshot(const Corpus& corpus, const std::filesystem::path& path);
+
+/// Loads a snapshot written by save_snapshot. Verifies magic, version, and
+/// checksum, then validates the corpus (see corpus.h) before returning.
+/// Throws std::runtime_error on I/O, format, or integrity errors.
+[[nodiscard]] Corpus load_snapshot(const std::filesystem::path& path);
+
+}  // namespace digg::data

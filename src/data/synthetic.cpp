@@ -105,11 +105,8 @@ SyntheticCorpus generate_corpus(const SyntheticParams& params,
   Corpus& corpus = out.corpus;
   corpus.network = network;
   for (const platform::Story& s : plat.stories()) {
-    if (s.promoted()) {
-      corpus.front_page.push_back(s);
-    } else {
-      corpus.upcoming.push_back(s);
-    }
+    corpus.add_story(s, s.promoted() ? Corpus::Section::kFrontPage
+                                     : Corpus::Section::kUpcoming);
   }
   const std::vector<std::uint32_t> reputation =
       platform::promoted_submission_counts(plat.stories(),

@@ -1,0 +1,36 @@
+#include "src/data/vote_store.h"
+
+#include <stdexcept>
+
+namespace digg::data {
+
+std::uint32_t VoteStore::append(std::span<const platform::UserId> voters,
+                                std::span<const platform::Minutes> times) {
+  if (voters.size() != times.size())
+    throw std::invalid_argument("VoteStore::append: column length mismatch");
+  const auto slot = static_cast<std::uint32_t>(offsets_.size() - 1);
+  users_.insert(users_.end(), voters.begin(), voters.end());
+  times_.insert(times_.end(), times.begin(), times.end());
+  offsets_.push_back(users_.size());
+  return slot;
+}
+
+VoteStore VoteStore::from_parts(std::vector<std::uint64_t> offsets,
+                                std::vector<platform::UserId> users,
+                                std::vector<platform::Minutes> times) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != users.size() || users.size() != times.size())
+    throw std::invalid_argument("VoteStore::from_parts: bad offset table");
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i - 1] > offsets[i])
+      throw std::invalid_argument(
+          "VoteStore::from_parts: offsets not monotone");
+  }
+  VoteStore store;
+  store.offsets_ = std::move(offsets);
+  store.users_ = std::move(users);
+  store.times_ = std::move(times);
+  return store;
+}
+
+}  // namespace digg::data

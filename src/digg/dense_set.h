@@ -1,0 +1,78 @@
+#pragma once
+// Epoch-stamped dense set over NodeId-like keys. The workhorse behind the
+// columnar refactor's hot paths (visibility, cascades, diversity weighting):
+// membership is one array load instead of a hash probe, and clearing for the
+// next story is a single epoch bump — no O(n) memset, no rehashing — so one
+// scratch set is reused across thousands of stories.
+//
+// Representation: stamps_[id] == epoch_ means "id is in the set". reset()
+// increments the epoch, instantly invalidating every stamp. Stamps are
+// uint32; on the (astronomically rare) epoch wraparound the array is
+// refilled with zero so stale stamps from 2^32 resets ago cannot alias.
+// erase() writes stamp 0, which is never a live epoch (epochs start at 1).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace digg::platform {
+
+class DenseStampSet {
+ public:
+  DenseStampSet() = default;
+  explicit DenseStampSet(std::size_t key_capacity) : stamps_(key_capacity, 0) {}
+
+  /// Empties the set in O(1). Existing capacity is kept.
+  void reset() noexcept {
+    if (++epoch_ == 0) {  // wraparound: stale stamps could alias; wipe them
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+    size_ = 0;
+  }
+
+  /// Grows the key space to at least `key_capacity` (never shrinks).
+  void ensure_capacity(std::size_t key_capacity) {
+    if (stamps_.size() < key_capacity) stamps_.resize(key_capacity, 0u);
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t id) const noexcept {
+    return id < stamps_.size() && stamps_[id] == epoch_;
+  }
+
+  /// Inserts `id`, growing the key space if needed. Returns true if the id
+  /// was not already present.
+  bool insert(std::uint32_t id) {
+    if (id >= stamps_.size()) stamps_.resize(static_cast<std::size_t>(id) + 1, 0u);
+    if (stamps_[id] == epoch_) return false;
+    stamps_[id] = epoch_;
+    ++size_;
+    return true;
+  }
+
+  /// Removes `id` if present; returns true if it was.
+  bool erase(std::uint32_t id) noexcept {
+    if (!contains(id)) return false;
+    stamps_[id] = 0;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t key_capacity() const noexcept {
+    return stamps_.size();
+  }
+  /// Resident bytes of the stamp array (capacity planning for set caches).
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return stamps_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace digg::platform

@@ -5,16 +5,13 @@
 
 namespace digg::platform {
 
-VisibilitySet::VisibilitySet(const graph::Digraph& network)
-    : network_(&network) {}
-
 void VisibilitySet::add_voter(UserId voter) {
-  if (!voters_.insert(voter).second)
+  if (!voters_.insert(voter))
     throw std::invalid_argument("VisibilitySet::add_voter: duplicate voter");
   watchers_.erase(voter);
-  if (voter < network_->node_count()) {
+  if (network_ != nullptr && voter < network_->node_count()) {
     for (UserId fan : network_->fans(voter)) {
-      if (!voters_.count(fan) && watchers_.insert(fan).second)
+      if (!voters_.contains(fan) && watchers_.insert(fan))
         watcher_pool_.push_back(fan);
     }
   }
@@ -29,22 +26,28 @@ std::optional<UserId> VisibilitySet::sample_watcher(stats::Rng& rng) const {
     const auto idx = static_cast<std::size_t>(rng.uniform_int(
         0, static_cast<std::int64_t>(watcher_pool_.size()) - 1));
     const UserId candidate = watcher_pool_[idx];
-    if (watchers_.count(candidate)) return candidate;
+    if (watchers_.contains(candidate)) return candidate;
   }
-  // Fall back to the first live watcher (deterministic but rare).
-  return *watchers_.begin();
+  // Fall back to the first live pool entry (deterministic but rare; every
+  // current watcher appears in the pool, so this always finds one).
+  for (UserId candidate : watcher_pool_) {
+    if (watchers_.contains(candidate)) return candidate;
+  }
+  return std::nullopt;  // unreachable: watchers_ is non-empty
 }
 
-std::size_t story_influence(const Story& story, const graph::Digraph& network,
+std::size_t story_influence(const StoryView& story,
+                            const graph::Digraph& network,
                             std::size_t votes_counted) {
-  VisibilitySet vis(network);
-  const std::size_t n = std::min(votes_counted, story.votes.size());
-  for (std::size_t i = 0; i < n; ++i) vis.add_voter(story.votes[i].user);
-  return vis.influence();
+  thread_local VisibilitySet scratch;
+  scratch.rebind(network);
+  const auto column = story.voters();
+  const std::size_t n = std::min(votes_counted, column.size());
+  for (std::size_t i = 0; i < n; ++i) scratch.add_voter(column[i]);
+  return scratch.influence();
 }
 
-FriendsActivity friends_activity(UserId user,
-                                 const std::vector<Story>& stories,
+FriendsActivity friends_activity(UserId user, std::span<const Story> stories,
                                  const graph::Digraph& network, Minutes now,
                                  Minutes lookback) {
   FriendsActivity out;
@@ -59,10 +62,9 @@ FriendsActivity friends_activity(UserId user,
         is_friend(s.submitter)) {
       out.submitted_by_friends.push_back(s.id);
     }
-    for (std::size_t i = 1; i < s.votes.size(); ++i) {  // skip submitter digg
-      const Vote& v = s.votes[i];
-      if (v.time > now) break;
-      if (v.time >= horizon && is_friend(v.user)) {
+    for (std::size_t i = 1; i < s.voters.size(); ++i) {  // skip submitter digg
+      if (s.times[i] > now) break;
+      if (s.times[i] >= horizon && is_friend(s.voters[i])) {
         out.dugg_by_friends.push_back(s.id);
         break;  // one appearance per story is enough
       }

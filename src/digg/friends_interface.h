@@ -5,13 +5,18 @@
 // of everyone who has voted so far.
 //
 // VisibilitySet supports incremental updates (add one voter at a time) so
-// the vote-dynamics simulation stays O(sum of fan degrees) per story.
+// the vote-dynamics simulation stays O(sum of fan degrees) per story. The
+// watcher and voter sets are epoch-stamped dense arrays keyed by NodeId
+// (see dense_set.h): membership is an array load, and reset() lets one set
+// be replayed across stories without clearing — the analysis layer keeps a
+// thread-local instance and rebinds it per story.
 
 #include <cstdint>
 #include <optional>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
+#include "src/digg/dense_set.h"
 #include "src/digg/types.h"
 #include "src/stats/rng.h"
 
@@ -22,7 +27,27 @@ namespace digg::platform {
 /// Holds a reference to `network`: the graph must outlive the set.
 class VisibilitySet {
  public:
-  explicit VisibilitySet(const graph::Digraph& network);
+  /// Unbound set; call rebind() before use. Exists so scratch instances can
+  /// live in thread_local storage and outlast any one graph.
+  VisibilitySet() = default;
+  explicit VisibilitySet(const graph::Digraph& network) { rebind(network); }
+
+  /// Points the set at `network` and empties it (O(1) epoch bump; the dense
+  /// arrays are kept and grown, never shrunk, so a scratch instance reused
+  /// across stories allocates only on the largest graph it has seen).
+  void rebind(const graph::Digraph& network) {
+    network_ = &network;
+    watchers_.ensure_capacity(network.node_count());
+    voters_.ensure_capacity(network.node_count());
+    reset();
+  }
+
+  /// Empties the set, keeping the bound network. O(1).
+  void reset() noexcept {
+    watchers_.reset();
+    voters_.reset();
+    watcher_pool_.clear();
+  }
 
   /// Records a vote: `voter` stops being a watcher (they have acted) and all
   /// of the voter's fans become watchers.
@@ -32,14 +57,11 @@ class VisibilitySet {
   [[nodiscard]] std::size_t influence() const noexcept {
     return watchers_.size();
   }
-  [[nodiscard]] bool can_see(UserId user) const {
-    return watchers_.count(user) > 0;
+  [[nodiscard]] bool can_see(UserId user) const noexcept {
+    return watchers_.contains(user);
   }
-  [[nodiscard]] bool has_voted(UserId user) const {
-    return voters_.count(user) > 0;
-  }
-  [[nodiscard]] const std::unordered_set<UserId>& watchers() const noexcept {
-    return watchers_;
+  [[nodiscard]] bool has_voted(UserId user) const noexcept {
+    return voters_.contains(user);
   }
   [[nodiscard]] std::size_t voter_count() const noexcept {
     return voters_.size();
@@ -58,17 +80,24 @@ class VisibilitySet {
     return watcher_pool_;
   }
 
+  /// Resident bytes of the dense arrays + pool (cache budgeting).
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return watchers_.size_bytes() + voters_.size_bytes() +
+           watcher_pool_.capacity() * sizeof(UserId);
+  }
+
  private:
-  const graph::Digraph* network_;
-  std::unordered_set<UserId> watchers_;
-  std::unordered_set<UserId> voters_;
+  const graph::Digraph* network_ = nullptr;
+  DenseStampSet watchers_;
+  DenseStampSet voters_;
   std::vector<UserId> watcher_pool_;  // insertion log; may contain stale ids
 };
 
 /// Influence of a story after its first `votes_counted` votes (including the
 /// submitter's digg as the first): number of non-voting users who could see
 /// it through the Friends interface. This is the quantity of Fig. 3(a).
-[[nodiscard]] std::size_t story_influence(const Story& story,
+/// Uses a thread-local scratch VisibilitySet — O(1) setup per story.
+[[nodiscard]] std::size_t story_influence(const StoryView& story,
                                           const graph::Digraph& network,
                                           std::size_t votes_counted);
 
@@ -80,7 +109,7 @@ struct FriendsActivity {
   std::vector<StoryId> dugg_by_friends;
 };
 [[nodiscard]] FriendsActivity friends_activity(
-    UserId user, const std::vector<Story>& stories,
+    UserId user, std::span<const Story> stories,
     const graph::Digraph& network, Minutes now,
     Minutes lookback = 48.0 * kMinutesPerHour);
 

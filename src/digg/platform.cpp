@@ -1,5 +1,6 @@
 #include "src/digg/platform.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/digg/story.h"
@@ -17,6 +18,12 @@ Platform::Platform(graph::Digraph network, std::vector<UserProfile> users,
   if (users_.size() != network_.node_count())
     throw std::invalid_argument(
         "Platform: user population and network size mismatch");
+  // Two stamp arrays per slot dominate the cost; reserve up front so slot
+  // addresses (and thus visibility() references) never move.
+  const std::size_t per_slot = 8 * std::max<std::size_t>(1, users_.size());
+  vis_capacity_ = std::clamp<std::size_t>(kVisCacheBudgetBytes / per_slot, 8,
+                                          4096);
+  vis_slots_.reserve(vis_capacity_);
 }
 
 StoryId Platform::submit(UserId submitter, double quality, Minutes now) {
@@ -24,8 +31,7 @@ StoryId Platform::submit(UserId submitter, double quality, Minutes now) {
     throw std::out_of_range("Platform::submit: unknown user");
   const auto id = static_cast<StoryId>(stories_.size());
   stories_.push_back(make_story(id, submitter, now, quality));
-  visibility_.emplace_back(network_);
-  visibility_.back().add_voter(submitter);
+  vis_slot_of_.push_back(kNoSlot);  // set materialises lazily on first use
   upcoming_.push_front(id);
   return id;
 }
@@ -38,8 +44,12 @@ bool Platform::vote(StoryId story_id, UserId user, Minutes now) {
   Story& s = stories_[story_id];
   if (s.phase == StoryPhase::kExpired)
     throw std::logic_error("Platform::vote: story expired");
+  // Fetch the slot *before* appending the vote: a cache miss replays the
+  // current vote column, after which the incremental add_voter below brings
+  // the set to the post-vote state exactly once.
+  VisibilitySet& vis = visibility_slot(story_id);
   add_vote(s, user, now);
-  visibility_[story_id].add_voter(user);
+  vis.add_voter(user);
 
   if (s.phase == StoryPhase::kUpcoming &&
       policy_->should_promote(s, network_, now)) {
@@ -73,9 +83,37 @@ const Story& Platform::story(StoryId id) const {
 }
 
 const VisibilitySet& Platform::visibility(StoryId id) const {
-  if (id >= visibility_.size())
+  if (id >= stories_.size())
     throw std::out_of_range("Platform::visibility: unknown story");
-  return visibility_[id];
+  return visibility_slot(id);
+}
+
+VisibilitySet& Platform::visibility_slot(StoryId id) const {
+  std::uint32_t slot = vis_slot_of_[id];
+  if (slot == kNoSlot) {
+    if (vis_slots_.size() < vis_capacity_) {
+      slot = static_cast<std::uint32_t>(vis_slots_.size());
+      vis_slots_.emplace_back();
+    } else {
+      // Evict the least recently used slot. Linear scan: capacity is a few
+      // hundred slots and misses are rare once the working set is resident.
+      slot = 0;
+      for (std::uint32_t i = 1; i < vis_slots_.size(); ++i) {
+        if (vis_slots_[i].last_used < vis_slots_[slot].last_used) slot = i;
+      }
+      vis_slot_of_[vis_slots_[slot].story] = kNoSlot;
+    }
+    VisSlot& vs = vis_slots_[slot];
+    vs.story = id;
+    vis_slot_of_[id] = slot;
+    vs.set.rebind(network_);
+    // Deterministic rebuild: replaying the vote column in order reproduces
+    // the exact watcher pool / exposure log the evicted set had.
+    for (UserId voter : stories_[id].voters) vs.set.add_voter(voter);
+  }
+  VisSlot& vs = vis_slots_[slot];
+  vs.last_used = ++vis_clock_;
+  return vs.set;
 }
 
 }  // namespace digg::platform

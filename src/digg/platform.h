@@ -4,7 +4,17 @@
 // The vote *dynamics* (who votes when) live in src/dynamics; this class is
 // the mechanics — it validates votes, maintains per-story visibility, runs
 // the promotion check after every vote, and expires stale submissions.
+//
+// Visibility sets are served from a byte-budgeted LRU cache instead of one
+// resident set per story: a dense-array VisibilitySet costs ~8 bytes per
+// network node, so materialising one per story would dwarf the vote columns
+// themselves. A missing set is rebuilt deterministically by replaying the
+// story's vote column (same insertion order → identical watcher pool /
+// exposure log), so eviction is invisible to callers apart from the replay
+// cost. References returned by visibility() stay valid until a *different*
+// story's set is requested; the dynamics layer already re-fetches per story.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -54,7 +64,9 @@ class Platform {
     return queue_params_;
   }
   /// Live visibility set of a story (who can see it via the Friends
-  /// interface right now).
+  /// interface right now). The reference stays valid and current until the
+  /// next visibility()/vote() call for a *different* story, which may evict
+  /// this story's cache slot.
   [[nodiscard]] const VisibilitySet& visibility(StoryId id) const;
 
   [[nodiscard]] std::size_t story_count() const noexcept {
@@ -62,14 +74,33 @@ class Platform {
   }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  /// Soft cap on resident visibility-set bytes; per-slot cost scales with
+  /// node count, so the slot count adapts to the network size.
+  static constexpr std::size_t kVisCacheBudgetBytes = 512ull << 20;
+
+  struct VisSlot {
+    VisibilitySet set;
+    StoryId story = kNoSlot;     // which story the slot currently holds
+    std::uint64_t last_used = 0;  // LRU clock value
+  };
+
+  /// Returns the (mutable) cached set for `id`, rebuilding it from the
+  /// story's vote column on a miss and bumping its LRU stamp.
+  VisibilitySet& visibility_slot(StoryId id) const;
+
   graph::Digraph network_;
   std::vector<UserProfile> users_;
   std::unique_ptr<PromotionPolicy> policy_;
   QueueParams queue_params_;
   std::vector<Story> stories_;
-  std::vector<VisibilitySet> visibility_;  // parallel to stories_
   Listing upcoming_;
   Listing front_page_;
+
+  std::size_t vis_capacity_ = 0;             // max slots (from byte budget)
+  mutable std::vector<VisSlot> vis_slots_;   // reserved to capacity up front
+  mutable std::vector<std::uint32_t> vis_slot_of_;  // story -> slot / kNoSlot
+  mutable std::uint64_t vis_clock_ = 0;
 };
 
 }  // namespace digg::platform

@@ -1,6 +1,6 @@
 #include "src/digg/promotion.h"
 
-#include <unordered_set>
+#include "src/digg/dense_set.h"
 
 namespace digg::platform {
 
@@ -27,9 +27,8 @@ bool VoteRatePolicy::should_promote(const Story& story,
   if (now - story.submitted_at > window_) return false;
   if (story.vote_count() < threshold_) return false;
   if (story.vote_count() < rate_votes_) return false;
-  const Vote& window_start =
-      story.votes[story.vote_count() - rate_votes_];
-  return story.votes.back().time - window_start.time <= rate_window_;
+  const Minutes window_start = story.times[story.vote_count() - rate_votes_];
+  return story.times.back() - window_start <= rate_window_;
 }
 
 DiversityPolicy::DiversityPolicy(double weighted_threshold,
@@ -42,14 +41,18 @@ double DiversityPolicy::weighted_votes(const Story& story,
                                        const graph::Digraph& network) const {
   // A vote is "in-network" if the voter is a fan of any prior voter
   // (including the submitter). visible = users who follow some prior voter.
-  std::unordered_set<UserId> watchers_of_prior;
+  // Scratch set reused across calls: membership is one array load and
+  // clearing is an epoch bump, so the per-vote promotion check stays cheap.
+  thread_local DenseStampSet watchers_of_prior;
+  watchers_of_prior.reset();
+  watchers_of_prior.ensure_capacity(network.node_count());
   double mass = 0.0;
-  for (std::size_t i = 0; i < story.votes.size(); ++i) {
-    const UserId voter = story.votes[i].user;
+  for (std::size_t i = 0; i < story.voters.size(); ++i) {
+    const UserId voter = story.voters[i];
     if (i == 0) {
       mass += 1.0;  // submitter's own digg counts fully
     } else {
-      mass += watchers_of_prior.count(voter) ? fan_vote_weight_ : 1.0;
+      mass += watchers_of_prior.contains(voter) ? fan_vote_weight_ : 1.0;
     }
     if (voter < network.node_count()) {
       for (UserId fan : network.fans(voter)) watchers_of_prior.insert(fan);

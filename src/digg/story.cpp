@@ -6,35 +6,33 @@
 namespace digg::platform {
 
 void add_vote(Story& story, UserId user, Minutes time) {
-  if (story.votes.empty()) {
+  if (story.voters.empty()) {
     if (user != story.submitter)
       throw std::invalid_argument(
           "add_vote: first vote must be the submitter's digg");
   } else {
-    if (time < story.votes.back().time)
+    if (time < story.times.back())
       throw std::invalid_argument("add_vote: votes must be chronological");
     if (has_voted(story, user))
       throw std::invalid_argument("add_vote: duplicate voter");
   }
-  story.votes.push_back(Vote{user, time});
+  story.voters.push_back(user);
+  story.times.push_back(time);
 }
 
-bool has_voted(const Story& story, UserId user) {
-  return std::any_of(story.votes.begin(), story.votes.end(),
-                     [user](const Vote& v) { return v.user == user; });
+bool has_voted(const StoryView& story, UserId user) {
+  const auto column = story.voters();
+  return std::find(column.begin(), column.end(), user) != column.end();
 }
 
-std::span<const Vote> early_votes(const Story& story, std::size_t n) {
-  if (story.votes.empty()) return {};
-  const std::size_t available = story.votes.size() - 1;  // skip submitter
-  return {story.votes.data() + 1, std::min(n, available)};
+std::span<const UserId> early_votes(const StoryView& story, std::size_t n) {
+  const auto column = story.voters();
+  if (column.empty()) return {};
+  return column.subspan(1, std::min(n, column.size() - 1));  // skip submitter
 }
 
-std::vector<UserId> voters(const Story& story) {
-  std::vector<UserId> out;
-  out.reserve(story.votes.size());
-  for (const Vote& v : story.votes) out.push_back(v.user);
-  return out;
+std::span<const UserId> voters(const StoryView& story) {
+  return story.voters();
 }
 
 Story make_story(StoryId id, UserId submitter, Minutes submitted_at,
@@ -46,7 +44,8 @@ Story make_story(StoryId id, UserId submitter, Minutes submitted_at,
   s.submitter = submitter;
   s.submitted_at = submitted_at;
   s.quality = quality;
-  s.votes.push_back(Vote{submitter, submitted_at});
+  s.voters.push_back(submitter);
+  s.times.push_back(submitted_at);
   return s;
 }
 

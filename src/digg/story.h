@@ -1,11 +1,11 @@
 #pragma once
-// Story bookkeeping helpers on top of the plain `Story` record: vote
+// Story bookkeeping helpers on top of the columnar `Story` record: vote
 // insertion with invariant checks, voter-set queries, and the early-vote
 // slices the analysis layer consumes ("first N votes not counting the
-// submitter", per Fig. 4 and §5.2).
+// submitter", per Fig. 4 and §5.2). Read-only queries take StoryView so
+// they run unchanged on platform stories and corpus-resident stories.
 
 #include <span>
-#include <vector>
 
 #include "src/digg/types.h"
 
@@ -15,17 +15,17 @@ namespace digg::platform {
 /// that the first vote belongs to the submitter. Throws on violations.
 void add_vote(Story& story, UserId user, Minutes time);
 
-/// True if `user` has already voted on `story`. O(votes).
-[[nodiscard]] bool has_voted(const Story& story, UserId user);
+/// True if `user` has already voted on `story`. O(votes) span scan.
+[[nodiscard]] bool has_voted(const StoryView& story, UserId user);
 
-/// The first `n` votes *after* the submitter's own (paper convention:
-/// "within the first (not counting the submitter) six, 10 and 20 votes").
-/// Returns fewer if the story has fewer votes.
-[[nodiscard]] std::span<const Vote> early_votes(const Story& story,
-                                                std::size_t n);
+/// Voters of the first `n` votes *after* the submitter's own (paper
+/// convention: "within the first (not counting the submitter) six, 10 and
+/// 20 votes"). Returns fewer if the story has fewer votes.
+[[nodiscard]] std::span<const UserId> early_votes(const StoryView& story,
+                                                  std::size_t n);
 
-/// All voters, in vote order (submitter first).
-[[nodiscard]] std::vector<UserId> voters(const Story& story);
+/// All voters, in vote order (submitter first). Zero-copy column view.
+[[nodiscard]] std::span<const UserId> voters(const StoryView& story);
 
 /// Creates a story with the submitter's initial digg recorded.
 [[nodiscard]] Story make_story(StoryId id, UserId submitter,

@@ -37,7 +37,7 @@ double rmse_for(const Curve& c, double half_life, double amplitude) {
 
 }  // namespace
 
-std::optional<NoveltyFit> fit_novelty_decay(const platform::Story& story,
+std::optional<NoveltyFit> fit_novelty_decay(const platform::StoryView& story,
                                             std::size_t min_votes,
                                             std::size_t grid) {
   if (!story.promoted()) return std::nullopt;
@@ -46,9 +46,9 @@ std::optional<NoveltyFit> fit_novelty_decay(const platform::Story& story,
   // Post-promotion cumulative curve: (minutes since promotion, votes since
   // promotion) with one point per vote.
   Curve curve;
-  for (const platform::Vote& vote : story.votes) {
-    if (vote.time <= tp) continue;
-    curve.t.push_back(vote.time - tp);
+  for (platform::Minutes time : story.times()) {
+    if (time <= tp) continue;
+    curve.t.push_back(time - tp);
     curve.v.push_back(static_cast<double>(curve.v.size() + 1));
   }
   if (curve.t.size() < min_votes) return std::nullopt;
@@ -93,9 +93,9 @@ std::optional<NoveltyFit> fit_novelty_decay(const platform::Story& story,
 }
 
 std::vector<NoveltyFit> fit_novelty_decay_all(
-    const std::vector<platform::Story>& stories, std::size_t min_votes) {
+    std::span<const platform::StoryView> stories, std::size_t min_votes) {
   std::vector<NoveltyFit> fits;
-  for (const platform::Story& s : stories) {
+  for (const platform::StoryView& s : stories) {
     if (const auto fit = fit_novelty_decay(s, min_votes)) {
       fits.push_back(*fit);
     }

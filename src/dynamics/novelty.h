@@ -11,6 +11,7 @@
 // golden-section search on the half-life with A solved in closed form.
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/digg/types.h"
@@ -29,11 +30,13 @@ struct NoveltyFit {
 /// nullopt for unpromoted stories or stories with fewer than `min_votes`
 /// post-promotion votes.
 [[nodiscard]] std::optional<NoveltyFit> fit_novelty_decay(
-    const platform::Story& story, std::size_t min_votes = 20,
+    const platform::StoryView& story, std::size_t min_votes = 20,
     std::size_t grid = 64);
 
 /// Fits every promoted story and returns the distribution of half-lives.
+/// Accepts any contiguous run of stories (corpus views or platform stories
+/// gathered into a vector of views).
 [[nodiscard]] std::vector<NoveltyFit> fit_novelty_decay_all(
-    const std::vector<platform::Story>& stories, std::size_t min_votes = 20);
+    std::span<const platform::StoryView> stories, std::size_t min_votes = 20);
 
 }  // namespace digg::dynamics

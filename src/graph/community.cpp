@@ -1,9 +1,9 @@
 #include "src/graph/community.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace digg::graph {
 
@@ -15,26 +15,39 @@ std::vector<std::size_t> label_propagation(const Digraph& g, stats::Rng& rng,
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), NodeId{0});
 
+  // Dense tally: labels are always < n, so neighbor-label counts live in a
+  // flat array and only the touched slots are zeroed between nodes — no hash
+  // probes in the O(rounds * edges) inner loop.
+  std::vector<std::size_t> counts(n, 0);
+  std::vector<std::size_t> touched;
+
   for (std::size_t round = 0; round < max_rounds; ++round) {
     std::shuffle(order.begin(), order.end(), rng.engine());
     bool changed = false;
-    std::unordered_map<std::size_t, std::size_t> votes;
     for (NodeId u : order) {
-      votes.clear();
-      for (NodeId v : g.friends(u)) ++votes[label[v]];
-      for (NodeId v : g.fans(u)) ++votes[label[v]];
-      if (votes.empty()) continue;
+      touched.clear();
+      const auto tally = [&](NodeId v) {
+        if (counts[label[v]]++ == 0) touched.push_back(label[v]);
+      };
+      for (NodeId v : g.friends(u)) tally(v);
+      for (NodeId v : g.fans(u)) tally(v);
+      if (touched.empty()) continue;
       // Pick the most frequent neighbor label; break ties toward the current
-      // label, then toward the smallest label for determinism.
+      // label, then toward the smallest label for determinism. (The rule is
+      // iteration-order independent: the current label is never displaced on
+      // an equal count, and among strictly better counts the smallest label
+      // with the maximal count wins.)
       std::size_t best_label = label[u];
-      std::size_t best_count = votes.count(label[u]) ? votes[label[u]] : 0;
-      for (const auto& [l, c] : votes) {
+      std::size_t best_count = counts[best_label];
+      for (std::size_t l : touched) {
+        const std::size_t c = counts[l];
         if (c > best_count || (c == best_count && l < best_label &&
                                best_label != label[u])) {
           best_label = l;
           best_count = c;
         }
       }
+      for (std::size_t l : touched) counts[l] = 0;
       if (best_label != label[u]) {
         label[u] = best_label;
         changed = true;
@@ -43,11 +56,13 @@ std::vector<std::size_t> label_propagation(const Digraph& g, stats::Rng& rng,
     if (!changed) break;
   }
 
-  // Renumber densely.
-  std::unordered_map<std::size_t, std::size_t> dense;
+  // Renumber densely, in order of first appearance.
+  constexpr std::size_t kUnassigned = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dense(n, kUnassigned);
+  std::size_t next = 0;
   for (std::size_t& l : label) {
-    const auto [it, inserted] = dense.emplace(l, dense.size());
-    l = it->second;
+    if (dense[l] == kUnassigned) dense[l] = next++;
+    l = dense[l];
   }
   return label;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace digg::graph {
 
@@ -34,6 +35,51 @@ std::vector<std::uint32_t> Digraph::in_degrees() const {
   for (std::size_t u = 0; u < out.size(); ++u)
     out[u] = static_cast<std::uint32_t>(in_offsets_[u + 1] - in_offsets_[u]);
   return out;
+}
+
+namespace {
+
+void check_csr(const std::vector<std::size_t>& offsets,
+               const std::vector<NodeId>& ids, std::size_t n,
+               const char* what) {
+  if (offsets.size() != n + 1 || offsets.front() != 0 ||
+      offsets.back() != ids.size())
+    throw std::invalid_argument(std::string("Digraph::from_parts: bad ") +
+                                what + " offsets");
+  for (std::size_t u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1])
+      throw std::invalid_argument(std::string("Digraph::from_parts: ") + what +
+                                  " offsets not monotone");
+    for (std::size_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      if (ids[i] >= n)
+        throw std::invalid_argument(std::string("Digraph::from_parts: ") +
+                                    what + " id out of range");
+      if (i > offsets[u] && ids[i] <= ids[i - 1])
+        throw std::invalid_argument(std::string("Digraph::from_parts: ") +
+                                    what + " row not strictly sorted");
+    }
+  }
+}
+
+}  // namespace
+
+Digraph Digraph::from_parts(std::vector<std::size_t> out_offsets,
+                            std::vector<NodeId> out_targets,
+                            std::vector<std::size_t> in_offsets,
+                            std::vector<NodeId> in_sources) {
+  if (out_offsets.empty() || in_offsets.size() != out_offsets.size())
+    throw std::invalid_argument("Digraph::from_parts: offset size mismatch");
+  if (out_targets.size() != in_sources.size())
+    throw std::invalid_argument("Digraph::from_parts: edge count mismatch");
+  const std::size_t n = out_offsets.size() - 1;
+  check_csr(out_offsets, out_targets, n, "out");
+  check_csr(in_offsets, in_sources, n, "in");
+  Digraph g;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_targets_ = std::move(out_targets);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_sources_ = std::move(in_sources);
+  return g;
 }
 
 DigraphBuilder::DigraphBuilder(std::size_t node_count)

@@ -54,6 +54,32 @@ class Digraph {
   /// In-degree (fan count) of every node.
   [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
 
+  /// Raw CSR arrays, exposed for binary snapshot serialisation. Offset
+  /// vectors have size node_count()+1; neighbor rows are sorted.
+  [[nodiscard]] const std::vector<std::size_t>& out_offsets() const noexcept {
+    return out_offsets_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& out_targets() const noexcept {
+    return out_targets_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& in_offsets() const noexcept {
+    return in_offsets_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& in_sources() const noexcept {
+    return in_sources_;
+  }
+
+  /// Reassembles a graph from raw CSR arrays (snapshot deserialisation).
+  /// Validates structure — offsets monotone from 0 to the edge count, both
+  /// directions the same size, ids in range, rows strictly sorted — and
+  /// throws std::invalid_argument on any violation. (It does not prove the
+  /// in-arrays are the exact transpose of the out-arrays; snapshots carry a
+  /// checksum for whole-file integrity.)
+  [[nodiscard]] static Digraph from_parts(std::vector<std::size_t> out_offsets,
+                                          std::vector<NodeId> out_targets,
+                                          std::vector<std::size_t> in_offsets,
+                                          std::vector<NodeId> in_sources);
+
  private:
   friend class DigraphBuilder;
 

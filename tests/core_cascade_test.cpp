@@ -9,6 +9,7 @@ namespace {
 
 using platform::add_vote;
 using platform::make_story;
+using platform::Story;
 
 // fans(0) = {1, 2}; fans(1) = {3}; 4, 5 unconnected.
 graph::Digraph network() {

@@ -19,9 +19,9 @@ graph::Digraph star_network() {
   return b.build();
 }
 
-data::Story story_with_alternating_votes(std::size_t extra_votes) {
+platform::Story story_with_alternating_votes(std::size_t extra_votes) {
   // Votes alternate: fan of submitter, unconnected, fan, unconnected...
-  data::Story s = make_story(0, 0, 0.0, 0.5);
+  platform::Story s = make_story(0, 0, 0.0, 0.5);
   platform::UserId fan = 1;
   platform::UserId outsider = 20;
   for (std::size_t k = 0; k < extra_votes; ++k) {
@@ -36,7 +36,7 @@ data::Story story_with_alternating_votes(std::size_t extra_votes) {
 }
 
 TEST(ExtractFeatures, CountsEarlyInNetworkVotes) {
-  const data::Story s = story_with_alternating_votes(20);
+  const platform::Story s = story_with_alternating_votes(20);
   const StoryFeatures f = extract_features(s, star_network());
   EXPECT_EQ(f.v6, 3u);
   EXPECT_EQ(f.v10, 5u);
@@ -49,35 +49,42 @@ TEST(ExtractFeatures, CountsEarlyInNetworkVotes) {
 }
 
 TEST(ExtractFeatures, InterestingnessThreshold) {
-  data::Story s = make_story(0, 0, 0.0, 0.5);
-  s.votes.resize(521, {0, 0.0});  // synthetic count; only size matters here
-  for (std::size_t i = 0; i < s.votes.size(); ++i)
-    s.votes[i] = {static_cast<platform::UserId>(i), static_cast<double>(i)};
+  platform::Story s = make_story(0, 0, 0.0, 0.5);
+  // Rebuild the vote columns wholesale; only the count matters here.
+  s.voters.clear();
+  s.times.clear();
+  for (std::size_t i = 0; i < 521; ++i) {
+    s.voters.push_back(static_cast<platform::UserId>(i));
+    s.times.push_back(static_cast<double>(i));
+  }
   s.submitter = 0;
   const StoryFeatures f = extract_features(s, star_network());
   EXPECT_EQ(f.final_votes, 521u);
   EXPECT_TRUE(f.interesting);  // 521 > 520
 
-  s.votes.pop_back();
+  s.voters.pop_back();
+  s.times.pop_back();
   const StoryFeatures g = extract_features(s, star_network());
   EXPECT_FALSE(g.interesting);  // exactly 520 is NOT interesting
 }
 
 TEST(ExtractFeatures, CustomThreshold) {
-  const data::Story s = story_with_alternating_votes(30);
+  const platform::Story s = story_with_alternating_votes(30);
   const StoryFeatures f = extract_features(s, star_network(), 30);
   EXPECT_TRUE(f.interesting);  // 31 votes > 30
 }
 
 TEST(ExtractFeatures, SubmitterOutsideNetworkHasZeroFans) {
-  data::Story s = make_story(0, 1000, 0.0, 0.5);
+  platform::Story s = make_story(0, 1000, 0.0, 0.5);
   const StoryFeatures f = extract_features(s, star_network());
   EXPECT_EQ(f.fans1, 0u);
 }
 
 TEST(ExtractFeatures, BatchMatchesSingle) {
-  const std::vector<data::Story> stories = {story_with_alternating_votes(10),
-                                            story_with_alternating_votes(4)};
+  // Owning stories outlive the views handed to the batch API.
+  const platform::Story s10 = story_with_alternating_votes(10);
+  const platform::Story s4 = story_with_alternating_votes(4);
+  const std::vector<data::Story> stories = {s10, s4};
   const auto batch = extract_features(stories, star_network());
   ASSERT_EQ(batch.size(), 2u);
   EXPECT_EQ(batch[0].v10, extract_features(stories[0], star_network()).v10);
@@ -90,37 +97,37 @@ data::Corpus corpus_for_testset() {
   c.top_users = {0, 5};  // user 0 and 5 are "top"
 
   // Story A: top submitter, 12 quick votes, never promoted. Qualifies.
-  data::Story a = make_story(0, 0, 0.0, 0.5);
+  platform::Story a = make_story(0, 0, 0.0, 0.5);
   for (platform::UserId u = 20; u < 32; ++u)
     add_vote(a, u, static_cast<double>(u - 19));
-  c.upcoming.push_back(a);
+  c.add_story(a, data::Corpus::Section::kUpcoming);
 
   // Story B: top submitter, promoted before the scrape delay. Excluded.
-  data::Story b = make_story(1, 0, 0.0, 0.5);
+  platform::Story b = make_story(1, 0, 0.0, 0.5);
   for (platform::UserId u = 32; u < 50; ++u)
     add_vote(b, u, static_cast<double>(u - 31));
   b.promoted_at = 30.0;
   b.phase = platform::StoryPhase::kFrontPage;
-  c.front_page.push_back(b);
+  c.add_story(b, data::Corpus::Section::kFrontPage);
 
   // Story C: top submitter, promoted well after the scrape. Qualifies.
-  data::Story d = make_story(2, 5, 0.0, 0.5);
+  platform::Story d = make_story(2, 5, 0.0, 0.5);
   for (platform::UserId u = 50; u < 62; ++u)
     add_vote(d, u, static_cast<double>(u - 49));
   d.promoted_at = 10.0 * 60.0;  // 10 hours
   d.phase = platform::StoryPhase::kFrontPage;
-  c.front_page.push_back(d);
+  c.add_story(d, data::Corpus::Section::kFrontPage);
 
   // Story D: non-top submitter. Excluded.
-  data::Story e = make_story(3, 7, 0.0, 0.5);
+  platform::Story e = make_story(3, 7, 0.0, 0.5);
   for (platform::UserId u = 40; u < 55; ++u)
     add_vote(e, u, static_cast<double>(u - 39));
-  c.upcoming.push_back(e);
+  c.add_story(e, data::Corpus::Section::kUpcoming);
 
   // Story E: top submitter but too few votes by scrape time. Excluded.
-  data::Story f = make_story(4, 5, 0.0, 0.5);
+  platform::Story f = make_story(4, 5, 0.0, 0.5);
   add_vote(f, 35, 1.0);
-  c.upcoming.push_back(f);
+  c.add_story(f, data::Corpus::Section::kUpcoming);
   return c;
 }
 

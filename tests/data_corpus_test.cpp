@@ -16,19 +16,28 @@ Corpus tiny_corpus() {
   b.add_fan(0, 1);
   c.network = b.build();
 
-  Story fp = make_story(0, 0, 0.0, 0.5);
+  platform::Story fp = make_story(0, 0, 0.0, 0.5);
   add_vote(fp, 1, 1.0);
   add_vote(fp, 2, 2.0);
   fp.promoted_at = 2.0;
   fp.phase = platform::StoryPhase::kFrontPage;
-  c.front_page.push_back(fp);
+  c.add_story(fp, Corpus::Section::kFrontPage);
 
-  Story up = make_story(1, 3, 5.0, 0.2);
+  platform::Story up = make_story(1, 3, 5.0, 0.2);
   add_vote(up, 4, 6.0);
-  c.upcoming.push_back(up);
+  c.add_story(up, Corpus::Section::kUpcoming);
 
   c.top_users = {0, 3, 1};
   return c;
+}
+
+// Vote columns are immutable through the corpus views, so the negative
+// validate() cases append a story whose columns were built raw (bypassing
+// add_vote's invariant checks).
+void add_bad_story(Corpus& c, void (*corrupt)(platform::Story&)) {
+  platform::Story bad = make_story(2, 5, 0.0, 0.5);
+  corrupt(bad);
+  c.add_story(bad, Corpus::Section::kUpcoming);
 }
 
 TEST(Corpus, CountsAndRanks) {
@@ -62,31 +71,43 @@ TEST(Corpus, ValidateCatchesPromotedUpcoming) {
 
 TEST(Corpus, ValidateCatchesSubmitterNotFirst) {
   Corpus c = tiny_corpus();
-  c.front_page[0].votes[0].user = 7;
+  add_bad_story(c, [](platform::Story& s) { s.voters[0] = 7; });
   EXPECT_THROW(validate(c), std::runtime_error);
 }
 
 TEST(Corpus, ValidateCatchesDuplicateVoter) {
   Corpus c = tiny_corpus();
-  c.front_page[0].votes.push_back({1, 3.0});
+  add_bad_story(c, [](platform::Story& s) {
+    s.voters.insert(s.voters.end(), {6, 6});
+    s.times.insert(s.times.end(), {1.0, 2.0});
+  });
   EXPECT_THROW(validate(c), std::runtime_error);
 }
 
 TEST(Corpus, ValidateCatchesOutOfOrderVotes) {
   Corpus c = tiny_corpus();
-  c.front_page[0].votes.push_back({5, 0.5});
+  add_bad_story(c, [](platform::Story& s) {
+    s.voters.insert(s.voters.end(), {6, 7});
+    s.times.insert(s.times.end(), {2.0, 1.0});
+  });
   EXPECT_THROW(validate(c), std::runtime_error);
 }
 
 TEST(Corpus, ValidateCatchesVoterOutsideNetwork) {
   Corpus c = tiny_corpus();
-  c.front_page[0].votes.push_back({99, 3.0});
+  add_bad_story(c, [](platform::Story& s) {
+    s.voters.push_back(99);
+    s.times.push_back(1.0);
+  });
   EXPECT_THROW(validate(c), std::runtime_error);
 }
 
 TEST(Corpus, ValidateCatchesEmptyVotes) {
   Corpus c = tiny_corpus();
-  c.front_page[0].votes.clear();
+  add_bad_story(c, [](platform::Story& s) {
+    s.voters.clear();
+    s.times.clear();
+  });
   EXPECT_THROW(validate(c), std::runtime_error);
 }
 

@@ -15,19 +15,19 @@ Corpus filter_fixture() {
   c.network = graph::DigraphBuilder(16).build();
   c.top_users = {3, 7};
 
-  Story a = make_story(0, 3, /*submitted_at=*/10.0, 0.5);
+  platform::Story a = make_story(0, 3, /*submitted_at=*/10.0, 0.5);
   add_vote(a, 1, 11.0);
   add_vote(a, 2, 12.0);
   a.promoted_at = 12.0;
   a.phase = platform::StoryPhase::kFrontPage;
-  c.front_page.push_back(a);
+  c.add_story(a, Corpus::Section::kFrontPage);
 
-  Story b = make_story(1, 7, 100.0, 0.3);
+  platform::Story b = make_story(1, 7, 100.0, 0.3);
   add_vote(b, 4, 101.0);
-  c.upcoming.push_back(b);
+  c.add_story(b, Corpus::Section::kUpcoming);
 
-  Story d = make_story(2, 9, 200.0, 0.3);
-  c.upcoming.push_back(d);
+  platform::Story d = make_story(2, 9, 200.0, 0.3);
+  c.add_story(d, Corpus::Section::kUpcoming);
   return c;
 }
 

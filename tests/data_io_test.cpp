@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -13,6 +14,12 @@ namespace digg::data {
 namespace {
 
 namespace fs = std::filesystem;
+
+void expect_same_votes(const Story& a, const Story& b) {
+  ASSERT_EQ(a.vote_count(), b.vote_count());
+  EXPECT_TRUE(std::ranges::equal(a.voters(), b.voters()));
+  EXPECT_TRUE(std::ranges::equal(a.times(), b.times()));
+}
 
 class IoTest : public ::testing::Test {
  protected:
@@ -53,12 +60,12 @@ TEST_F(IoTest, RoundTripPreservesEverything) {
     const Story& b = loaded.front_page[i];
     EXPECT_EQ(a.id, b.id);
     EXPECT_EQ(a.submitter, b.submitter);
-    EXPECT_EQ(a.votes, b.votes);
+    expect_same_votes(a, b);
     EXPECT_DOUBLE_EQ(*a.promoted_at, *b.promoted_at);
     EXPECT_NEAR(a.quality, b.quality, 1e-5);
   }
   for (std::size_t i = 0; i < original.upcoming.size(); ++i) {
-    EXPECT_EQ(original.upcoming[i].votes, loaded.upcoming[i].votes);
+    expect_same_votes(original.upcoming[i], loaded.upcoming[i]);
     EXPECT_FALSE(loaded.upcoming[i].promoted());
   }
 

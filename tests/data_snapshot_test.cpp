@@ -1,0 +1,308 @@
+#include "src/data/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/data/io.h"
+#include "src/data/synthetic.h"
+
+namespace digg::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("digg_snapshot_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path snap() const { return dir_ / "corpus.snap"; }
+
+  fs::path dir_;
+};
+
+Corpus small_corpus(std::uint64_t seed = 1) {
+  stats::Rng rng(seed);
+  SyntheticParams p;
+  p.user_count = 1500;
+  p.story_count = 40;
+  p.vote_model.horizon = platform::kMinutesPerDay;
+  p.vote_model.step = 2.0;
+  return generate_corpus(p, rng).corpus;
+}
+
+std::vector<char> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good());
+  std::vector<char> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void spew(const fs::path& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Same word-wise FNV-1a as the writer; needed to re-seal deliberately
+// edited files so a test reaches the check *behind* the checksum.
+std::uint64_t fnv1a(const char* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ull;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h = (h ^ w) * 1099511628211ull;
+  }
+  if (i < size) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, data + i, size - i);
+    h = (h ^ w) * 1099511628211ull;
+  }
+  return h;
+}
+
+void reseal(std::vector<char>& bytes) {
+  const std::size_t payload_end = bytes.size() - sizeof(std::uint64_t);
+  const std::uint64_t sum = fnv1a(bytes.data(), payload_end);
+  std::memcpy(bytes.data() + payload_end, &sum, sizeof(sum));
+}
+
+void expect_load_error(const fs::path& path, const std::string& needle) {
+  try {
+    (void)load_snapshot(path);
+    FAIL() << "expected load_snapshot to throw; wanted message containing '"
+           << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+    // Every load error names the offending file.
+    EXPECT_NE(std::string(e.what()).find(path.filename().string()),
+              std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+void expect_same_story(const Story& a, const Story& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.submitter, b.submitter);
+  EXPECT_EQ(a.submitted_at, b.submitted_at);
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.phase, b.phase);
+  ASSERT_EQ(a.promoted(), b.promoted());
+  if (a.promoted()) {
+    EXPECT_EQ(*a.promoted_at, *b.promoted_at);
+  }
+  ASSERT_EQ(a.vote_count(), b.vote_count());
+  // Deep equality including vote *order* (bitwise on times).
+  EXPECT_TRUE(std::ranges::equal(a.voters(), b.voters()));
+  EXPECT_TRUE(std::ranges::equal(a.times(), b.times()));
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesEverything) {
+  const Corpus original = small_corpus();
+  save_snapshot(original, snap());
+  const Corpus loaded = load_snapshot(snap());
+
+  EXPECT_EQ(loaded.user_count(), original.user_count());
+  EXPECT_EQ(loaded.network.edge_count(), original.network.edge_count());
+  for (graph::NodeId u = 0; u < original.network.node_count(); ++u) {
+    const auto fr_a = original.network.friends(u);
+    const auto fr_b = loaded.network.friends(u);
+    ASSERT_TRUE(std::equal(fr_a.begin(), fr_a.end(), fr_b.begin(), fr_b.end()));
+    const auto fa_a = original.network.fans(u);
+    const auto fa_b = loaded.network.fans(u);
+    ASSERT_TRUE(std::equal(fa_a.begin(), fa_a.end(), fa_b.begin(), fa_b.end()));
+  }
+
+  ASSERT_EQ(loaded.front_page.size(), original.front_page.size());
+  ASSERT_EQ(loaded.upcoming.size(), original.upcoming.size());
+  for (std::size_t i = 0; i < original.front_page.size(); ++i)
+    expect_same_story(original.front_page[i], loaded.front_page[i]);
+  for (std::size_t i = 0; i < original.upcoming.size(); ++i)
+    expect_same_story(original.upcoming[i], loaded.upcoming[i]);
+  EXPECT_EQ(loaded.top_users, original.top_users);
+  EXPECT_NO_THROW(validate(loaded));
+}
+
+TEST_F(SnapshotTest, RoundTripAcrossSeeds) {
+  for (std::uint64_t seed : {2u, 3u, 4u}) {
+    const Corpus original = small_corpus(seed);
+    save_snapshot(original, snap());
+    const Corpus loaded = load_snapshot(snap());
+    ASSERT_EQ(loaded.story_count(), original.story_count());
+    ASSERT_EQ(loaded.vote_store.total_votes(), original.vote_store.total_votes());
+    for (std::size_t i = 0; i < original.front_page.size(); ++i)
+      expect_same_story(original.front_page[i], loaded.front_page[i]);
+    for (std::size_t i = 0; i < original.upcoming.size(); ++i)
+      expect_same_story(original.upcoming[i], loaded.upcoming[i]);
+  }
+}
+
+TEST_F(SnapshotTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_snapshot(dir_ / "nope.snap"), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, TruncatedHeaderThrows) {
+  spew(snap(), {'D', 'I', 'G', 'G', 'S', 'N'});
+  expect_load_error(snap(), "truncated file (smaller than header)");
+}
+
+TEST_F(SnapshotTest, BadMagicThrows) {
+  save_snapshot(small_corpus(), snap());
+  auto bytes = slurp(snap());
+  bytes[0] = 'X';
+  spew(snap(), bytes);
+  expect_load_error(snap(), "bad magic");
+}
+
+TEST_F(SnapshotTest, FutureVersionThrows) {
+  save_snapshot(small_corpus(), snap());
+  auto bytes = slurp(snap());
+  const std::uint32_t future = kSnapshotVersion + 1;
+  std::memcpy(bytes.data() + 8, &future, sizeof(future));
+  spew(snap(), bytes);
+  expect_load_error(snap(), "unsupported version " + std::to_string(future));
+}
+
+TEST_F(SnapshotTest, CutOffSectionTableThrows) {
+  save_snapshot(small_corpus(), snap());
+  auto bytes = slurp(snap());
+  bytes.resize(24);  // header survives, table does not
+  spew(snap(), bytes);
+  expect_load_error(snap(), "truncated file (section table cut off)");
+}
+
+TEST_F(SnapshotTest, SectionOverrunThrows) {
+  save_snapshot(small_corpus(), snap());
+  auto bytes = slurp(snap());
+  // First table entry's size field (header 16 + type 4 + flags 4 + offset 8).
+  const std::uint64_t huge = ~0ull;
+  std::memcpy(bytes.data() + 16 + 16, &huge, sizeof(huge));
+  spew(snap(), bytes);
+  expect_load_error(snap(), "truncated file (section overruns)");
+}
+
+TEST_F(SnapshotTest, ChecksumMismatchThrows) {
+  save_snapshot(small_corpus(), snap());
+  auto bytes = slurp(snap());
+  bytes[bytes.size() - sizeof(std::uint64_t) - 1] ^= 0x5a;  // payload byte
+  spew(snap(), bytes);
+  expect_load_error(snap(), "checksum mismatch");
+}
+
+TEST_F(SnapshotTest, UnknownSectionTypesAreIgnored) {
+  // Forward compatibility: rebuild the file with a fifth, unknown section.
+  save_snapshot(small_corpus(), snap());
+  const auto bytes = slurp(snap());
+  constexpr std::size_t kHeaderBytes = 16;
+  constexpr std::size_t kEntryBytes = 24;
+  const std::size_t old_table_end = kHeaderBytes + 4 * kEntryBytes;
+  const std::size_t payload_end = bytes.size() - sizeof(std::uint64_t);
+
+  std::vector<char> out(bytes.begin(), bytes.begin() + kHeaderBytes);
+  const std::uint32_t count = 5;
+  std::memcpy(out.data() + 12, &count, sizeof(count));
+  // Copy the four real entries, shifting their offsets past the new entry.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const char* entry = bytes.data() + kHeaderBytes + i * kEntryBytes;
+    std::uint32_t type = 0, flags = 0;
+    std::uint64_t offset = 0, size = 0;
+    std::memcpy(&type, entry, 4);
+    std::memcpy(&flags, entry + 4, 4);
+    std::memcpy(&offset, entry + 8, 8);
+    std::memcpy(&size, entry + 16, 8);
+    offset += kEntryBytes;
+    const std::size_t at = out.size();
+    out.resize(at + kEntryBytes);
+    std::memcpy(out.data() + at, &type, 4);
+    std::memcpy(out.data() + at + 4, &flags, 4);
+    std::memcpy(out.data() + at + 8, &offset, 8);
+    std::memcpy(out.data() + at + 16, &size, 8);
+  }
+  // The unknown entry: type 99, empty body at the end of the payload.
+  {
+    const std::uint32_t type = 99, flags = 0;
+    const std::uint64_t offset = payload_end + kEntryBytes, size = 0;
+    const std::size_t at = out.size();
+    out.resize(at + kEntryBytes);
+    std::memcpy(out.data() + at, &type, 4);
+    std::memcpy(out.data() + at + 4, &flags, 4);
+    std::memcpy(out.data() + at + 8, &offset, 8);
+    std::memcpy(out.data() + at + 16, &size, 8);
+  }
+  out.insert(out.end(), bytes.begin() + static_cast<std::ptrdiff_t>(old_table_end),
+             bytes.begin() + static_cast<std::ptrdiff_t>(payload_end));
+  out.resize(out.size() + sizeof(std::uint64_t));
+  reseal(out);
+  spew(snap(), out);
+
+  const Corpus loaded = load_snapshot(snap());
+  EXPECT_EQ(loaded.story_count(), small_corpus().story_count());
+}
+
+// The acceptance gate for the whole storage layer: one experiment run
+// through a CSV-loaded corpus and a snapshot-loaded corpus must agree on
+// every value.
+TEST_F(SnapshotTest, ExperimentIdenticalAcrossCsvAndSnapshot) {
+  const Corpus original = small_corpus(7);
+  save_corpus(original, dir_ / "csv");
+  save_snapshot(original, snap());
+  const Corpus from_csv = load_corpus(dir_ / "csv");
+  const Corpus from_snap = load_snapshot(snap());
+
+  const core::Fig3aResult a = core::fig3a_influence(from_csv);
+  const core::Fig3aResult b = core::fig3a_influence(from_snap);
+  EXPECT_EQ(a.at_submission, b.at_submission);
+  EXPECT_EQ(a.after_10, b.after_10);
+  EXPECT_EQ(a.after_20, b.after_20);
+  EXPECT_EQ(a.fraction_submitters_under_10_fans,
+            b.fraction_submitters_under_10_fans);
+  EXPECT_EQ(a.fraction_visible_to_200_after_10,
+            b.fraction_visible_to_200_after_10);
+
+  // Feature extraction (the §5 pipeline input) must agree field by field.
+  const auto fa = core::extract_features(from_csv.front_page, from_csv.network);
+  const auto fb =
+      core::extract_features(from_snap.front_page, from_snap.network);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].story, fb[i].story);
+    EXPECT_EQ(fa[i].submitter, fb[i].submitter);
+    EXPECT_EQ(fa[i].v6, fb[i].v6);
+    EXPECT_EQ(fa[i].v10, fb[i].v10);
+    EXPECT_EQ(fa[i].v20, fb[i].v20);
+    EXPECT_EQ(fa[i].fans1, fb[i].fans1);
+    EXPECT_EQ(fa[i].influence10, fb[i].influence10);
+    EXPECT_EQ(fa[i].final_votes, fb[i].final_votes);
+    EXPECT_EQ(fa[i].interesting, fb[i].interesting);
+  }
+
+  // Vote-time-dependent values too: CSV stores round-trip-exact doubles.
+  for (std::size_t i = 0; i < from_csv.front_page.size(); ++i) {
+    const auto ta = core::vote_timeseries(from_csv.front_page[i]);
+    const auto tb = core::vote_timeseries(from_snap.front_page[i]);
+    EXPECT_EQ(ta.times(), tb.times());
+    EXPECT_EQ(ta.values(), tb.values());
+  }
+}
+
+}  // namespace
+}  // namespace digg::data

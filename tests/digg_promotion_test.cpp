@@ -43,9 +43,9 @@ TEST(VoteRatePolicy, RequiresBothCountAndRate) {
   const VoteRatePolicy policy(43, 10, /*rate_window=*/240.0);
   const graph::Digraph net = empty_network();
   const Story slow = story_with_votes(50, 60.0);
-  EXPECT_FALSE(policy.should_promote(slow, net, slow.votes.back().time));
+  EXPECT_FALSE(policy.should_promote(slow, net, slow.times.back()));
   const Story fast = story_with_votes(50, 1.0);
-  EXPECT_TRUE(policy.should_promote(fast, net, fast.votes.back().time));
+  EXPECT_TRUE(policy.should_promote(fast, net, fast.times.back()));
 }
 
 TEST(VoteRatePolicy, BelowThresholdNeverPromotes) {

@@ -11,8 +11,8 @@ TEST(Story, MakeStoryRecordsSubmitterDigg) {
   EXPECT_EQ(s.id, 1u);
   EXPECT_EQ(s.submitter, 42u);
   ASSERT_EQ(s.vote_count(), 1u);
-  EXPECT_EQ(s.votes.front().user, 42u);
-  EXPECT_DOUBLE_EQ(s.votes.front().time, 100.0);
+  EXPECT_EQ(s.voters.front(), 42u);
+  EXPECT_DOUBLE_EQ(s.times.front(), 100.0);
   EXPECT_EQ(s.phase, StoryPhase::kUpcoming);
   EXPECT_FALSE(s.promoted());
 }
@@ -59,8 +59,8 @@ TEST(Story, EarlyVotesSkipSubmitter) {
   for (UserId u = 2; u <= 15; ++u) add_vote(s, u, static_cast<Minutes>(u));
   const auto early = early_votes(s, 10);
   ASSERT_EQ(early.size(), 10u);
-  EXPECT_EQ(early.front().user, 2u);
-  EXPECT_EQ(early.back().user, 11u);
+  EXPECT_EQ(early.front(), 2u);
+  EXPECT_EQ(early.back(), 11u);
 }
 
 TEST(Story, EarlyVotesTruncatesWhenShort) {
@@ -75,7 +75,9 @@ TEST(Story, VotersInOrder) {
   Story s = make_story(0, 5, 0.0, 0.5);
   add_vote(s, 9, 1.0);
   add_vote(s, 3, 2.0);
-  EXPECT_EQ(voters(s), (std::vector<UserId>{5, 9, 3}));
+  const auto vs = voters(s);
+  EXPECT_EQ(std::vector<UserId>(vs.begin(), vs.end()),
+            (std::vector<UserId>{5, 9, 3}));
 }
 
 TEST(Story, VotesBeforeCutoff) {

@@ -67,7 +67,8 @@ TEST(NoveltyFitAll, FitsOnlyQualifyingStories) {
   stories.push_back(story_with_half_life(1440.0, 300.0, 100));
   stories.push_back(platform::make_story(1, 0, 0.0, 0.5));  // unpromoted
   stories.push_back(story_with_half_life(720.0, 300.0, 100));
-  const auto fits = fit_novelty_decay_all(stories);
+  const std::vector<platform::StoryView> views(stories.begin(), stories.end());
+  const auto fits = fit_novelty_decay_all(views);
   EXPECT_EQ(fits.size(), 2u);
 }
 

@@ -90,14 +90,14 @@ TEST(SiteSimulator, VoteRecordsStayValid) {
   sim.run();
   for (platform::StoryId id = 0; id < plat.story_count(); ++id) {
     const platform::Story& s = plat.story(id);
-    ASSERT_FALSE(s.votes.empty());
-    EXPECT_EQ(s.votes.front().user, s.submitter);
+    ASSERT_FALSE(s.voters.empty());
+    EXPECT_EQ(s.voters.front(), s.submitter);
     std::set<UserId> seen;
     platform::Minutes prev = -1.0;
-    for (const platform::Vote& v : s.votes) {
-      EXPECT_TRUE(seen.insert(v.user).second);
-      EXPECT_GE(v.time, prev);
-      prev = v.time;
+    for (std::size_t k = 0; k < s.vote_count(); ++k) {
+      EXPECT_TRUE(seen.insert(s.voters[k]).second);
+      EXPECT_GE(s.times[k], prev);
+      prev = s.times[k];
     }
   }
 }

@@ -67,13 +67,13 @@ TEST(VoteSimulator, VotesAreChronologicalAndUnique) {
   sim.run_story(id, {0.6, 0.6});
   const platform::Story& s = fx.platform.story(id);
   ASSERT_GE(s.vote_count(), 2u);
-  EXPECT_EQ(s.votes.front().user, s.submitter);
+  EXPECT_EQ(s.voters.front(), s.submitter);
   std::set<platform::UserId> seen;
   platform::Minutes prev = -1.0;
-  for (const platform::Vote& v : s.votes) {
-    EXPECT_TRUE(seen.insert(v.user).second);
-    EXPECT_GE(v.time, prev);
-    prev = v.time;
+  for (std::size_t k = 0; k < s.vote_count(); ++k) {
+    EXPECT_TRUE(seen.insert(s.voters[k]).second);
+    EXPECT_GE(s.times[k], prev);
+    prev = s.times[k];
   }
 }
 
@@ -102,7 +102,8 @@ TEST(VoteSimulator, DeterministicGivenSeeds) {
     VoteSimulator sim(fx.platform, fast_params(), stats::Rng(9));
     const auto id = fx.platform.submit(0, 0.6, 0.0);
     sim.run_story(id, {0.6, 0.5});
-    return fx.platform.story(id).votes;
+    const platform::Story& s = fx.platform.story(id);
+    return std::pair(s.voters, s.times);
   };
   const auto a = run_once();
   const auto b = run_once();
@@ -121,8 +122,8 @@ TEST(VoteSimulator, UnpromotedStoryStopsAtExpiry) {
   // No vote should land after the upcoming lifetime.
   const platform::Minutes lifetime =
       fx.platform.queue_params().upcoming_lifetime;
-  for (const platform::Vote& v : s.votes)
-    EXPECT_LE(v.time, s.submitted_at + lifetime + params.step + 1e-9);
+  for (platform::Minutes t : s.times)
+    EXPECT_LE(t, s.submitted_at + lifetime + params.step + 1e-9);
 }
 
 TEST(VoteSimulator, FanChannelDominatesForConnectedDullStory) {

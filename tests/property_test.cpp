@@ -79,11 +79,11 @@ TEST_P(SeededProperty, ProvenanceMatchesBruteForceExposure) {
   const Story s = random_story(rng, g, 20);
   const auto prov = core::vote_provenance(s, g);
   // Brute force: vote k is in-network iff voter follows any prior voter.
-  for (std::size_t k = 1; k < s.votes.size(); ++k) {
-    const UserId voter = s.votes[k].user;
+  for (std::size_t k = 1; k < s.voters.size(); ++k) {
+    const UserId voter = s.voters[k];
     bool exposed = false;
     for (std::size_t j = 0; j < k && !exposed; ++j) {
-      exposed = g.has_edge(voter, s.votes[j].user);
+      exposed = g.has_edge(voter, s.voters[j]);
     }
     EXPECT_EQ(prov[k - 1], exposed) << "vote " << k;
   }
@@ -97,9 +97,9 @@ TEST_P(SeededProperty, VisibilitySetMatchesBruteForceRecompute) {
   const Story s = random_story(rng, g, 15);
   platform::VisibilitySet vis(g);
   std::unordered_set<UserId> voters;
-  for (const platform::Vote& v : s.votes) {
-    vis.add_voter(v.user);
-    voters.insert(v.user);
+  for (UserId user : s.voters) {
+    vis.add_voter(user);
+    voters.insert(user);
     // Brute force: union of fans of voters, minus voters.
     std::set<UserId> expected;
     for (UserId voter : voters) {
