@@ -31,8 +31,14 @@ int main(int argc, char** argv) {
     }
     if (fans.empty()) continue;
     const stats::Summary s = stats::summarize(fans);
-    profile.add_row({"[" + stats::fmt(static_cast<std::int64_t>(lo)) + "," +
-                         stats::fmt(static_cast<std::int64_t>(hi)) + ")",
+    // Built by append: the `"[" + fmt(..) + ","` rvalue chain trips GCC 12's
+    // -Wrestrict false positive (PR105651) at -O2, which CI's -Werror promotes.
+    std::string bucket = "[";
+    bucket += stats::fmt(static_cast<std::int64_t>(lo));
+    bucket += ",";
+    bucket += stats::fmt(static_cast<std::int64_t>(hi));
+    bucket += ")";
+    profile.add_row({std::move(bucket),
                      stats::fmt(static_cast<std::int64_t>(s.n)),
                      stats::fmt(s.median, 1),
                      stats::fmt(static_cast<std::int64_t>(top_count))});

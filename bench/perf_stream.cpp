@@ -1,0 +1,100 @@
+// Streaming-engine benchmark: replay the standard calibrated corpus as one
+// time-ordered vote stream and report ingest throughput (votes/sec), plus
+// the checkpoint save/restore cost that makes a replay killable. A batch
+// feature-extraction pass over the same stories runs for scale: the stream
+// engine maintains the same quantities incrementally, so the two wall
+// clocks bound what "pay per vote" vs "pay per recompute" buys.
+//
+// With --json <path> the metrics snapshot (stream.votes_ingested,
+// stream.vis_rebuilds, stream.state_bytes, checkpoint latency histograms,
+// and the stream.bench_* gauges below) plus wall clock land in the
+// BENCH_stream.json perf-trajectory format consumed by scripts/ci.sh's
+// bench-regression gate.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "bench/common.h"
+#include "src/core/features.h"
+#include "src/stream/checkpoint.h"
+#include "src/stream/engine.h"
+#include "src/stream/source.h"
+
+namespace {
+
+template <typename F>
+double best_of_ms(int reps, F&& work) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    work();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace digg;
+  namespace fs = std::filesystem;
+  bench::Context ctx = bench::make_context(
+      argc, argv, "Stream engine: vote ingest throughput");
+  const data::Corpus& corpus = ctx.synthetic.corpus;
+  constexpr int kReps = 5;
+
+  const stream::EventStream es = stream::build_event_stream(corpus);
+  const double votes = static_cast<double>(es.total_events());
+  std::printf("events: %zu over %zu stories\n\n",
+              static_cast<std::size_t>(es.total_events()),
+              es.stories.size());
+
+  const double init_ms = best_of_ms(
+      kReps, [&] { stream::StreamEngine e(es, corpus.network); });
+  const double replay_ms = best_of_ms(kReps, [&] {
+    stream::StreamEngine e(es, corpus.network);
+    e.run_all();
+    if (e.events_applied() != es.total_events()) std::abort();
+  });
+  const double votes_per_sec = votes / (replay_ms / 1e3);
+
+  const double batch_ms = best_of_ms(kReps, [&] {
+    const auto rows = core::extract_features(corpus.front_page, corpus.network);
+    if (rows.size() != corpus.front_page.size()) std::abort();
+  });
+
+  stream::StreamEngine engine(es, corpus.network);
+  engine.run_until(es.total_events() / 2);
+  const fs::path dir = fs::temp_directory_path() /
+                       ("digg_perf_stream_" + std::to_string(::getpid()));
+  const fs::path ckpt = dir / "mid.ckpt";
+  const double save_ms =
+      best_of_ms(kReps, [&] { engine.save_checkpoint(ckpt); });
+  const double restore_ms =
+      best_of_ms(kReps, [&] { engine.restore_checkpoint(ckpt); });
+  std::error_code ec;
+  const auto ckpt_bytes = fs::file_size(ckpt, ec);
+  fs::remove_all(dir, ec);
+
+  std::printf("engine init (validate + fingerprint): %8.2f ms\n", init_ms);
+  std::printf("full replay:                          %8.2f ms  (%.0f votes/s)\n",
+              replay_ms, votes_per_sec);
+  std::printf("batch feature extraction (front page):%8.2f ms\n", batch_ms);
+  std::printf("checkpoint save:                      %8.2f ms  (%zu bytes)\n",
+              save_ms, static_cast<std::size_t>(ec ? 0 : ckpt_bytes));
+  std::printf("checkpoint restore (validated):       %8.2f ms\n", restore_ms);
+
+  // Gauges for the perf trajectory: bench_check.py flags regressions on
+  // these (higher is better for throughput, lower for latencies).
+  auto& reg = obs::Registry::global();
+  reg.gauge("stream.bench_votes_per_sec").set(votes_per_sec);
+  reg.gauge("stream.bench_replay_ms").set(replay_ms);
+  reg.gauge("stream.bench_checkpoint_save_ms").set(save_ms);
+  reg.gauge("stream.bench_checkpoint_restore_ms").set(restore_ms);
+  return 0;
+}

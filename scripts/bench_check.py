@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare fresh BENCH_*.json reports to baselines.
+
+Usage:
+  scripts/bench_check.py [--threshold 0.25] BASELINE_DIR NEW_DIR
+  scripts/bench_check.py --self-test
+
+Each report is the BENCH_<name>.json perf-trajectory format written by
+bench/common.h and bench/perf_micro.cpp:
+
+  {"bench": ..., "seed": ..., "wall_ms": ..., "metrics": {"gauges": {...}}}
+
+For every report present in BASELINE_DIR, the same file must exist in
+NEW_DIR and every *gated metric* must be within --threshold (default 25%)
+of its baseline in the bad direction:
+
+  - gauges ending in  per_sec / per_s     higher is better
+  - gauges ending in  _ms / _us / _bytes  lower is better
+  - wall_ms                               lower is better (reported but NOT
+    gated: it includes corpus generation and, for perf_micro, however many
+    benchmark repetitions google-benchmark chose — too noisy to gate on
+    shared CI runners; the per-metric gauges are the stable signal)
+
+Improvements never fail the gate. Counters and histograms are ignored: they
+measure workload shape, not speed. A report present only in NEW_DIR is
+listed as new and passes (first PR for a bench commits its baseline).
+
+Exit status: 0 all gated metrics within threshold, 1 regression or missing
+report, 2 usage/IO error. A delta table is always printed.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+HIGHER_BETTER = ("per_sec", "per_s")
+LOWER_BETTER = ("_ms", "_us", "_bytes")
+
+
+def direction(name):
+    """+1 higher-is-better, -1 lower-is-better, 0 not gated."""
+    if name == "wall_ms":  # reported only; see the module docstring
+        return 0
+    if name.endswith(HIGHER_BETTER):
+        return 1
+    if name.endswith(LOWER_BETTER):
+        return -1
+    return 0
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    metrics = {"wall_ms": float(doc.get("wall_ms", 0.0))}
+    for name, value in doc.get("metrics", {}).get("gauges", {}).items():
+        metrics[name] = float(value)
+    return metrics
+
+
+def compare_dirs(baseline_dir, new_dir, threshold, out=sys.stdout):
+    """Returns the list of failure strings; prints the delta table."""
+    baseline_dir = pathlib.Path(baseline_dir)
+    new_dir = pathlib.Path(new_dir)
+    failures = []
+    rows = []
+
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        failures.append(f"no BENCH_*.json baselines in {baseline_dir}")
+    for base_path in baselines:
+        new_path = new_dir / base_path.name
+        if not new_path.exists():
+            failures.append(f"{base_path.name}: missing from {new_dir}")
+            continue
+        base = load_report(base_path)
+        new = load_report(new_path)
+        for name in sorted(base):
+            if name not in new:
+                if direction(name) != 0:
+                    failures.append(f"{base_path.name}: metric {name} vanished")
+                continue
+            b, n = base[name], new[name]
+            delta = 0.0 if b == 0 else (n - b) / b
+            gate = direction(name)
+            # Regression = the bad direction for this metric's polarity.
+            regressed = gate != 0 and (
+                (gate > 0 and delta < -threshold)
+                or (gate < 0 and delta > threshold)
+            )
+            status = "FAIL" if regressed else ("  ok" if gate else "info")
+            rows.append(
+                (base_path.name, name, b, n, 100.0 * delta, status)
+            )
+            if regressed:
+                failures.append(
+                    f"{base_path.name}: {name} regressed "
+                    f"{100.0 * abs(delta):.1f}% "
+                    f"(baseline {b:.6g}, new {n:.6g}, "
+                    f"threshold {100.0 * threshold:.0f}%)"
+                )
+    for new_path in sorted(new_dir.glob("BENCH_*.json")):
+        if not (baseline_dir / new_path.name).exists():
+            rows.append((new_path.name, "(new benchmark)", 0, 0, 0.0, " new"))
+
+    if rows:
+        name_w = max(len(r[0]) for r in rows)
+        metric_w = max(len(r[1]) for r in rows)
+        print(
+            f"{'report':<{name_w}}  {'metric':<{metric_w}}  "
+            f"{'baseline':>12}  {'new':>12}  {'delta':>8}  status",
+            file=out,
+        )
+        for name, metric, b, n, delta, status in rows:
+            print(
+                f"{name:<{name_w}}  {metric:<{metric_w}}  "
+                f"{b:>12.6g}  {n:>12.6g}  {delta:>+7.1f}%  {status}",
+                file=out,
+            )
+    return failures
+
+
+def self_test():
+    """Proves the gate trips on a 30% slowdown and stays green otherwise."""
+    base = {
+        "bench": "selftest",
+        "seed": 42,
+        "wall_ms": 100.0,
+        "metrics": {"gauges": {"x.bench_votes_per_sec": 1000.0,
+                               "x.bench_replay_ms": 50.0,
+                               "x.some_ratio": 0.5}},
+    }
+
+    def variant(scale_throughput, scale_latency):
+        doc = json.loads(json.dumps(base))
+        gauges = doc["metrics"]["gauges"]
+        gauges["x.bench_votes_per_sec"] *= scale_throughput
+        gauges["x.bench_replay_ms"] *= scale_latency
+        return doc
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        for sub in ("baseline", "slow", "fine"):
+            (tmp / sub).mkdir()
+        (tmp / "baseline" / "BENCH_x.json").write_text(json.dumps(base))
+        # 30% throughput drop AND 30% latency growth: both must trip.
+        (tmp / "slow" / "BENCH_x.json").write_text(
+            json.dumps(variant(0.7, 1.3))
+        )
+        # 10% wobble plus an ungated gauge change: must pass.
+        wobble = variant(0.9, 1.1)
+        wobble["metrics"]["gauges"]["x.some_ratio"] = 9.9
+        (tmp / "fine" / "BENCH_x.json").write_text(json.dumps(wobble))
+
+        slow = compare_dirs(tmp / "baseline", tmp / "slow", 0.25)
+        assert len(slow) == 2, f"expected 2 failures, got {slow}"
+        fine = compare_dirs(tmp / "baseline", tmp / "fine", 0.25)
+        assert fine == [], f"expected clean pass, got {fine}"
+        missing = compare_dirs(tmp / "baseline", tmp / "fine" / "nope", 0.25)
+        assert missing, "expected a failure for a missing report"
+    print("bench_check.py self-test: ok")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on a 30%% slowdown")
+    parser.add_argument("dirs", nargs="*", metavar="DIR",
+                        help="BASELINE_DIR NEW_DIR")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if len(args.dirs) != 2:
+        parser.error("expected BASELINE_DIR and NEW_DIR (or --self-test)")
+    failures = compare_dirs(args.dirs[0], args.dirs[1], args.threshold)
+    if failures:
+        print("\nbench_check.py: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbench_check.py: all benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

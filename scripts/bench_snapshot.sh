@@ -4,6 +4,8 @@
 #                         snapshot + wall clock; see bench/perf_micro.cpp)
 #   BENCH_corpus_io.json  perf_corpus_io (CSV load vs snapshot save/load;
 #                         exits nonzero if the snapshot-load 5x bar is missed)
+#   BENCH_stream.json     perf_stream (vote-stream replay throughput and
+#                         checkpoint save/restore latency)
 #
 # Usage: scripts/bench_snapshot.sh [extra perf_micro args...]
 #   BUILD_DIR       build directory (default build-release)
@@ -16,7 +18,8 @@ BUILD_DIR=${BUILD_DIR:-build-release}
 BENCH_MIN_TIME=${BENCH_MIN_TIME:-0.05}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j --target perf_micro --target perf_corpus_io
+cmake --build "$BUILD_DIR" -j --target perf_micro --target perf_corpus_io \
+  --target perf_stream
 
 "$BUILD_DIR/bench/perf_micro" \
   --json BENCH_parallel.json \
@@ -26,3 +29,6 @@ echo "wrote $(pwd)/BENCH_parallel.json"
 
 "$BUILD_DIR/bench/perf_corpus_io" --json BENCH_corpus_io.json
 echo "wrote $(pwd)/BENCH_corpus_io.json"
+
+"$BUILD_DIR/bench/perf_stream" --json BENCH_stream.json
+echo "wrote $(pwd)/BENCH_stream.json"

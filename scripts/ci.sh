@@ -1,34 +1,69 @@
 #!/usr/bin/env bash
-# Tier-1 verification matrix in one invocation:
-#   1. Release build + full ctest suite (the tier-1 gate)
-#   2. Debug build with -DDIGG_SANITIZE=address + full ctest suite
-# Fails fast on the first broken configuration.
+# Tier-1 verification matrix, one configuration per invocation (or 'all'):
+#   release  Release build + full ctest suite (the tier-1 gate)
+#   asan     Debug build, -DDIGG_SANITIZE=address,undefined + full suite
+#   tsan     RelWithDebInfo build, -DDIGG_SANITIZE=thread + the tests that
+#            exercise the thread pool (label filter TSAN_LABELS below —
+#            TSan slows single-threaded statistics tests ~10x for no
+#            additional race coverage)
+#   all      every configuration above, failing fast on the first broken one
 #
-# Usage: scripts/ci.sh [ctest args...]
-#   RELEASE_DIR  Release build dir (default build-release)
-#   ASAN_DIR     Debug+ASan build dir (default build-asan)
+# The GitHub Actions matrix (.github/workflows/ci.yml) runs one mode per
+# job via this script, so CI legs are reproducible locally with the same
+# command CI uses.
+#
+# Usage: scripts/ci.sh [release|asan|tsan|all] [ctest args...]
+#   RELEASE_DIR / ASAN_DIR / TSAN_DIR
+#                build dirs (default build-release, build-asan, build-tsan)
 #   JOBS         parallelism (default nproc)
+#   WERROR       ON to add -Werror (CI sets this; local default OFF)
+#   TSAN_LABELS  ctest -L regex for the tsan leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RELEASE_DIR=${RELEASE_DIR:-build-release}
 ASAN_DIR=${ASAN_DIR:-build-asan}
+TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
+WERROR=${WERROR:-OFF}
+TSAN_LABELS=${TSAN_LABELS:-'^(runtime_test|stream_test|obs_test)$'}
 
+MODE=all
+case "${1:-}" in
+  release|asan|tsan|all)
+    MODE=$1
+    shift
+    ;;
+esac
+CTEST_ARGS=("$@")
+
+# run_config <dir> <label> [cmake args...] [-- ctest args...]
 run_config() {
   local dir=$1 label=$2
   shift 2
+  local cmake_args=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do
+    cmake_args+=("$1")
+    shift
+  done
+  [[ $# -gt 0 ]] && shift  # drop the --
   echo "== [$label] configure + build ($dir) =="
-  cmake -B "$dir" -S . "$@"
+  cmake -B "$dir" -S . -DDIGG_WERROR="$WERROR" "${cmake_args[@]}"
   cmake --build "$dir" -j "$JOBS"
   echo "== [$label] ctest =="
-  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${CTEST_ARGS[@]}")
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "$@" "${CTEST_ARGS[@]}")
 }
 
-CTEST_ARGS=("$@")
+if [[ $MODE == release || $MODE == all ]]; then
+  run_config "$RELEASE_DIR" "Release" -DCMAKE_BUILD_TYPE=Release
+fi
+if [[ $MODE == asan || $MODE == all ]]; then
+  run_config "$ASAN_DIR" "Debug+ASan/UBSan" -DCMAKE_BUILD_TYPE=Debug \
+    -DDIGG_SANITIZE=address,undefined
+fi
+if [[ $MODE == tsan || $MODE == all ]]; then
+  run_config "$TSAN_DIR" "TSan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDIGG_SANITIZE=thread -- -L "$TSAN_LABELS"
+fi
 
-run_config "$RELEASE_DIR" "Release" -DCMAKE_BUILD_TYPE=Release
-run_config "$ASAN_DIR" "Debug+ASan" -DCMAKE_BUILD_TYPE=Debug \
-  -DDIGG_SANITIZE=address
-
-echo "ci.sh: both configurations green"
+echo "ci.sh: $MODE green"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# clang-format gate over the files a change actually touches. Checking only
+# the diff keeps the gate adoptable on a living tree: nobody is forced to
+# reformat files their PR never opened.
+#
+# Usage: scripts/format_check.sh [base-ref]
+#   base-ref  diff base (default: merge-base with origin/main, falling back
+#             to HEAD~1). CI passes the PR base sha.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE=${1:-$(git merge-base HEAD origin/main 2>/dev/null || echo 'HEAD~1')}
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check.sh: clang-format not installed; skipping (CI installs it)"
+  exit 0
+fi
+
+mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+  '*.cpp' '*.h' | while read -r f; do [[ -f $f ]] && echo "$f"; done)
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format_check.sh: no C++ files changed since $BASE"
+  exit 0
+fi
+
+echo "format_check.sh: checking ${#files[@]} file(s) changed since $BASE"
+clang-format --dry-run --Werror "${files[@]}"
+echo "format_check.sh: clean"

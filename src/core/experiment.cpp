@@ -170,10 +170,7 @@ std::vector<Fig4Group> group_by_cascade(
 
 }  // namespace
 
-Fig4Result fig4_innetwork_vs_final(const data::Corpus& corpus) {
-  obs::Span span("fig4_innetwork_vs_final", "core");
-  const std::vector<StoryFeatures> features =
-      extract_features(corpus.front_page, corpus.network);
+Fig4Result fig4_from_features(const std::vector<StoryFeatures>& features) {
   Fig4Result result;
   result.after_6 = group_by_cascade(features, &StoryFeatures::v6);
   result.after_10 = group_by_cascade(features, &StoryFeatures::v10);
@@ -188,6 +185,12 @@ Fig4Result fig4_innetwork_vs_final(const data::Corpus& corpus) {
     result.spearman_v10_final = stats::spearman(v10s, finals);
   }
   return result;
+}
+
+Fig4Result fig4_innetwork_vs_final(const data::Corpus& corpus) {
+  obs::Span span("fig4_innetwork_vs_final", "core");
+  return fig4_from_features(extract_features(corpus.front_page,
+                                             corpus.network));
 }
 
 double Fig5Result::digg_precision() const {

@@ -107,6 +107,13 @@ struct Fig4Result {
 };
 [[nodiscard]] Fig4Result fig4_innetwork_vs_final(const data::Corpus& corpus);
 
+/// Fig. 4 from an already-extracted feature sample. The corpus runner above
+/// delegates here; the streaming engine feeds the same function with its
+/// incrementally-built features (stream::to_story_features), so batch and
+/// stream share one grouping/correlation implementation by construction.
+[[nodiscard]] Fig4Result fig4_from_features(
+    const std::vector<StoryFeatures>& features);
+
 // ------------------------------------------------------- Fig. 5 and §5.2 --
 
 struct Fig5Result {

@@ -1,79 +1,19 @@
 #include "src/data/snapshot.h"
 
 #include <chrono>
-#include <cstring>
-#include <fstream>
 #include <stdexcept>
 #include <string>
 
+#include "src/data/snapshot_format.h"
 #include "src/obs/metrics.h"
 
 namespace digg::data {
 
 namespace {
 
-constexpr char kMagic[8] = {'D', 'I', 'G', 'G', 'S', 'N', 'A', 'P'};
-
-enum SectionType : std::uint32_t {
-  kNetwork = 1,
-  kStories = 2,
-  kVotes = 3,
-  kTopUsers = 4,
-};
-
-struct SectionEntry {
-  std::uint32_t type = 0;
-  std::uint32_t flags = 0;
-  std::uint64_t offset = 0;
-  std::uint64_t size = 0;
-};
-constexpr std::size_t kEntryBytes = 24;
-constexpr std::size_t kHeaderBytes = 16;  // magic + version + section count
-
-// FNV-1a over 8-byte little-endian words, final partial word zero-padded.
-// Word-at-a-time keeps the multiply chain 8x shorter than the classic
-// byte-wise form — checksumming is on both the save and load hot paths.
-std::uint64_t fnv1a(const char* data, std::size_t size) {
-  std::uint64_t h = 14695981039346656037ull;
-  std::size_t i = 0;
-  for (; i + 8 <= size; i += 8) {
-    std::uint64_t w;
-    std::memcpy(&w, data + i, 8);
-    h = (h ^ w) * 1099511628211ull;
-  }
-  if (i < size) {
-    std::uint64_t w = 0;
-    std::memcpy(&w, data + i, size - i);
-    h = (h ^ w) * 1099511628211ull;
-  }
-  return h;
-}
-
-// ---- writer ---------------------------------------------------------------
-
-class ByteBuffer {
- public:
-  void raw(const void* p, std::size_t n) {
-    const std::size_t at = buf_.size();
-    buf_.resize(at + n);
-    std::memcpy(buf_.data() + at, p, n);
-  }
-  template <typename T>
-  void pod(T v) {
-    raw(&v, sizeof(T));
-  }
-  template <typename T>
-  void column(const std::vector<T>& v) {
-    raw(v.data(), v.size() * sizeof(T));
-  }
-  [[nodiscard]] const std::vector<char>& bytes() const noexcept {
-    return buf_;
-  }
-  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
-
- private:
-  std::vector<char> buf_;
-};
+using snapfmt::ByteBuffer;
+using snapfmt::ByteReader;
+using snapfmt::Section;
 
 void write_u64_column(ByteBuffer& out, const std::vector<std::size_t>& v) {
   for (std::size_t x : v) out.pod(static_cast<std::uint64_t>(x));
@@ -141,147 +81,39 @@ ByteBuffer encode_top_users(const Corpus& corpus) {
   return out;
 }
 
-// ---- reader ---------------------------------------------------------------
-
-class ByteReader {
- public:
-  ByteReader(const char* data, std::size_t size) : data_(data), size_(size) {}
-
-  void seek(std::size_t pos) { pos_ = pos; }
-
-  template <typename T>
-  T pod() {
-    T v{};
-    read_into(&v, sizeof(T));
-    return v;
-  }
-  void read_into(void* dst, std::size_t bytes) {
-    if (pos_ + bytes > size_)
-      throw std::runtime_error("truncated file (section overruns payload)");
-    std::memcpy(dst, data_ + pos_, bytes);
-    pos_ += bytes;
-  }
-  template <typename T>
-  std::vector<T> column(std::size_t count) {
-    std::vector<T> v(count);
-    if (count > 0) read_into(v.data(), count * sizeof(T));
-    return v;
-  }
-  std::vector<std::size_t> u64_column(std::size_t count) {
-    std::vector<std::size_t> v(count);
-    for (std::size_t i = 0; i < count; ++i)
-      v[i] = static_cast<std::size_t>(pod<std::uint64_t>());
-    return v;
-  }
-
- private:
-  const char* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
-
 }  // namespace
 
 void save_snapshot(const Corpus& corpus, const std::filesystem::path& path) {
   const auto start = std::chrono::steady_clock::now();
 
-  const ByteBuffer bodies[] = {encode_network(corpus.network),
-                               encode_stories(corpus), encode_votes(corpus),
-                               encode_top_users(corpus)};
-  const std::uint32_t types[] = {kNetwork, kStories, kVotes, kTopUsers};
-  const std::uint32_t count = 4;
+  Section sections[] = {{snapfmt::kNetwork, encode_network(corpus.network)},
+                        {snapfmt::kStories, encode_stories(corpus)},
+                        {snapfmt::kVotes, encode_votes(corpus)},
+                        {snapfmt::kTopUsers, encode_top_users(corpus)}};
+  snapfmt::write_section_file(path, sections);
 
-  ByteBuffer file;
-  file.raw(kMagic, sizeof(kMagic));
-  file.pod(kSnapshotVersion);
-  file.pod(count);
-  std::uint64_t offset = kHeaderBytes + count * kEntryBytes;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    file.pod(types[i]);
-    file.pod(std::uint32_t{0});  // flags, reserved
-    file.pod(offset);
-    file.pod(static_cast<std::uint64_t>(bodies[i].size()));
-    offset += bodies[i].size();
-  }
-  for (const ByteBuffer& body : bodies)
-    file.raw(body.bytes().data(), body.size());
-  file.pod(fnv1a(file.bytes().data(), file.size()));
-
-  if (path.has_parent_path())
-    std::filesystem::create_directories(path.parent_path());
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write " + path.string());
-  out.write(file.bytes().data(), static_cast<std::streamsize>(file.size()));
-  if (!out) throw std::runtime_error("short write to " + path.string());
-  out.close();
+  std::size_t file_bytes = snapfmt::kHeaderBytes +
+                           std::size(sections) * snapfmt::kEntryBytes +
+                           sizeof(std::uint64_t);
+  for (const Section& s : sections) file_bytes += s.body.size();
 
   const double us = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - start)
                         .count();
-  obs::Registry::global().counter("data.snapshot_save_bytes").inc(file.size());
+  obs::Registry::global().counter("data.snapshot_save_bytes").inc(file_bytes);
   obs::Registry::global().histogram("data.snapshot_save_us").observe(us);
 }
 
 Corpus load_snapshot(const std::filesystem::path& path) {
   const auto start = std::chrono::steady_clock::now();
 
-  // Single whole-file read; everything else is in-memory pointer work.
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw std::runtime_error("cannot read " + path.string());
-  const auto file_size = static_cast<std::size_t>(in.tellg());
-  std::vector<char> bytes(file_size);
-  in.seekg(0);
-  in.read(bytes.data(), static_cast<std::streamsize>(file_size));
-  if (!in) throw std::runtime_error("cannot read " + path.string());
-
-  const std::string ctx = path.string() + ": ";
-  if (file_size < kHeaderBytes + sizeof(std::uint64_t))
-    throw std::runtime_error(ctx + "truncated file (smaller than header)");
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error(ctx + "bad magic (not a corpus snapshot)");
-
-  ByteReader header(bytes.data(), file_size);
-  header.seek(sizeof(kMagic));
-  const auto version = header.pod<std::uint32_t>();
-  if (version > kSnapshotVersion)
-    throw std::runtime_error(ctx + "unsupported version " +
-                             std::to_string(version) + " (reader supports <= " +
-                             std::to_string(kSnapshotVersion) + ")");
-  const auto section_count = header.pod<std::uint32_t>();
-  const std::size_t table_end =
-      kHeaderBytes + static_cast<std::size_t>(section_count) * kEntryBytes;
-  if (table_end + sizeof(std::uint64_t) > file_size)
-    throw std::runtime_error(ctx + "truncated file (section table cut off)");
-
-  std::vector<SectionEntry> table(section_count);
-  const std::size_t payload_end = file_size - sizeof(std::uint64_t);
-  for (SectionEntry& e : table) {
-    e.type = header.pod<std::uint32_t>();
-    e.flags = header.pod<std::uint32_t>();
-    e.offset = header.pod<std::uint64_t>();
-    e.size = header.pod<std::uint64_t>();
-    if (e.offset > payload_end || e.size > payload_end - e.offset)
-      throw std::runtime_error(ctx + "truncated file (section overruns)");
-  }
-
-  ByteReader checksum_reader(bytes.data(), file_size);
-  checksum_reader.seek(payload_end);
-  const auto stored = checksum_reader.pod<std::uint64_t>();
-  if (fnv1a(bytes.data(), payload_end) != stored)
-    throw std::runtime_error(ctx + "checksum mismatch (corrupt snapshot)");
-
-  const auto find = [&](std::uint32_t type) -> const SectionEntry& {
-    for (const SectionEntry& e : table)
-      if (e.type == type) return e;
-    throw std::runtime_error(ctx + "missing section " + std::to_string(type));
-  };
+  const snapfmt::SectionFile file = snapfmt::read_section_file(path);
+  const std::string& ctx = file.context;
 
   Corpus corpus;
 
   {
-    const SectionEntry& e = find(kNetwork);
-    ByteReader r(bytes.data(), static_cast<std::size_t>(e.offset + e.size));
-    r.seek(e.offset);
+    ByteReader r = file.open(snapfmt::kNetwork);
     const auto n = static_cast<std::size_t>(r.pod<std::uint64_t>());
     const auto edges = static_cast<std::size_t>(r.pod<std::uint64_t>());
     auto out_offsets = r.u64_column(n + 1);
@@ -304,9 +136,7 @@ Corpus load_snapshot(const std::filesystem::path& path) {
   std::vector<double> submitted_at, quality, promoted_at;
   std::vector<std::uint8_t> phases, has_promoted;
   {
-    const SectionEntry& e = find(kStories);
-    ByteReader r(bytes.data(), static_cast<std::size_t>(e.offset + e.size));
-    r.seek(e.offset);
+    ByteReader r = file.open(snapfmt::kStories);
     front_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
     const auto up_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
     story_count = front_count + up_count;
@@ -320,9 +150,7 @@ Corpus load_snapshot(const std::filesystem::path& path) {
   }
 
   {
-    const SectionEntry& e = find(kVotes);
-    ByteReader r(bytes.data(), static_cast<std::size_t>(e.offset + e.size));
-    r.seek(e.offset);
+    ByteReader r = file.open(snapfmt::kVotes);
     const auto vote_stories = static_cast<std::size_t>(r.pod<std::uint64_t>());
     if (vote_stories != story_count)
       throw std::runtime_error(ctx + "story count mismatch between sections");
@@ -339,9 +167,7 @@ Corpus load_snapshot(const std::filesystem::path& path) {
   }
 
   {
-    const SectionEntry& e = find(kTopUsers);
-    ByteReader r(bytes.data(), static_cast<std::size_t>(e.offset + e.size));
-    r.seek(e.offset);
+    ByteReader r = file.open(snapfmt::kTopUsers);
     const auto n = static_cast<std::size_t>(r.pod<std::uint64_t>());
     corpus.top_users = r.column<UserId>(n);
   }
@@ -370,7 +196,8 @@ Corpus load_snapshot(const std::filesystem::path& path) {
   const double us = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - start)
                         .count();
-  obs::Registry::global().counter("data.snapshot_load_bytes").inc(file_size);
+  obs::Registry::global().counter("data.snapshot_load_bytes")
+      .inc(file.bytes.size());
   obs::Registry::global().histogram("data.snapshot_load_us").observe(us);
   obs::Registry::global()
       .gauge("data.corpus_vote_column_bytes")

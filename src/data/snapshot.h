@@ -5,16 +5,12 @@
 // blobs; loading is one whole-file read plus a few validated moves instead
 // of millions of text parses.
 //
-// File layout (all integers little-endian; written on little-endian hosts):
-//   magic    8 bytes  "DIGGSNAP"
-//   version  u32      kSnapshotVersion (readers reject newer files)
-//   count    u32      number of section-table entries
-//   table    count * {u32 type, u32 flags, u64 offset, u64 size}
-//   payload  section bodies at their table offsets
-//   checksum u64      FNV-1a over 8-byte LE words of every preceding byte
-//                     (final partial word zero-padded)
+// The container discipline (magic, version, section table, checksum, the
+// malformed-file error taxonomy, and the section-type registry) lives in
+// snapshot_format.h and is shared with the stream-engine checkpoints; this
+// header is the corpus-specific payload on top of it.
 //
-// Sections (offsets are absolute file offsets; sizes in bytes):
+// Corpus sections (offsets are absolute file offsets; sizes in bytes):
 //   1 NETWORK   u64 n, u64 e, out_offsets u64[n+1], out_targets u32[e],
 //               in_offsets u64[n+1], in_sources u32[e]
 //   2 STORIES   u64 front_count, u64 upcoming_count, then columns over all
@@ -26,21 +22,17 @@
 //               times f64[total] — same story order as STORIES
 //   4 TOPUSERS  u64 count, user u32[count]
 //
-// Versioning policy: the version bumps whenever a reader of the old code
-// could misread a new file (section layout or meaning changes). Adding a
-// *new* section type does not bump it — unknown types are ignored — so
-// forward-compatible extensions stay cheap. Readers reject files with a
-// version newer than kSnapshotVersion ("unsupported version"), truncated
-// files, bad magic, and checksum mismatches with distinct messages.
+// Readers reject files with a version newer than kSnapshotVersion
+// ("unsupported version"), truncated files, bad magic, and checksum
+// mismatches with distinct messages (see snapshot_format.h).
 
 #include <cstdint>
 #include <filesystem>
 
 #include "src/data/corpus.h"
+#include "src/data/snapshot_format.h"
 
 namespace digg::data {
-
-inline constexpr std::uint32_t kSnapshotVersion = 1;
 
 /// Writes `corpus` as a binary snapshot at `path` (parent directories are
 /// created). Throws std::runtime_error on I/O failure.

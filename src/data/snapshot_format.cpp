@@ -1,0 +1,119 @@
+#include "src/data/snapshot_format.h"
+
+#include <fstream>
+#include <string>
+
+namespace digg::data::snapfmt {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'I', 'G', 'G', 'S', 'N', 'A', 'P'};
+}  // namespace
+
+std::uint64_t fnv1a(const char* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ull;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h = (h ^ w) * 1099511628211ull;
+  }
+  if (i < size) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, data + i, size - i);
+    h = (h ^ w) * 1099511628211ull;
+  }
+  return h;
+}
+
+void write_section_file(const std::filesystem::path& path,
+                        std::span<const Section> sections) {
+  const auto count = static_cast<std::uint32_t>(sections.size());
+  ByteBuffer file;
+  file.raw(kMagic, sizeof(kMagic));
+  file.pod(kSnapshotVersion);
+  file.pod(count);
+  std::uint64_t offset = kHeaderBytes + count * kEntryBytes;
+  for (const Section& s : sections) {
+    file.pod(s.type);
+    file.pod(std::uint32_t{0});  // flags, reserved
+    file.pod(offset);
+    file.pod(static_cast<std::uint64_t>(s.body.size()));
+    offset += s.body.size();
+  }
+  for (const Section& s : sections)
+    file.raw(s.body.bytes().data(), s.body.size());
+  file.pod(fnv1a(file.bytes().data(), file.size()));
+
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out.write(file.bytes().data(), static_cast<std::streamsize>(file.size()));
+  if (!out) throw std::runtime_error("short write to " + path.string());
+}
+
+const SectionEntry& SectionFile::find(std::uint32_t type) const {
+  for (const SectionEntry& e : table)
+    if (e.type == type) return e;
+  throw std::runtime_error(context + "missing section " +
+                           std::to_string(type));
+}
+
+ByteReader SectionFile::open(std::uint32_t type) const {
+  const SectionEntry& e = find(type);
+  ByteReader r(bytes.data(), static_cast<std::size_t>(e.offset + e.size));
+  r.seek(e.offset);
+  return r;
+}
+
+SectionFile read_section_file(const std::filesystem::path& path) {
+  // Single whole-file read; everything else is in-memory pointer work.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  std::vector<char> bytes(file_size);
+  in.seekg(0);
+  in.read(bytes.data(), static_cast<std::streamsize>(file_size));
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+
+  const std::string ctx = path.string() + ": ";
+  if (file_size < kHeaderBytes + sizeof(std::uint64_t))
+    throw std::runtime_error(ctx + "truncated file (smaller than header)");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error(ctx + "bad magic (not a DIGGSNAP file)");
+
+  ByteReader header(bytes.data(), file_size);
+  header.seek(sizeof(kMagic));
+  const auto version = header.pod<std::uint32_t>();
+  if (version > kSnapshotVersion)
+    throw std::runtime_error(ctx + "unsupported version " +
+                             std::to_string(version) +
+                             " (reader supports <= " +
+                             std::to_string(kSnapshotVersion) + ")");
+  const auto section_count = header.pod<std::uint32_t>();
+  const std::size_t table_end =
+      kHeaderBytes + static_cast<std::size_t>(section_count) * kEntryBytes;
+  if (table_end + sizeof(std::uint64_t) > file_size)
+    throw std::runtime_error(ctx + "truncated file (section table cut off)");
+
+  std::vector<SectionEntry> table(section_count);
+  const std::size_t payload_end = file_size - sizeof(std::uint64_t);
+  for (SectionEntry& e : table) {
+    e.type = header.pod<std::uint32_t>();
+    e.flags = header.pod<std::uint32_t>();
+    e.offset = header.pod<std::uint64_t>();
+    e.size = header.pod<std::uint64_t>();
+    if (e.offset > payload_end || e.size > payload_end - e.offset)
+      throw std::runtime_error(ctx + "truncated file (section overruns)");
+  }
+
+  ByteReader checksum_reader(bytes.data(), file_size);
+  checksum_reader.seek(payload_end);
+  const auto stored = checksum_reader.pod<std::uint64_t>();
+  if (fnv1a(bytes.data(), payload_end) != stored)
+    throw std::runtime_error(ctx + "checksum mismatch (corrupt snapshot)");
+
+  return SectionFile{std::move(bytes), std::move(table), ctx};
+}
+
+}  // namespace digg::data::snapfmt

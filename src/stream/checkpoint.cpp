@@ -1,0 +1,243 @@
+#include "src/stream/checkpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/data/snapshot_format.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/stream/engine.h"
+
+namespace digg::stream {
+
+namespace snapfmt = data::snapfmt;
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Meta {
+  std::uint32_t version = 0;
+  bool predictor_armed = false;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t events_applied = 0;
+  std::uint64_t story_count = 0;
+  std::uint64_t interesting_threshold = 0;
+  std::uint32_t promotion_threshold = 0;
+  std::vector<std::uint32_t> cascade_cps;
+  std::vector<std::uint32_t> influence_cps;
+};
+
+Meta read_meta(const snapfmt::SectionFile& file) {
+  snapfmt::ByteReader r = file.open(snapfmt::kStreamMeta);
+  Meta m;
+  m.version = r.pod<std::uint32_t>();
+  if (m.version > kStreamCheckpointVersion)
+    throw std::runtime_error(file.context +
+                             "unsupported stream checkpoint version " +
+                             std::to_string(m.version));
+  m.predictor_armed = r.pod<std::uint32_t>() != 0;
+  m.fingerprint = r.pod<std::uint64_t>();
+  m.total_events = r.pod<std::uint64_t>();
+  m.events_applied = r.pod<std::uint64_t>();
+  m.story_count = r.pod<std::uint64_t>();
+  m.interesting_threshold = r.pod<std::uint64_t>();
+  m.promotion_threshold = r.pod<std::uint32_t>();
+  // Bound the list lengths before allocating: a corrupt count must fail
+  // cleanly, not attempt a multi-gigabyte vector.
+  const auto checked_count = [&](const char* what) {
+    const std::uint32_t n = r.pod<std::uint32_t>();
+    if (n > 4096)
+      throw std::runtime_error(file.context + "implausible " + what +
+                               " checkpoint list length");
+    return n;
+  };
+  m.cascade_cps = r.column<std::uint32_t>(checked_count("cascade"));
+  m.influence_cps = r.column<std::uint32_t>(checked_count("influence"));
+  return m;
+}
+
+}  // namespace
+
+CheckpointInfo read_checkpoint_info(const std::filesystem::path& path) {
+  const snapfmt::SectionFile file = snapfmt::read_section_file(path);
+  const Meta m = read_meta(file);
+  return {m.version, m.fingerprint, m.total_events, m.events_applied,
+          m.story_count};
+}
+
+void StreamEngine::save_checkpoint(const std::filesystem::path& path) const {
+  obs::Span span("stream_checkpoint_save", "stream");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::uint64_t story_count = progress_.size();
+  snapfmt::Section sections[2];
+
+  sections[0].type = snapfmt::kStreamMeta;
+  snapfmt::ByteBuffer& meta = sections[0].body;
+  meta.pod<std::uint32_t>(kStreamCheckpointVersion);
+  meta.pod<std::uint32_t>(predictor_armed_ ? 1 : 0);
+  meta.pod<std::uint64_t>(fingerprint_);
+  meta.pod<std::uint64_t>(total_events());
+  meta.pod<std::uint64_t>(events_applied_);
+  meta.pod<std::uint64_t>(story_count);
+  meta.pod<std::uint64_t>(params_.interesting_threshold);
+  meta.pod<std::uint32_t>(params_.promotion_threshold);
+  meta.pod<std::uint32_t>(
+      static_cast<std::uint32_t>(params_.cascade_checkpoints.size()));
+  meta.column(params_.cascade_checkpoints);
+  meta.pod<std::uint32_t>(
+      static_cast<std::uint32_t>(params_.influence_checkpoints.size()));
+  meta.column(params_.influence_checkpoints);
+
+  sections[1].type = snapfmt::kStreamState;
+  snapfmt::ByteBuffer& state = sections[1].body;
+  std::vector<std::uint64_t> applied(story_count);
+  std::vector<std::uint32_t> innetwork(story_count);
+  std::vector<std::uint8_t> flags(story_count);
+  std::vector<double> promoted(story_count, 0.0);
+  for (std::uint64_t slot = 0; slot < story_count; ++slot) {
+    applied[slot] = progress_[slot].applied;
+    innetwork[slot] = progress_[slot].innetwork;
+    flags[slot] = progress_[slot].flags;
+    promoted[slot] = progress_[slot].promoted_time;
+  }
+  state.column(applied);
+  state.column(innetwork);
+  state.column(flags);
+  state.column(promoted);
+  state.column(cascade_rec_);
+  state.column(influence_rec_);
+
+  snapfmt::write_section_file(path, sections);
+  obs::Registry::global()
+      .histogram("stream.checkpoint_save_us")
+      .observe(elapsed_us(t0));
+}
+
+void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
+  obs::Span span("stream_checkpoint_restore", "stream");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const snapfmt::SectionFile file = snapfmt::read_section_file(path);
+  const std::string& ctx = file.context;
+  const Meta m = read_meta(file);
+
+  // Refuse anything that is not this exact stream + engine configuration.
+  if (m.fingerprint != fingerprint_)
+    throw std::runtime_error(ctx + "checkpoint stream fingerprint mismatch");
+  if (m.story_count != progress_.size() || m.total_events != total_events())
+    throw std::runtime_error(ctx + "checkpoint stream shape mismatch");
+  if (m.events_applied > m.total_events)
+    throw std::runtime_error(ctx + "checkpoint events-applied out of range");
+  if (m.cascade_cps != params_.cascade_checkpoints ||
+      m.influence_cps != params_.influence_checkpoints ||
+      m.interesting_threshold != params_.interesting_threshold ||
+      m.promotion_threshold != params_.promotion_threshold ||
+      m.predictor_armed != predictor_armed_)
+    throw std::runtime_error(ctx + "checkpoint engine config mismatch");
+
+  const std::size_t story_count = progress_.size();
+  snapfmt::ByteReader r = file.open(snapfmt::kStreamState);
+  std::vector<std::uint64_t> applied;
+  std::vector<std::uint32_t> innetwork;
+  std::vector<std::uint8_t> flags;
+  std::vector<double> promoted;
+  std::vector<std::uint32_t> cascade_rec;
+  std::vector<std::uint32_t> influence_rec;
+  try {
+    applied = r.column<std::uint64_t>(story_count);
+    innetwork = r.column<std::uint32_t>(story_count);
+    flags = r.column<std::uint8_t>(story_count);
+    promoted = r.column<double>(story_count);
+    cascade_rec = r.column<std::uint32_t>(story_count * m.cascade_cps.size());
+    influence_rec =
+        r.column<std::uint32_t>(story_count * m.influence_cps.size());
+  } catch (const std::runtime_error& err) {
+    throw std::runtime_error(ctx + err.what());
+  }
+
+  // Per-story consistency: the applied column must describe exactly the
+  // first events-applied events of the stream, and every derived field must
+  // agree with that prefix. This catches checkpoints that passed the
+  // container checksum but describe an impossible engine state.
+  std::vector<std::uint64_t> expect(story_count, 0);
+  for (std::uint64_t i = 0; i < m.events_applied; ++i)
+    ++expect[stream_->events[i].story_slot];
+  for (std::size_t slot = 0; slot < story_count; ++slot) {
+    if (applied[slot] != expect[slot])
+      throw std::runtime_error(ctx +
+                               "checkpoint progress is not a stream prefix");
+    if (innetwork[slot] > applied[slot])
+      throw std::runtime_error(ctx + "checkpoint in-network count impossible");
+    if ((flags[slot] & ~(kHasPrediction | kPredictedYes | kPromoted)) != 0)
+      throw std::runtime_error(ctx + "checkpoint story flags invalid");
+    const bool should_promote = params_.promotion_threshold != 0 &&
+                                applied[slot] >= params_.promotion_threshold;
+    if (((flags[slot] & kPromoted) != 0) != should_promote)
+      throw std::runtime_error(ctx +
+                               "checkpoint promotion flag inconsistent");
+    const bool should_predict =
+        predictor_armed_ &&
+        applied[slot] >
+            static_cast<std::uint64_t>(
+                params_.cascade_checkpoints[v10_index_]);
+    if (((flags[slot] & kHasPrediction) != 0) != should_predict)
+      throw std::runtime_error(ctx +
+                               "checkpoint prediction flag inconsistent");
+    for (std::size_t j = 0; j < m.cascade_cps.size(); ++j) {
+      const bool reached =
+          applied[slot] > static_cast<std::uint64_t>(m.cascade_cps[j]);
+      const bool recorded =
+          cascade_rec[slot * m.cascade_cps.size() + j] != kUnrecorded;
+      if (reached != recorded)
+        throw std::runtime_error(
+            ctx + "checkpoint cascade records inconsistent with progress");
+    }
+    for (std::size_t j = 0; j < m.influence_cps.size(); ++j) {
+      const bool reached =
+          applied[slot] >= static_cast<std::uint64_t>(m.influence_cps[j]);
+      const bool recorded =
+          influence_rec[slot * m.influence_cps.size() + j] != kUnrecorded;
+      if (reached != recorded)
+        throw std::runtime_error(
+            ctx + "checkpoint influence records inconsistent with progress");
+    }
+  }
+
+  // Commit. Shard cursors are recomputed (event lists hold ascending
+  // ordinals) and visibility pools dropped — they rebuild lazily from the
+  // restored prefixes, so no stale derived state can survive a restore.
+  for (std::size_t slot = 0; slot < story_count; ++slot) {
+    progress_[slot].applied = applied[slot];
+    progress_[slot].innetwork = innetwork[slot];
+    progress_[slot].flags = flags[slot];
+    progress_[slot].promoted_time = promoted[slot];
+  }
+  cascade_rec_ = std::move(cascade_rec);
+  influence_rec_ = std::move(influence_rec);
+  events_applied_ = m.events_applied;
+  for (Shard& shard : shards_) {
+    shard.cursor = static_cast<std::size_t>(
+        std::lower_bound(shard.events.begin(), shard.events.end(),
+                         m.events_applied) -
+        shard.events.begin());
+    shard.pool.slots.clear();
+    shard.pool.clock = 0;
+  }
+  std::fill(pool_slot_of_.begin(), pool_slot_of_.end(), kUnrecorded);
+
+  obs::Registry::global()
+      .histogram("stream.checkpoint_restore_us")
+      .observe(elapsed_us(t0));
+}
+
+}  // namespace digg::stream

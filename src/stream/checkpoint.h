@@ -1,0 +1,64 @@
+#pragma once
+// Stream-engine checkpoints: the DIGGSNAP sections that make a replay
+// killable and resumable with bit-identical results. StreamEngine::
+// save_checkpoint / restore_checkpoint (engine.h) are implemented in
+// checkpoint.cpp against this format; this header documents the payloads
+// and offers a cheap inspection helper.
+//
+// A checkpoint is a DIGGSNAP container (data/snapshot_format.h) with two
+// sections:
+//
+//   STREAM_META (16) — everything needed to refuse a mismatched restore:
+//     u32  checkpoint version (kStreamCheckpointVersion)
+//     u32  predictor armed (0/1 — online-prediction hook active)
+//     u64  stream fingerprint (stories, vote columns, graph shape)
+//     u64  total events        u64  events applied
+//     u64  story count         u64  interesting threshold
+//     u32  promotion threshold
+//     u32  cascade checkpoint count,   then that many u32 checkpoints
+//     u32  influence checkpoint count, then that many u32 checkpoints
+//
+//   STREAM_STATE (17) — per-story progress columns, story-slot order:
+//     u64[S]      votes applied
+//     u32[S]      running in-network count
+//     u8[S]       flags (prediction made / predicted yes / promoted)
+//     f64[S]      promotion time (valid when the promoted flag is set)
+//     u32[S*C]    recorded cascade values  (0xffffffff = not yet reached)
+//     u32[S*I]    recorded influence values (same sentinel)
+//
+// Deliberately NOT serialized: visibility sets (rebuilt on demand by
+// replaying each story's applied prefix — bounded by the horizon) and
+// per-shard cursors (recomputed from events-applied, since shard event
+// lists are ascending ordinals). The checkpoint is therefore small —
+// O(stories), not O(votes or graph) — and restore cannot resurrect stale
+// derived state: everything derivable is re-derived.
+//
+// Restore-time validation (each with a distinct error): container magic /
+// version / checksum (snapshot_format.cpp), checkpoint version, stream
+// fingerprint, engine config equality, column sizes, and per-story
+// consistency — the applied column must be exactly the per-story event
+// counts of the stream's first events-applied events, records present iff
+// their checkpoint was reached, flags consistent with progress.
+
+#include <cstdint>
+#include <filesystem>
+
+namespace digg::stream {
+
+inline constexpr std::uint32_t kStreamCheckpointVersion = 1;
+
+/// Cheap peek at a checkpoint's STREAM_META section (full container
+/// integrity is still verified). Lets tools report progress or pick the
+/// right corpus without constructing an engine.
+struct CheckpointInfo {
+  std::uint32_t version = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t events_applied = 0;
+  std::uint64_t story_count = 0;
+};
+
+[[nodiscard]] CheckpointInfo read_checkpoint_info(
+    const std::filesystem::path& path);
+
+}  // namespace digg::stream

@@ -1,0 +1,353 @@
+#include "src/stream/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "src/data/snapshot_format.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/runtime/parallel.h"
+
+namespace digg::stream {
+namespace {
+
+// Folds one memory block into a running fingerprint. Chained (rather than
+// hashing one flat copy of everything) so the stream is fingerprinted
+// without materialising a second copy of the vote columns.
+std::uint64_t mix(std::uint64_t h, const void* data, std::size_t bytes) {
+  const std::uint64_t block =
+      data::snapfmt::fnv1a(static_cast<const char*>(data), bytes);
+  return (h ^ block) * 1099511628211ull;
+}
+
+std::uint64_t stream_fingerprint(const EventStream& stream,
+                                 const graph::Digraph& network) {
+  std::uint64_t h = 14695981039346656037ull;
+  const std::uint64_t shape[3] = {network.node_count(), network.edge_count(),
+                                  stream.stories.size()};
+  h = mix(h, shape, sizeof(shape));
+  for (const platform::StoryView& s : stream.stories) {
+    const std::uint64_t meta[3] = {s.id, s.submitter, s.vote_count()};
+    h = mix(h, meta, sizeof(meta));
+    const auto voters = s.voters();
+    const auto times = s.times();
+    h = mix(h, voters.data(), voters.size_bytes());
+    h = mix(h, times.data(), times.size_bytes());
+  }
+  return h;
+}
+
+void require_ascending(const std::vector<std::uint32_t>& cps,
+                       const char* what) {
+  for (std::size_t i = 0; i < cps.size(); ++i) {
+    if (cps[i] == 0 || (i > 0 && cps[i] <= cps[i - 1]))
+      throw std::invalid_argument(std::string(what) +
+                                  " checkpoints must be ascending and >= 1");
+  }
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(const EventStream& stream,
+                           const graph::Digraph& network, StreamParams params)
+    : stream_(&stream), network_(&network), params_(std::move(params)) {
+  obs::Span span("stream_engine_init", "stream");
+  require_ascending(params_.cascade_checkpoints, "cascade");
+  require_ascending(params_.influence_checkpoints, "influence");
+  const std::size_t story_count = stream_->stories.size();
+  if (story_count >= kUnrecorded)
+    throw std::invalid_argument("too many stories for the stream engine");
+
+  // The horizon: once a story has this many votes, every checkpoint value
+  // has been recorded and its visibility state can retire.
+  max_cascade_ = params_.cascade_checkpoints.empty()
+                     ? 0
+                     : params_.cascade_checkpoints.back();
+  const std::uint64_t last_influence = params_.influence_checkpoints.empty()
+                                           ? 0
+                                           : params_.influence_checkpoints.back();
+  horizon_ = std::max<std::uint64_t>(max_cascade_ + 1, last_influence);
+  for (std::size_t j = 0; j < params_.cascade_checkpoints.size(); ++j)
+    if (params_.cascade_checkpoints[j] == 10) v10_index_ = j;
+  predictor_armed_ = params_.predictor != nullptr &&
+                     params_.predictor->feature_set() ==
+                         core::FeatureSet::kPaper &&
+                     v10_index_ != static_cast<std::size_t>(-1);
+
+  // Validate the stream against its own story columns: ordinals positional,
+  // per-story events in vote order with matching voters, time-sorted. Every
+  // downstream guarantee (rebuild-by-replay, checkpoint prefix validation)
+  // leans on these invariants, so buying them up front with one O(E) pass
+  // is cheaper than defending each consumer separately.
+  std::vector<std::uint32_t> next_index(story_count, 0);
+  platform::Minutes prev_time = -1.0;
+  for (std::size_t i = 0; i < stream_->events.size(); ++i) {
+    const VoteEvent& ev = stream_->events[i];
+    if (ev.ordinal != i)
+      throw std::invalid_argument("stream ordinals must equal event position");
+    if (ev.story_slot >= story_count)
+      throw std::invalid_argument("stream event story slot out of range");
+    if (ev.vote_index != next_index[ev.story_slot]++)
+      throw std::invalid_argument("stream events out of per-story vote order");
+    if (ev.vote_index >= stream_->stories[ev.story_slot].vote_count())
+      throw std::invalid_argument("stream has more events than story votes");
+    if (ev.voter != stream_->stories[ev.story_slot].voters()[ev.vote_index])
+      throw std::invalid_argument("stream event voter mismatches vote column");
+    if (ev.time < prev_time)
+      throw std::invalid_argument("stream events must be time-sorted");
+    prev_time = ev.time;
+  }
+  for (std::uint32_t slot = 0; slot < story_count; ++slot) {
+    if (next_index[slot] != stream_->stories[slot].vote_count())
+      throw std::invalid_argument("stream is missing story vote events");
+    if (stream_->stories[slot].submitter >= network.node_count())
+      throw std::invalid_argument("stream story submitter out of graph range");
+  }
+
+  fingerprint_ = stream_fingerprint(*stream_, *network_);
+
+  progress_.resize(story_count);
+  for (std::uint32_t slot = 0; slot < story_count; ++slot)
+    progress_[slot].fans1 = static_cast<std::uint32_t>(
+        network.fan_count(stream_->stories[slot].submitter));
+  cascade_rec_.assign(story_count * params_.cascade_checkpoints.size(),
+                      kUnrecorded);
+  influence_rec_.assign(story_count * params_.influence_checkpoints.size(),
+                        kUnrecorded);
+  pool_slot_of_.assign(story_count, kUnrecorded);
+
+  // Shard layout: story slot % kShardCount, with per-shard ordinal lists.
+  // The layout depends only on the stream, so any thread count walks the
+  // same per-shard sequences.
+  shards_.resize(kShardCount);
+  std::vector<std::uint32_t> shard_stories(kShardCount, 0);
+  for (std::uint32_t slot = 0; slot < story_count; ++slot)
+    ++shard_stories[slot % kShardCount];
+  for (const VoteEvent& ev : stream_->events)
+    shards_[ev.story_slot % kShardCount].events.push_back(ev.ordinal);
+
+  // Visibility-pool budget: per-shard share of the byte budget, in units of
+  // one dense-set pair (~9 bytes/node), capped by the shard's story count.
+  const std::size_t per_set = network.node_count() * 9 + 4096;
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, params_.vis_budget_bytes / kShardCount);
+  for (std::uint32_t s = 0; s < kShardCount; ++s) {
+    std::size_t cap = std::max<std::size_t>(1, per_shard / per_set);
+    if (shard_stories[s] > 0) cap = std::min<std::size_t>(cap, shard_stories[s]);
+    shards_[s].pool.capacity = cap;
+  }
+}
+
+platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
+                                                   std::uint32_t slot) {
+  VisPool& pool = shard.pool;
+  std::uint32_t ps = pool_slot_of_[slot];
+  if (ps != kUnrecorded) {
+    pool.slots[ps].last_used = ++pool.clock;
+    return pool.slots[ps].set;
+  }
+  if (pool.slots.size() < pool.capacity) {
+    ps = static_cast<std::uint32_t>(pool.slots.size());
+    pool.slots.emplace_back();
+  } else {
+    // Evict the least-recently-used resident story (released slots carry
+    // last_used 0, so they win the scan). The pool is at most a few dozen
+    // slots, so a linear scan beats maintaining a heap.
+    ps = 0;
+    for (std::uint32_t i = 1; i < pool.slots.size(); ++i)
+      if (pool.slots[i].last_used < pool.slots[ps].last_used) ps = i;
+    if (pool.slots[ps].story != kUnrecorded)
+      pool_slot_of_[pool.slots[ps].story] = kUnrecorded;
+  }
+  PoolSlot& sl = pool.slots[ps];
+  sl.story = slot;
+  sl.last_used = ++pool.clock;
+  pool_slot_of_[slot] = ps;
+  // Rebuild by replaying the story's applied prefix — bounded by the
+  // horizon, so a miss costs at most ~20 add_voter calls.
+  sl.set.rebind(*network_);
+  const std::uint64_t applied = progress_[slot].applied;
+  const auto voters = stream_->stories[slot].voters();
+  for (std::uint64_t k = 0; k < applied; ++k) sl.set.add_voter(voters[k]);
+  if (applied > 0) obs::Registry::global().counter("stream.vis_rebuilds").inc();
+  return sl.set;
+}
+
+void StreamEngine::release_vis(Shard& shard, std::uint32_t slot) {
+  const std::uint32_t ps = pool_slot_of_[slot];
+  if (ps == kUnrecorded) return;
+  shard.pool.slots[ps].story = kUnrecorded;
+  shard.pool.slots[ps].last_used = 0;
+  pool_slot_of_[slot] = kUnrecorded;
+}
+
+void StreamEngine::record_checkpoints(std::uint32_t slot, Progress& p,
+                                      const platform::VisibilitySet& vis,
+                                      platform::Minutes now) {
+  const auto& ic = params_.influence_checkpoints;
+  for (std::size_t j = 0; j < ic.size(); ++j)
+    if (ic[j] == p.applied)
+      influence_rec_[slot * ic.size() + j] =
+          static_cast<std::uint32_t>(vis.influence());
+  const auto& cc = params_.cascade_checkpoints;
+  for (std::size_t j = 0; j < cc.size(); ++j) {
+    if (static_cast<std::uint64_t>(cc[j]) + 1 != p.applied) continue;
+    cascade_rec_[slot * cc.size() + j] = p.innetwork;
+    if (j == v10_index_ && predictor_armed_) {
+      // The §5.2 decision, taken online the instant vote 10 lands: the
+      // paper features (v10, fans1) are both final at this point.
+      core::StoryFeatures f;
+      f.story = stream_->stories[slot].id;
+      f.submitter = stream_->stories[slot].submitter;
+      f.v10 = p.innetwork;
+      f.fans1 = p.fans1;
+      p.flags |= kHasPrediction;
+      if (params_.predictor->predict(f)) p.flags |= kPredictedYes;
+    }
+  }
+  (void)now;
+}
+
+void StreamEngine::apply_event(const VoteEvent& ev, Shard& shard) {
+  Progress& p = progress_[ev.story_slot];
+  const std::uint64_t next = p.applied + 1;
+  if (p.applied < horizon_) {
+    platform::VisibilitySet& vis = acquire_vis(shard, ev.story_slot);
+    // In-network test before the vote is applied: can the voter currently
+    // see the story through the Friends interface? Identical to the batch
+    // exposure test (core/cascade.cpp), which checks membership in the
+    // fan union of the preceding voters.
+    if (ev.vote_index >= 1 && ev.vote_index <= max_cascade_ &&
+        vis.can_see(ev.voter))
+      ++p.innetwork;
+    vis.add_voter(ev.voter);
+    p.applied = next;
+    record_checkpoints(ev.story_slot, p, vis, ev.time);
+    if (next >= horizon_) {
+      release_vis(shard, ev.story_slot);
+      obs::Registry::global().counter("stream.stories_retired").inc();
+    }
+  } else {
+    // Past the horizon every vote is a bare counter bump — the O(1) tail.
+    p.applied = next;
+  }
+  if (params_.promotion_threshold != 0 &&
+      next == params_.promotion_threshold) {
+    p.flags |= kPromoted;
+    p.promoted_time = ev.time;
+  }
+}
+
+void StreamEngine::run_until(std::uint64_t event_limit) {
+  event_limit = std::min<std::uint64_t>(event_limit, total_events());
+  if (event_limit <= events_applied_) return;
+  obs::Span span("stream_run", "stream");
+  obs::Counter& votes = obs::Registry::global().counter("stream.votes_ingested");
+  runtime::parallel_for(
+      shards_.size(),
+      [&](std::size_t s) {
+        Shard& shard = shards_[s];
+        const std::vector<VoteEvent>& events = stream_->events;
+        std::uint64_t done = 0;
+        while (shard.cursor < shard.events.size() &&
+               shard.events[shard.cursor] < event_limit) {
+          apply_event(events[shard.events[shard.cursor]], shard);
+          ++shard.cursor;
+          ++done;
+        }
+        if (done > 0) votes.inc(done);
+      },
+      {.grain = 1});
+  events_applied_ = event_limit;
+  obs::Registry::global().gauge("stream.state_bytes").set(
+      static_cast<double>(state_bytes()));
+}
+
+StreamResult StreamEngine::result() {
+  obs::Span span("stream_result", "stream");
+  const auto& cc = params_.cascade_checkpoints;
+  const auto& ic = params_.influence_checkpoints;
+  StreamResult out;
+  out.events_applied = events_applied_;
+  out.stories.resize(stream_->stories.size());
+  for (std::uint32_t slot = 0; slot < out.stories.size(); ++slot) {
+    const platform::StoryView& sv = stream_->stories[slot];
+    const Progress& p = progress_[slot];
+    StoryOutcome& o = out.stories[slot];
+    o.id = sv.id;
+    o.submitter = sv.submitter;
+    o.fans1 = p.fans1;
+    o.final_votes = p.applied;
+    o.interesting = p.applied > params_.interesting_threshold;
+    // Unreached checkpoints saturate over the votes seen so far, matching
+    // the batch profiles. An unrecorded cascade checkpoint's count is just
+    // the running counter (all applied votes are inside its window); an
+    // unrecorded influence checkpoint needs the live set, rebuilt on demand.
+    o.cascade.resize(cc.size());
+    for (std::size_t j = 0; j < cc.size(); ++j) {
+      const std::uint32_t rec = cascade_rec_[slot * cc.size() + j];
+      o.cascade[j] = rec != kUnrecorded ? rec : p.innetwork;
+    }
+    o.influence.resize(ic.size());
+    for (std::size_t j = 0; j < ic.size(); ++j) {
+      const std::uint32_t rec = influence_rec_[slot * ic.size() + j];
+      o.influence[j] =
+          rec != kUnrecorded
+              ? rec
+              : acquire_vis(shards_[slot % kShardCount], slot).influence();
+    }
+    if (p.flags & kHasPrediction)
+      o.predicted_interesting = (p.flags & kPredictedYes) != 0;
+    if (p.flags & kPromoted) o.promoted_time = p.promoted_time;
+  }
+  return out;
+}
+
+std::size_t StreamEngine::state_bytes() const {
+  std::size_t bytes = progress_.capacity() * sizeof(Progress) +
+                      cascade_rec_.capacity() * sizeof(std::uint32_t) +
+                      influence_rec_.capacity() * sizeof(std::uint32_t) +
+                      pool_slot_of_.capacity() * sizeof(std::uint32_t);
+  for (const Shard& shard : shards_) {
+    bytes += shard.events.capacity() * sizeof(std::uint64_t);
+    for (const PoolSlot& sl : shard.pool.slots) bytes += sl.set.size_bytes();
+  }
+  return bytes;
+}
+
+std::vector<core::StoryFeatures> to_story_features(const StreamResult& result,
+                                                   const StreamParams& params) {
+  auto index_of = [](const std::vector<std::uint32_t>& cps,
+                     std::uint32_t cp) -> std::size_t {
+    const auto it = std::find(cps.begin(), cps.end(), cp);
+    if (it == cps.end())
+      throw std::invalid_argument(
+          "to_story_features needs the paper checkpoints (6/10/20 cascade, "
+          "11 influence)");
+    return static_cast<std::size_t>(it - cps.begin());
+  };
+  const std::size_t j6 = index_of(params.cascade_checkpoints, 6);
+  const std::size_t j10 = index_of(params.cascade_checkpoints, 10);
+  const std::size_t j20 = index_of(params.cascade_checkpoints, 20);
+  const std::size_t j11 = index_of(params.influence_checkpoints, 11);
+
+  std::vector<core::StoryFeatures> rows;
+  rows.reserve(result.stories.size());
+  for (const StoryOutcome& o : result.stories) {
+    core::StoryFeatures f;
+    f.story = o.id;
+    f.submitter = o.submitter;
+    f.v6 = o.cascade[j6];
+    f.v10 = o.cascade[j10];
+    f.v20 = o.cascade[j20];
+    f.fans1 = o.fans1;
+    f.influence10 = o.influence[j11];
+    f.final_votes = o.final_votes;
+    f.interesting = o.interesting;
+    rows.push_back(f);
+  }
+  return rows;
+}
+
+}  // namespace digg::stream

@@ -1,0 +1,214 @@
+#pragma once
+// The streaming vote-ingestion engine. Replays an EventStream (event.h) and
+// maintains, per story, O(1)-amortized incremental state per arriving vote:
+//
+//   - fan-union visibility: a platform::VisibilitySet (dense epoch sets,
+//     dense_set.h) served from a byte-budgeted LRU pool per shard — the same
+//     rebuild-on-miss discipline platform.h uses for live visibility. A
+//     missing set is rebuilt by replaying the story's first `applied` votes,
+//     and `applied` never exceeds the checkpoint horizon (at most 21 votes
+//     with the paper's checkpoints), so eviction costs a bounded replay;
+//   - running in-network vote count (cascade membership): a vote is
+//     in-network iff the visibility set can_see() the voter when the vote
+//     arrives — identical to the batch exposure test in core/cascade.cpp;
+//   - checkpoint captures: influence at the Fig. 3(a) checkpoints and
+//     in-network counts at the v6/v10/v20 checkpoints are recorded the
+//     moment the checkpoint vote arrives, which is also when the online
+//     hooks fire: the paper's (v10, fans1) early prediction at vote 10 and
+//     the June-2006 43-vote promotion rule.
+//
+// Once a story passes the horizon (all checkpoints recorded), its heavy
+// state is released and every further vote is a single counter increment —
+// the amortized-O(1) core of the design. The per-vote work below the
+// horizon is O(fan-degree of the voter), exactly the batch pipeline's cost,
+// paid once per vote instead of once per whole-corpus recomputation.
+//
+// Parallelism: stories are hashed onto a FIXED number of shards (independent
+// of the thread count) and shards run on the runtime pool via parallel_for,
+// whose chunk layout is also thread-count invariant. A story belongs to
+// exactly one shard, shards share no mutable state, and results merge by
+// story slot — so outputs are bit-identical for any DIGG_THREADS, the same
+// determinism contract as src/runtime.
+//
+// Equivalence contract (proven by tests/stream_test.cpp): after a full
+// replay, per-story cascade/influence checkpoint values, fans1, final votes
+// and the interestingness label are bit-identical to the batch pipeline
+// (core::cascade_profile / core::influence_profile / core::extract_features)
+// on the same corpus.
+//
+// Checkpoint/restore: engine state serializes through the shared DIGGSNAP
+// section mechanism (data/snapshot_format.h) — see checkpoint.h. A restored
+// engine resumes mid-stream and reaches a final state bit-identical to an
+// uninterrupted run.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/core/features.h"
+#include "src/core/predictor.h"
+#include "src/digg/friends_interface.h"
+#include "src/stream/event.h"
+
+namespace digg::stream {
+
+struct StreamParams {
+  /// In-network (cascade) checkpoints, counted in votes after the
+  /// submitter's digg — the paper's v6/v10/v20. Strictly ascending.
+  std::vector<std::uint32_t> cascade_checkpoints = {6, 10, 20};
+  /// Influence checkpoints in total votes including the submitter's digg —
+  /// Fig. 3(a)'s at-submission / after-10 / after-20 are {1, 11, 21}.
+  /// Strictly ascending, all >= 1.
+  std::vector<std::uint32_t> influence_checkpoints = {1, 11, 21};
+  /// Interestingness label threshold (§5.1): final votes > threshold.
+  std::size_t interesting_threshold = core::kInterestingnessThreshold;
+  /// Online promotion rule: record the arrival time of this many total
+  /// votes (June 2006: 43). 0 disables the hook.
+  std::uint32_t promotion_threshold = 43;
+  /// Total byte budget for resident visibility sets, split across shards.
+  /// Smaller budgets trade memory for bounded rebuild replays on miss.
+  std::size_t vis_budget_bytes = 512ull << 20;
+  /// When set (and trained on FeatureSet::kPaper), the engine predicts
+  /// interestingness online the moment the v10 checkpoint records — the
+  /// §5.2 decision, taken at vote 10 instead of after the fact. The
+  /// predictor must outlive the engine.
+  const core::InterestingnessPredictor* predictor = nullptr;
+};
+
+/// Everything the engine knows about one story. Checkpoint vectors align
+/// with the params' checkpoint lists; values for checkpoints the story has
+/// not reached saturate over the votes seen so far, matching the batch
+/// profiles' saturation semantics.
+struct StoryOutcome {
+  platform::StoryId id = 0;
+  platform::UserId submitter = 0;
+  std::vector<std::size_t> cascade;    // in-network count per checkpoint
+  std::vector<std::size_t> influence;  // influence per checkpoint
+  std::size_t fans1 = 0;
+  std::size_t final_votes = 0;  // votes applied so far (total at stream end)
+  bool interesting = false;     // final_votes > interesting_threshold
+  /// Online §5.2 verdict at the v10 checkpoint (unset if the story never
+  /// reached 10 votes, or no paper-feature predictor was supplied).
+  std::optional<bool> predicted_interesting;
+  /// Arrival time of the promotion_threshold-th vote (unset if not reached).
+  std::optional<platform::Minutes> promoted_time;
+};
+
+struct StreamResult {
+  std::vector<StoryOutcome> stories;  // by slot (stream story order)
+  std::uint64_t events_applied = 0;
+};
+
+/// Converts a full-replay result into the batch pipeline's feature rows
+/// (requires the default paper checkpoints, which carry v6/v10/v20 and
+/// influence-after-10). Bit-identical to core::extract_features on the same
+/// stories — the bridge the equivalence tests and fig4/fig5 reuse go through.
+[[nodiscard]] std::vector<core::StoryFeatures> to_story_features(
+    const StreamResult& result, const StreamParams& params = {});
+
+class StreamEngine {
+ public:
+  /// `stream`, `network`, and params.predictor must outlive the engine.
+  /// Validates the stream (ordinals positional, per-story vote order, voters
+  /// matching the story columns, non-decreasing times) and the checkpoint
+  /// lists; throws std::invalid_argument on violations.
+  StreamEngine(const EventStream& stream, const graph::Digraph& network,
+               StreamParams params = {});
+
+  /// Applies every event with ordinal < event_limit that has not been
+  /// applied yet. Monotonic: a limit at or below events_applied() is a
+  /// no-op (the stream cannot rewind).
+  void run_until(std::uint64_t event_limit);
+  void run_all() { run_until(stream_->total_events()); }
+
+  [[nodiscard]] std::uint64_t events_applied() const noexcept {
+    return events_applied_;
+  }
+  [[nodiscard]] std::uint64_t total_events() const noexcept {
+    return stream_->total_events();
+  }
+
+  /// Snapshot of every story's state as of events_applied(). Callable
+  /// mid-stream (outcomes then describe the prefix seen so far) and does
+  /// not disturb resumability. Non-const because unreached influence
+  /// checkpoints may rebuild evicted visibility sets to read them.
+  [[nodiscard]] StreamResult result();
+
+  /// Serializes engine progress as a DIGGSNAP checkpoint at `path`.
+  void save_checkpoint(const std::filesystem::path& path) const;
+  /// Replaces engine progress with a checkpoint written by save_checkpoint
+  /// against the SAME stream and params. Verifies container integrity, the
+  /// stream fingerprint, config equality, and per-story prefix consistency;
+  /// throws std::runtime_error with a distinct message per violation.
+  void restore_checkpoint(const std::filesystem::path& path);
+
+  /// FNV-1a fingerprint of the stream (stories, vote columns) and network
+  /// shape; checkpoints embed it so a restore against different data fails.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+  /// Resident bytes of visibility pools + progress columns.
+  [[nodiscard]] std::size_t state_bytes() const;
+
+  /// Fixed shard fan-out; also the parallel width cap of one engine run.
+  static constexpr std::uint32_t kShardCount = 64;
+
+ private:
+  static constexpr std::uint32_t kUnrecorded = 0xffffffffu;
+
+  struct PoolSlot {
+    platform::VisibilitySet set;
+    std::uint32_t story = kUnrecorded;
+    std::uint64_t last_used = 0;
+  };
+  /// Byte-budgeted LRU pool of visibility sets for one shard's stories —
+  /// the platform.h visibility-cache idiom, scoped to a shard so pools
+  /// need no locking.
+  struct VisPool {
+    std::vector<PoolSlot> slots;
+    std::size_t capacity = 0;
+    std::uint64_t clock = 0;
+  };
+  struct Shard {
+    std::vector<std::uint64_t> events;  // ordinals, ascending
+    std::size_t cursor = 0;
+    VisPool pool;
+  };
+  struct Progress {
+    std::uint64_t applied = 0;
+    std::uint32_t innetwork = 0;  // running in-network count (to horizon)
+    std::uint32_t fans1 = 0;
+    std::uint8_t flags = 0;  // kHasPrediction | kPredictedYes | kPromoted
+    platform::Minutes promoted_time = 0.0;
+  };
+  static constexpr std::uint8_t kHasPrediction = 1;
+  static constexpr std::uint8_t kPredictedYes = 2;
+  static constexpr std::uint8_t kPromoted = 4;
+
+  void apply_event(const VoteEvent& ev, Shard& shard);
+  platform::VisibilitySet& acquire_vis(Shard& shard, std::uint32_t slot);
+  void release_vis(Shard& shard, std::uint32_t slot);
+  void record_checkpoints(std::uint32_t slot, Progress& p,
+                          const platform::VisibilitySet& vis,
+                          platform::Minutes now);
+
+  const EventStream* stream_;
+  const graph::Digraph* network_;
+  StreamParams params_;
+  std::uint64_t horizon_ = 0;       // total votes after which state retires
+  std::uint32_t max_cascade_ = 0;   // largest cascade checkpoint
+  std::size_t v10_index_ = static_cast<std::size_t>(-1);  // cp == 10 slot
+  bool predictor_armed_ = false;  // paper-feature predictor + v10 checkpoint
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t events_applied_ = 0;
+
+  std::vector<Shard> shards_;
+  std::vector<Progress> progress_;          // by story slot
+  std::vector<std::uint32_t> cascade_rec_;   // slot * |cc| + j, kUnrecorded
+  std::vector<std::uint32_t> influence_rec_; // slot * |ic| + j, kUnrecorded
+  std::vector<std::uint32_t> pool_slot_of_;  // story slot -> pool slot
+};
+
+}  // namespace digg::stream

@@ -1,0 +1,24 @@
+#pragma once
+// Event-stream construction: flattens per-story vote columns into the single
+// time-ordered event order of event.h. Sources exist for the corpus (replay
+// of scraped/synthetic data) and for any explicit story list, so a synthetic
+// generator run can be streamed without materialising a Corpus first.
+
+#include <span>
+
+#include "src/data/corpus.h"
+#include "src/stream/event.h"
+
+namespace digg::stream {
+
+/// Streams every story in the corpus, front page first then upcoming (the
+/// same slot order the corpus snapshot uses). Story views alias the corpus
+/// vote store: the corpus must outlive the returned stream.
+[[nodiscard]] EventStream build_event_stream(const data::Corpus& corpus);
+
+/// Streams an explicit story list; slot i is stories[i]. The backing vote
+/// columns must outlive the returned stream.
+[[nodiscard]] EventStream build_event_stream(
+    std::span<const platform::StoryView> stories);
+
+}  // namespace digg::stream

@@ -1,0 +1,496 @@
+#include "src/stream/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/data/snapshot_format.h"
+#include "src/data/synthetic.h"
+#include "src/runtime/thread_pool.h"
+#include "src/stream/checkpoint.h"
+#include "src/stream/source.h"
+
+namespace digg::stream {
+namespace {
+
+namespace snapfmt = data::snapfmt;
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(unsigned threads) {
+    runtime::set_default_threads(threads);
+  }
+  ~ThreadGuard() { runtime::set_default_threads(0); }
+};
+
+// The runtime_test corpus: large enough that the front page carries both
+// label classes, small enough to generate in well under a second.
+const data::SyntheticCorpus& small_corpus() {
+  static const data::SyntheticCorpus c = [] {
+    stats::Rng rng(42);
+    data::SyntheticParams params;
+    params.user_count = 40000;
+    params.story_count = 400;
+    params.vote_model.step = 2.0;
+    return data::generate_corpus(params, rng);
+  }();
+  return c;
+}
+
+const EventStream& small_stream() {
+  static const EventStream s = build_event_stream(small_corpus().corpus);
+  return s;
+}
+
+void expect_same_outcome(const StoryOutcome& a, const StoryOutcome& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.submitter, b.submitter);
+  EXPECT_EQ(a.cascade, b.cascade);
+  EXPECT_EQ(a.influence, b.influence);
+  EXPECT_EQ(a.fans1, b.fans1);
+  EXPECT_EQ(a.final_votes, b.final_votes);
+  EXPECT_EQ(a.interesting, b.interesting);
+  EXPECT_EQ(a.predicted_interesting, b.predicted_interesting);
+  EXPECT_EQ(a.promoted_time, b.promoted_time);
+}
+
+void expect_same_result(const StreamResult& a, const StreamResult& b) {
+  EXPECT_EQ(a.events_applied, b.events_applied);
+  ASSERT_EQ(a.stories.size(), b.stories.size());
+  for (std::size_t i = 0; i < a.stories.size(); ++i) {
+    SCOPED_TRACE("story slot " + std::to_string(i));
+    expect_same_outcome(a.stories[i], b.stories[i]);
+  }
+}
+
+class StreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("digg_stream_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const {
+    return dir_ / name;
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<char> slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spew(const std::filesystem::path& p, const std::vector<char>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ------------------------------------------------ stream construction ----
+
+TEST(EventStreamTest, TimeOrderedWithPositionalOrdinals) {
+  const EventStream& s = small_stream();
+  EXPECT_EQ(s.stories.size(), small_corpus().corpus.story_count());
+  ASSERT_GT(s.events.size(), 0u);
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    EXPECT_EQ(s.events[i].ordinal, i);
+    if (i > 0) {
+      EXPECT_GE(s.events[i].time, s.events[i - 1].time);
+    }
+  }
+}
+
+TEST(EventStreamTest, EngineRejectsTamperedStreams) {
+  const auto& corpus = small_corpus().corpus;
+  {
+    EventStream broken = build_event_stream(corpus);
+    std::swap(broken.events[3].ordinal, broken.events[4].ordinal);
+    EXPECT_THROW(StreamEngine(broken, corpus.network), std::invalid_argument);
+  }
+  {
+    EventStream broken = build_event_stream(corpus);
+    broken.events[5].voter ^= 1;
+    EXPECT_THROW(StreamEngine(broken, corpus.network), std::invalid_argument);
+  }
+  {
+    EventStream broken = build_event_stream(corpus);
+    broken.events.pop_back();
+    for (std::size_t i = 0; i < broken.events.size(); ++i)
+      broken.events[i].ordinal = i;
+    EXPECT_THROW(StreamEngine(broken, corpus.network), std::invalid_argument);
+  }
+}
+
+TEST(EngineParamsTest, RejectsBadCheckpointLists) {
+  const auto& corpus = small_corpus().corpus;
+  const EventStream& s = small_stream();
+  StreamParams bad;
+  bad.cascade_checkpoints = {10, 6};
+  EXPECT_THROW(StreamEngine(s, corpus.network, bad), std::invalid_argument);
+  bad = {};
+  bad.influence_checkpoints = {0, 11};
+  EXPECT_THROW(StreamEngine(s, corpus.network, bad), std::invalid_argument);
+}
+
+// ------------------------------------------- batch/stream bit-identity ---
+
+TEST(EquivalenceTest, FeaturesMatchBatchExtractionExactly) {
+  const auto& corpus = small_corpus().corpus;
+  StreamEngine engine(small_stream(), corpus.network);
+  engine.run_all();
+  const StreamResult result = engine.result();
+  ASSERT_EQ(result.stories.size(), corpus.story_count());
+
+  const std::vector<core::StoryFeatures> rows = to_story_features(result);
+  const std::vector<core::StoryFeatures> batch_fp =
+      core::extract_features(corpus.front_page, corpus.network);
+  const std::vector<core::StoryFeatures> batch_up =
+      core::extract_features(corpus.upcoming, corpus.network);
+  ASSERT_EQ(rows.size(), batch_fp.size() + batch_up.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SCOPED_TRACE("story slot " + std::to_string(i));
+    const core::StoryFeatures& b =
+        i < batch_fp.size() ? batch_fp[i] : batch_up[i - batch_fp.size()];
+    EXPECT_EQ(rows[i].story, b.story);
+    EXPECT_EQ(rows[i].submitter, b.submitter);
+    EXPECT_EQ(rows[i].v6, b.v6);
+    EXPECT_EQ(rows[i].v10, b.v10);
+    EXPECT_EQ(rows[i].v20, b.v20);
+    EXPECT_EQ(rows[i].fans1, b.fans1);
+    EXPECT_EQ(rows[i].influence10, b.influence10);
+    EXPECT_EQ(rows[i].final_votes, b.final_votes);
+    EXPECT_EQ(rows[i].interesting, b.interesting);
+  }
+}
+
+TEST(EquivalenceTest, Fig3aInfluenceMatchesBatch) {
+  const auto& corpus = small_corpus().corpus;
+  const core::Fig3aResult batch = core::fig3a_influence(corpus);
+  StreamEngine engine(small_stream(), corpus.network);
+  engine.run_all();
+  const StreamResult result = engine.result();
+  // Stream slots [0, front_page.size()) are the front-page stories and the
+  // default influence checkpoints {1, 11, 21} are exactly fig3a's.
+  ASSERT_EQ(batch.at_submission.size(), corpus.front_page.size());
+  for (std::size_t i = 0; i < corpus.front_page.size(); ++i) {
+    SCOPED_TRACE("front-page story " + std::to_string(i));
+    ASSERT_EQ(result.stories[i].influence.size(), 3u);
+    EXPECT_EQ(result.stories[i].influence[0], batch.at_submission[i]);
+    EXPECT_EQ(result.stories[i].influence[1], batch.after_10[i]);
+    EXPECT_EQ(result.stories[i].influence[2], batch.after_20[i]);
+  }
+}
+
+TEST(EquivalenceTest, Fig4MatchesBatchThroughSharedGrouping) {
+  const auto& corpus = small_corpus().corpus;
+  const core::Fig4Result batch = core::fig4_innetwork_vs_final(corpus);
+  StreamEngine engine(small_stream(), corpus.network);
+  engine.run_all();
+  std::vector<core::StoryFeatures> rows = to_story_features(engine.result());
+  rows.resize(corpus.front_page.size());  // fig4 is a front-page artifact
+  const core::Fig4Result ours = core::fig4_from_features(rows);
+  EXPECT_EQ(ours.spearman_v10_final, batch.spearman_v10_final);
+  ASSERT_EQ(ours.after_10.size(), batch.after_10.size());
+  for (std::size_t g = 0; g < ours.after_10.size(); ++g) {
+    EXPECT_EQ(ours.after_10[g].in_network_votes,
+              batch.after_10[g].in_network_votes);
+    EXPECT_EQ(ours.after_10[g].final_votes.n, batch.after_10[g].final_votes.n);
+    EXPECT_EQ(ours.after_10[g].final_votes.median,
+              batch.after_10[g].final_votes.median);
+  }
+}
+
+// --------------------------------------------------------- determinism ---
+
+TEST(DeterminismTest, BitIdenticalAcrossThreadCounts) {
+  const auto& corpus = small_corpus().corpus;
+  auto run = [&](unsigned threads) {
+    ThreadGuard guard(threads);
+    StreamEngine engine(small_stream(), corpus.network);
+    engine.run_all();
+    return engine.result();
+  };
+  const StreamResult t1 = run(1);
+  const StreamResult t2 = run(2);
+  const StreamResult t8 = run(8);
+  expect_same_result(t1, t2);
+  expect_same_result(t1, t8);
+}
+
+TEST(DeterminismTest, TightVisibilityBudgetChangesNothing) {
+  const auto& corpus = small_corpus().corpus;
+  StreamEngine roomy(small_stream(), corpus.network);
+  roomy.run_all();
+  // A one-byte budget forces every shard down to a single resident set, so
+  // interleaved stories evict each other constantly and every value flows
+  // through the rebuild-by-replay path.
+  StreamParams tight;
+  tight.vis_budget_bytes = 1;
+  StreamEngine squeezed(small_stream(), corpus.network, tight);
+  squeezed.run_all();
+  expect_same_result(roomy.result(), squeezed.result());
+}
+
+TEST(DeterminismTest, IncrementalRunsMatchOneShot) {
+  const auto& corpus = small_corpus().corpus;
+  StreamEngine oneshot(small_stream(), corpus.network);
+  oneshot.run_all();
+  StreamEngine stepped(small_stream(), corpus.network);
+  const std::uint64_t total = stepped.total_events();
+  stepped.run_until(total / 4);
+  EXPECT_EQ(stepped.events_applied(), total / 4);
+  stepped.run_until(total / 4);  // no-op: the stream cannot rewind
+  EXPECT_EQ(stepped.events_applied(), total / 4);
+  stepped.run_until(3 * total / 4);
+  stepped.run_all();
+  expect_same_result(oneshot.result(), stepped.result());
+}
+
+// -------------------------------------------------------- online hooks ---
+
+TEST(OnlineHooksTest, PredictionAndPromotionFireAtTheRightVote) {
+  const auto& corpus = small_corpus().corpus;
+  const std::vector<core::StoryFeatures> batch_fp =
+      core::extract_features(corpus.front_page, corpus.network);
+  const core::InterestingnessPredictor predictor =
+      core::InterestingnessPredictor::train(batch_fp);
+
+  StreamParams params;
+  params.predictor = &predictor;
+  StreamEngine engine(small_stream(), corpus.network, params);
+  engine.run_all();
+  const StreamResult result = engine.result();
+
+  const std::vector<core::StoryFeatures> batch_up =
+      core::extract_features(corpus.upcoming, corpus.network);
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < result.stories.size(); ++i) {
+    SCOPED_TRACE("story slot " + std::to_string(i));
+    const StoryOutcome& o = result.stories[i];
+    const core::StoryFeatures& b = i < batch_fp.size()
+                                       ? batch_fp[i]
+                                       : batch_up[i - batch_fp.size()];
+    // The online verdict exists iff the story reached ten non-submitter
+    // votes, and then matches the batch predictor on the batch features.
+    if (o.final_votes >= 11) {
+      ASSERT_TRUE(o.predicted_interesting.has_value());
+      EXPECT_EQ(*o.predicted_interesting, predictor.predict(b));
+      ++fired;
+    } else {
+      EXPECT_FALSE(o.predicted_interesting.has_value());
+    }
+    // The promotion hook records the exact arrival time of vote 43.
+    const platform::StoryView& sv = small_stream().stories[i];
+    if (sv.vote_count() >= 43) {
+      ASSERT_TRUE(o.promoted_time.has_value());
+      EXPECT_EQ(*o.promoted_time, sv.times()[42]);
+    } else {
+      EXPECT_FALSE(o.promoted_time.has_value());
+    }
+  }
+  EXPECT_GT(fired, 0u);
+}
+
+// -------------------------------------------------- checkpoint/restore ---
+
+TEST_F(StreamTest, CheckpointRoundTripReproducesFinalState) {
+  const auto& corpus = small_corpus().corpus;
+  StreamEngine oneshot(small_stream(), corpus.network);
+  oneshot.run_all();
+
+  StreamEngine writer(small_stream(), corpus.network);
+  const std::uint64_t cut = writer.total_events() / 3;
+  writer.run_until(cut);
+  const auto path = file("mid.ckpt");
+  writer.save_checkpoint(path);
+
+  const CheckpointInfo info = read_checkpoint_info(path);
+  EXPECT_EQ(info.version, kStreamCheckpointVersion);
+  EXPECT_EQ(info.fingerprint, writer.fingerprint());
+  EXPECT_EQ(info.events_applied, cut);
+  EXPECT_EQ(info.total_events, writer.total_events());
+  EXPECT_EQ(info.story_count, corpus.story_count());
+
+  // A fresh engine restores the kill point and finishes the stream; a
+  // different thread count on the resumed half must not matter either.
+  ThreadGuard guard(2);
+  StreamEngine resumed(small_stream(), corpus.network);
+  resumed.restore_checkpoint(path);
+  EXPECT_EQ(resumed.events_applied(), cut);
+  resumed.run_all();
+  expect_same_result(oneshot.result(), resumed.result());
+}
+
+TEST_F(StreamTest, CheckpointRestoreRewindsAFinishedEngine) {
+  const auto& corpus = small_corpus().corpus;
+  StreamEngine engine(small_stream(), corpus.network);
+  engine.run_until(engine.total_events() / 2);
+  const auto path = file("half.ckpt");
+  engine.save_checkpoint(path);
+  engine.run_all();
+  const StreamResult finished = engine.result();
+
+  engine.restore_checkpoint(path);
+  EXPECT_EQ(engine.events_applied(), engine.total_events() / 2);
+  engine.run_all();
+  expect_same_result(finished, engine.result());
+}
+
+TEST_F(StreamTest, RejectsMalformedCheckpoints) {
+  const auto& corpus = small_corpus().corpus;
+  StreamEngine engine(small_stream(), corpus.network);
+  engine.run_until(engine.total_events() / 2);
+  const auto path = file("good.ckpt");
+  engine.save_checkpoint(path);
+  const std::vector<char> good = slurp(path);
+  ASSERT_GT(good.size(), 64u);
+
+  const auto expect_throw = [&](const std::filesystem::path& p,
+                                const std::string& needle) {
+    try {
+      engine.restore_checkpoint(p);
+      FAIL() << "expected restore to reject " << p;
+    } catch (const std::runtime_error& err) {
+      EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+          << err.what();
+    }
+  };
+
+  {
+    std::vector<char> bad = good;
+    bad[1] = 'X';
+    spew(file("magic.ckpt"), bad);
+    expect_throw(file("magic.ckpt"), "bad magic");
+  }
+  {
+    std::vector<char> bad = good;
+    bad[good.size() / 2] ^= 0x20;
+    spew(file("flip.ckpt"), bad);
+    expect_throw(file("flip.ckpt"), "checksum mismatch");
+  }
+  {
+    std::vector<char> bad = good;
+    bad.resize(bad.size() / 2);
+    spew(file("trunc.ckpt"), bad);
+    expect_throw(file("trunc.ckpt"), "truncated");
+  }
+}
+
+TEST_F(StreamTest, RejectsCheckpointFromDifferentStreamOrConfig) {
+  const auto& corpus = small_corpus().corpus;
+  StreamEngine engine(small_stream(), corpus.network);
+  engine.run_until(1000);
+  const auto path = file("mine.ckpt");
+  engine.save_checkpoint(path);
+
+  // Same container, different corpus: the fingerprint must refuse it.
+  stats::Rng rng(7);
+  data::SyntheticParams params;
+  params.user_count = 8000;
+  params.story_count = 60;
+  params.vote_model.step = 2.0;
+  const data::SyntheticCorpus other = data::generate_corpus(params, rng);
+  const EventStream other_stream = build_event_stream(other.corpus);
+  StreamEngine other_engine(other_stream, other.corpus.network);
+  EXPECT_THROW(
+      {
+        try {
+          other_engine.restore_checkpoint(path);
+        } catch (const std::runtime_error& err) {
+          EXPECT_NE(std::string(err.what()).find("fingerprint mismatch"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+
+  // Same stream, different engine configuration.
+  StreamParams other_params;
+  other_params.promotion_threshold = 50;
+  StreamEngine reconfigured(small_stream(), corpus.network, other_params);
+  EXPECT_THROW(
+      {
+        try {
+          reconfigured.restore_checkpoint(path);
+        } catch (const std::runtime_error& err) {
+          EXPECT_NE(std::string(err.what()).find("config mismatch"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(StreamTest, RejectsForgedProgressColumns) {
+  const auto& corpus = small_corpus().corpus;
+  StreamEngine engine(small_stream(), corpus.network);
+  const std::uint64_t cut = 500;
+  engine.run_until(cut);
+
+  // Forge a container that passes every integrity check up to the payload
+  // semantics: valid magic/checksum, matching fingerprint and config, but
+  // an applied column that is not the stream's 500-event prefix.
+  const std::size_t stories = corpus.story_count();
+  std::vector<std::uint64_t> applied(stories, 0);
+  for (std::uint64_t i = 0; i < cut; ++i)
+    ++applied[small_stream().events[i].story_slot];
+  // Move one vote between two stories: totals still sum to `cut`.
+  std::size_t donor = 0;
+  while (applied[donor] == 0) ++donor;
+  applied[donor] -= 1;
+  applied[(donor + 1) % stories] += 1;
+
+  snapfmt::Section sections[2];
+  sections[0].type = snapfmt::kStreamMeta;
+  snapfmt::ByteBuffer& meta = sections[0].body;
+  meta.pod<std::uint32_t>(kStreamCheckpointVersion);
+  meta.pod<std::uint32_t>(0);  // predictor not armed
+  meta.pod<std::uint64_t>(engine.fingerprint());
+  meta.pod<std::uint64_t>(engine.total_events());
+  meta.pod<std::uint64_t>(cut);
+  meta.pod<std::uint64_t>(stories);
+  meta.pod<std::uint64_t>(core::kInterestingnessThreshold);
+  meta.pod<std::uint32_t>(43);
+  meta.pod<std::uint32_t>(3);
+  for (std::uint32_t cp : {6u, 10u, 20u}) meta.pod<std::uint32_t>(cp);
+  meta.pod<std::uint32_t>(3);
+  for (std::uint32_t cp : {1u, 11u, 21u}) meta.pod<std::uint32_t>(cp);
+
+  sections[1].type = snapfmt::kStreamState;
+  snapfmt::ByteBuffer& state = sections[1].body;
+  state.column(applied);
+  state.column(std::vector<std::uint32_t>(stories, 0));  // innetwork
+  state.column(std::vector<std::uint8_t>(stories, 0));   // flags
+  state.column(std::vector<double>(stories, 0.0));       // promoted_time
+  state.column(std::vector<std::uint32_t>(stories * 3, 0xffffffffu));
+  state.column(std::vector<std::uint32_t>(stories * 3, 0xffffffffu));
+
+  const auto path = file("forged.ckpt");
+  snapfmt::write_section_file(path, sections);
+  try {
+    engine.restore_checkpoint(path);
+    FAIL() << "expected the forged prefix to be rejected";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("not a stream prefix"),
+              std::string::npos)
+        << err.what();
+  }
+  // The failed restore must not have corrupted the engine.
+  EXPECT_EQ(engine.events_applied(), cut);
+  engine.run_all();
+}
+
+}  // namespace
+}  // namespace digg::stream
