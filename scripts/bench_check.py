@@ -15,7 +15,8 @@ NEW_DIR and every *gated metric* must be within --threshold (default 25%)
 of its baseline in the bad direction:
 
   - gauges ending in  per_sec / per_s     higher is better
-  - gauges ending in  _ms / _us / _bytes  lower is better
+  - gauges ending in  _ms / _us / _bytes / _ns_per_op
+                                          lower is better
   - wall_ms                               lower is better (reported but NOT
     gated: it includes corpus generation and, for perf_micro, however many
     benchmark repetitions google-benchmark chose — too noisy to gate on
@@ -36,7 +37,7 @@ import sys
 import tempfile
 
 HIGHER_BETTER = ("per_sec", "per_s")
-LOWER_BETTER = ("_ms", "_us", "_bytes")
+LOWER_BETTER = ("_ms", "_us", "_bytes", "_ns_per_op")
 
 
 def direction(name):
@@ -129,6 +130,7 @@ def self_test():
         "wall_ms": 100.0,
         "metrics": {"gauges": {"x.bench_votes_per_sec": 1000.0,
                                "x.bench_replay_ms": 50.0,
+                               "x.union_ns_per_op": 80.0,
                                "x.some_ratio": 0.5}},
     }
 
@@ -137,6 +139,7 @@ def self_test():
         gauges = doc["metrics"]["gauges"]
         gauges["x.bench_votes_per_sec"] *= scale_throughput
         gauges["x.bench_replay_ms"] *= scale_latency
+        gauges["x.union_ns_per_op"] *= scale_latency
         return doc
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -144,7 +147,7 @@ def self_test():
         for sub in ("baseline", "slow", "fine"):
             (tmp / sub).mkdir()
         (tmp / "baseline" / "BENCH_x.json").write_text(json.dumps(base))
-        # 30% throughput drop AND 30% latency growth: both must trip.
+        # 30% throughput drop AND 30% latency/ns-op growth: all must trip.
         (tmp / "slow" / "BENCH_x.json").write_text(
             json.dumps(variant(0.7, 1.3))
         )
@@ -154,7 +157,7 @@ def self_test():
         (tmp / "fine" / "BENCH_x.json").write_text(json.dumps(wobble))
 
         slow = compare_dirs(tmp / "baseline", tmp / "slow", 0.25)
-        assert len(slow) == 2, f"expected 2 failures, got {slow}"
+        assert len(slow) == 3, f"expected 3 failures, got {slow}"
         fine = compare_dirs(tmp / "baseline", tmp / "fine", 0.25)
         assert fine == [], f"expected clean pass, got {fine}"
         missing = compare_dirs(tmp / "baseline", tmp / "fine" / "nope", 0.25)

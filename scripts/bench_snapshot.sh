@@ -6,6 +6,8 @@
 #                         exits nonzero if the snapshot-load 5x bar is missed)
 #   BENCH_stream.json     perf_stream (vote-stream replay throughput and
 #                         checkpoint save/restore latency)
+#   BENCH_visibility.json perf_visibility (hybrid-set fan-union and
+#                         membership ns/op, replay state bytes)
 #
 # Usage: scripts/bench_snapshot.sh [extra perf_micro args...]
 #   BUILD_DIR       build directory (default build-release)
@@ -19,7 +21,7 @@ BENCH_MIN_TIME=${BENCH_MIN_TIME:-0.05}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target perf_micro --target perf_corpus_io \
-  --target perf_stream
+  --target perf_stream --target perf_visibility
 
 "$BUILD_DIR/bench/perf_micro" \
   --json BENCH_parallel.json \
@@ -32,3 +34,6 @@ echo "wrote $(pwd)/BENCH_corpus_io.json"
 
 "$BUILD_DIR/bench/perf_stream" --json BENCH_stream.json
 echo "wrote $(pwd)/BENCH_stream.json"
+
+"$BUILD_DIR/bench/perf_visibility" --json BENCH_visibility.json
+echo "wrote $(pwd)/BENCH_visibility.json"

@@ -26,7 +26,7 @@ ASAN_DIR=${ASAN_DIR:-build-asan}
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 WERROR=${WERROR:-OFF}
-TSAN_LABELS=${TSAN_LABELS:-'^(runtime_test|stream_test|obs_test)$'}
+TSAN_LABELS=${TSAN_LABELS:-'^(runtime_test|stream_test|obs_test|digg_hybrid_set_test)$'}
 
 MODE=all
 case "${1:-}" in

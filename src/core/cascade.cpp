@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "src/digg/dense_set.h"
+#include "src/digg/hybrid_set.h"
 
 namespace digg::core {
 
@@ -15,16 +15,14 @@ std::vector<bool> vote_provenance(const StoryView& story,
   provenance.reserve(voters.size() - 1);
 
   // Users who could have seen the story through the Friends interface:
-  // fans of the submitter, then fans of each voter as they digg. Scratch
-  // set reused across stories (epoch-bump clear) — this loop dominates the
-  // fig3b cascade sweep.
-  thread_local platform::DenseStampSet exposed;
-  exposed.reset();
-  exposed.ensure_capacity(network.node_count());
+  // fans of the submitter, then fans of each voter as they digg. Hybrid
+  // scratch set reused across stories — each vote is one merge of the
+  // sorted fan span (bit-sets once the union grows past the bitmap
+  // threshold). This loop dominates the fig3b cascade sweep.
+  thread_local platform::HybridSet exposed;
+  exposed.reset(network.node_count());
   auto expose_fans_of = [&](UserId voter) {
-    if (voter < network.node_count()) {
-      for (UserId fan : network.fans(voter)) exposed.insert(fan);
-    }
+    if (voter < network.node_count()) exposed.union_span(network.fans(voter));
   };
   expose_fans_of(story.submitter);
   for (std::size_t k = 1; k < voters.size(); ++k) {

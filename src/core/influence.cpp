@@ -18,8 +18,9 @@ std::vector<std::size_t> influence_profile(
     const std::vector<std::size_t>& checkpoints) {
   if (!std::is_sorted(checkpoints.begin(), checkpoints.end()))
     throw std::invalid_argument("influence_profile: checkpoints not ascending");
-  // Scratch set reused across stories: rebinding is an epoch bump, so the
-  // fig3a sweep does no per-story allocation.
+  // Hybrid scratch set reused across stories: rebinding keeps the buffers,
+  // so the fig3a sweep does no per-story allocation, and each vote merges
+  // one sorted fan span instead of writing O(num_users) dense stamps.
   thread_local platform::VisibilitySet vis;
   vis.rebind(network);
   const auto voters = story.voters();

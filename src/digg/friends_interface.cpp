@@ -10,10 +10,14 @@ void VisibilitySet::add_voter(UserId voter) {
     throw std::invalid_argument("VisibilitySet::add_voter: duplicate voter");
   watchers_.erase(voter);
   if (network_ != nullptr && voter < network_->node_count()) {
-    for (UserId fan : network_->fans(voter)) {
-      if (!voters_.contains(fan) && watchers_.insert(fan))
-        watcher_pool_.push_back(fan);
-    }
+    // One merge of the sorted fan span per vote. Prior voters never re-enter
+    // (the accept filter), and the exposure log records first-time watchers
+    // in span order — the same order the per-fan insert loop produced, so
+    // downstream vote dynamics are bit-identical.
+    watchers_.union_span(
+        network_->fans(voter),
+        [&](UserId fan) { return !voters_.contains(fan); },
+        [&](UserId fan) { watcher_pool_.push_back(fan); });
   }
 }
 

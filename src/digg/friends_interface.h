@@ -6,17 +6,21 @@
 //
 // VisibilitySet supports incremental updates (add one voter at a time) so
 // the vote-dynamics simulation stays O(sum of fan degrees) per story. The
-// watcher and voter sets are epoch-stamped dense arrays keyed by NodeId
-// (see dense_set.h): membership is an array load, and reset() lets one set
-// be replayed across stories without clearing — the analysis layer keeps a
-// thread-local instance and rebinds it per story.
+// watcher and voter sets are hybrid small-sets (hybrid_set.h): a sorted
+// uint32 array while small — the common case, since analysis sets live
+// inside the 21-vote checkpoint horizon — promoting to a word-packed bitmap
+// past the size threshold. Unioning a voter's fans is a branch-light merge
+// of the sorted CSR fan span, membership a galloping binary search, and a
+// set costs bytes proportional to its cardinality (capped by the bitmap)
+// instead of O(num_users) dense stamps, which is what lets per-story sets
+// pool ~100x more densely in the streaming engine.
 
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
-#include "src/digg/dense_set.h"
+#include "src/digg/hybrid_set.h"
 #include "src/digg/types.h"
 #include "src/stats/rng.h"
 
@@ -32,20 +36,20 @@ class VisibilitySet {
   VisibilitySet() = default;
   explicit VisibilitySet(const graph::Digraph& network) { rebind(network); }
 
-  /// Points the set at `network` and empties it (O(1) epoch bump; the dense
-  /// arrays are kept and grown, never shrunk, so a scratch instance reused
-  /// across stories allocates only on the largest graph it has seen).
+  /// Points the set at `network` and empties it. Buffers are kept and
+  /// grown, never shrunk, so a scratch instance reused across stories
+  /// allocates only on the largest graph it has seen.
   void rebind(const graph::Digraph& network) {
     network_ = &network;
-    watchers_.ensure_capacity(network.node_count());
-    voters_.ensure_capacity(network.node_count());
-    reset();
+    watchers_.reset(network.node_count());
+    voters_.reset(network.node_count());
+    watcher_pool_.clear();
   }
 
-  /// Empties the set, keeping the bound network. O(1).
+  /// Empties the set, keeping the bound network and key universe.
   void reset() noexcept {
-    watchers_.reset();
-    voters_.reset();
+    watchers_.reset(watchers_.universe());
+    voters_.reset(voters_.universe());
     watcher_pool_.clear();
   }
 
@@ -80,16 +84,25 @@ class VisibilitySet {
     return watcher_pool_;
   }
 
-  /// Resident bytes of the dense arrays + pool (cache budgeting).
+  /// Resident bytes of the hybrid sets + pool (LRU byte accounting).
   [[nodiscard]] std::size_t size_bytes() const noexcept {
     return watchers_.size_bytes() + voters_.size_bytes() +
            watcher_pool_.capacity() * sizeof(UserId);
   }
 
+  /// Releases every heap buffer and empties the set. Rebind before reuse.
+  /// Byte-budgeted pools call this on evict/retire so the memory actually
+  /// returns instead of lingering as capacity.
+  void shed() noexcept {
+    watchers_.shed();
+    voters_.shed();
+    std::vector<UserId>().swap(watcher_pool_);
+  }
+
  private:
   const graph::Digraph* network_ = nullptr;
-  DenseStampSet watchers_;
-  DenseStampSet voters_;
+  HybridSet watchers_;
+  HybridSet voters_;
   std::vector<UserId> watcher_pool_;  // insertion log; may contain stale ids
 };
 

@@ -1,0 +1,227 @@
+#pragma once
+// Hybrid small-set over uint32 keys in a bounded universe — the successor to
+// the dense epoch-stamp representation this repo used for *per-story* state.
+// A dense stamp array costs O(universe) bytes per set no matter how small the
+// set is; with 120k users that is ~480 KB for a visibility set that typically
+// holds a few hundred watchers, which is exactly where the streaming engine's
+// memory went. The hybrid keeps two representations and promotes one way:
+//
+//   - ARRAY mode (the common case): a sorted unique uint32 vector `main_`
+//     plus two small unsorted staging buffers — `tail_` for pending inserts
+//     and `dead_` for pending erases (tombstones). Staging keeps single
+//     inserts/erases O(log n + kStageCap) amortized instead of an O(n)
+//     memmove each, and is folded into `main_` (flush) before any bulk op.
+//     Membership is a galloping binary search; bulk union with a sorted span
+//     (a CSR fan list) is a gallop-intersect to find the genuinely new ids
+//     followed by one backward in-place merge — a set already saturated with
+//     the span costs only the lookups, no rewrite.
+//   - BITMAP mode: a word-packed bitmap of universe bits plus a size
+//     counter. Entered once size() crosses promote_threshold(universe) — the
+//     point where the sorted array would outweigh the bitmap
+//     (4*size >= universe/8) — and left only by reset()/shed(). All ops
+//     become O(1) word probes; a span union is O(|span|).
+//
+// Both modes implement exact set semantics, so every query result is
+// independent of the representation — figure outputs cannot depend on when a
+// set promoted. Determinism contract: iteration-order-sensitive callers
+// (VisibilitySet's exposure log) only observe union_span's on_new callback,
+// which fires in span order in both modes.
+//
+// Keys may exceed the declared universe (vote columns can reference users
+// outside the fan graph); insert grows the universe on demand, like the
+// dense set's implicit resize.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace digg::platform {
+
+class HybridSet {
+ public:
+  /// Staging-buffer capacity: small enough that linear scans stay in one or
+  /// two cache lines, large enough to amortize the flush memmove.
+  static constexpr std::size_t kStageCap = 64;
+
+  HybridSet() = default;
+  explicit HybridSet(std::size_t universe) { reset(universe); }
+
+  /// Array mode is kept while 4*size < universe/8, i.e. while the sorted
+  /// array is strictly smaller than the bitmap would be. The kStageCap floor
+  /// keeps tiny universes from promoting before staging even fills.
+  [[nodiscard]] static std::size_t promote_threshold(
+      std::size_t universe) noexcept {
+    return universe / 32 > kStageCap ? universe / 32 : kStageCap;
+  }
+
+  /// Empties the set and (re)declares the key universe [0, universe).
+  /// Allocated buffers are kept for reuse — a thread_local scratch instance
+  /// replayed across thousands of stories allocates only on the largest
+  /// universe it has seen. Representation returns to array mode.
+  void reset(std::size_t universe);
+
+  /// Inserts `id`, growing the universe if needed. Returns true if the id
+  /// was not already present.
+  bool insert(std::uint32_t id);
+
+  /// Removes `id` if present; returns true if it was.
+  bool erase(std::uint32_t id);
+
+  [[nodiscard]] bool contains(std::uint32_t id) const noexcept;
+
+  /// Unions a strictly-increasing span of ids (a CSR adjacency row) into the
+  /// set. For each id not already present, `accept(id)` decides whether it
+  /// joins; `on_new(id)` fires for each id actually inserted, in span order.
+  /// accept/on_new must not touch this set.
+  template <class Accept, class OnNew>
+  void union_span(std::span<const std::uint32_t> ids, Accept&& accept,
+                  OnNew&& on_new);
+
+  void union_span(std::span<const std::uint32_t> ids) {
+    union_span(
+        ids, [](std::uint32_t) { return true; }, [](std::uint32_t) {});
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return bitmap_ ? bit_count_ : main_.size() + tail_.size() - dead_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] bool is_bitmap() const noexcept { return bitmap_; }
+  [[nodiscard]] std::size_t universe() const noexcept { return universe_; }
+
+  /// Sorted contents (test/diagnostic helper; O(size) in bitmap mode plus a
+  /// scan of the words).
+  [[nodiscard]] std::vector<std::uint32_t> to_vector() const;
+
+  /// Resident heap bytes across both representations (LRU byte accounting).
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return (main_.capacity() + tail_.capacity() + dead_.capacity() +
+            scratch_.capacity()) *
+               sizeof(std::uint32_t) +
+           words_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Releases every heap buffer and empties the set (universe is kept). Used
+  /// by byte-budgeted pools when a set retires or is evicted, so the memory
+  /// actually returns instead of lingering as capacity.
+  void shed() noexcept;
+
+ private:
+  /// Folds the staging buffers into main_ (array mode only). After flush,
+  /// main_ alone is the set.
+  void flush();
+  /// Array -> bitmap conversion (flushes first). One-way until reset/shed.
+  void promote();
+  void grow_universe(std::size_t need);
+
+  std::size_t universe_ = 0;
+  bool bitmap_ = false;
+  std::vector<std::uint32_t> main_;     // sorted, unique
+  std::vector<std::uint32_t> tail_;     // pending inserts, not in main_
+  std::vector<std::uint32_t> dead_;     // pending erases, subset of main_
+  std::vector<std::uint32_t> scratch_;  // flush/union merge area
+  std::vector<std::uint64_t> words_;    // bitmap-mode storage
+  std::size_t bit_count_ = 0;           // bitmap-mode cardinality
+};
+
+namespace detail {
+
+/// Galloping lower-bound membership probe over a sorted unique array,
+/// starting at `pos`: double the step until the key is bracketed, then
+/// binary-search the bracket. `pos` advances to the key's lower bound, so a
+/// caller walking an ascending query sequence (a sorted fan span) pays
+/// O(log gap) per query instead of O(log n). Returns presence.
+inline bool gallop_contains(const std::vector<std::uint32_t>& sorted,
+                            std::uint32_t key, std::size_t& pos) noexcept {
+  const std::size_t n = sorted.size();
+  if (pos >= n || sorted[pos] >= key) {
+    // Already at or past the bracket; fall through to the final check.
+  } else {
+    std::size_t step = 1;
+    std::size_t lo = pos;
+    while (lo + step < n && sorted[lo + step] < key) {
+      lo += step;
+      step <<= 1;
+    }
+    std::size_t hi = lo + step < n ? lo + step : n;
+    ++lo;  // sorted[lo - 1] < key already established
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (sorted[mid] < key)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    pos = lo;
+  }
+  return pos < n && sorted[pos] == key;
+}
+
+inline bool unsorted_contains(const std::vector<std::uint32_t>& v,
+                              std::uint32_t key) noexcept {
+  for (const std::uint32_t x : v)
+    if (x == key) return true;
+  return false;
+}
+
+}  // namespace detail
+
+template <class Accept, class OnNew>
+void HybridSet::union_span(std::span<const std::uint32_t> ids, Accept&& accept,
+                           OnNew&& on_new) {
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < ids.size(); ++i)
+    assert(ids[i - 1] < ids[i] && "union_span: span must strictly increase");
+#endif
+  if (ids.empty()) return;
+  if (!ids.empty() && ids.back() >= universe_)
+    grow_universe(static_cast<std::size_t>(ids.back()) + 1);
+
+  if (bitmap_) {
+    for (const std::uint32_t id : ids) {
+      std::uint64_t& word = words_[id >> 6];
+      const std::uint64_t bit = 1ull << (id & 63);
+      if ((word & bit) == 0 && accept(id)) {
+        word |= bit;
+        ++bit_count_;
+        on_new(id);
+      }
+    }
+    return;
+  }
+
+  // Array mode. Canonicalize, then gallop-intersect the span against main_
+  // to stage only the genuinely new ids: a saturated set pays the lookups
+  // and never rewrites.
+  flush();
+  std::size_t pos = 0;
+  for (const std::uint32_t id : ids) {
+    if (detail::gallop_contains(main_, id, pos)) continue;
+    if (!accept(id)) continue;
+    tail_.push_back(id);
+    on_new(id);
+  }
+  if (tail_.empty()) return;
+  if (main_.size() + tail_.size() >= promote_threshold(universe_)) {
+    promote();
+    return;
+  }
+  // Backward in-place merge of the staged run (already sorted: collected in
+  // span order). Only the suffix of main_ past the first insertion point
+  // moves — the branch-light fan-union hot path.
+  std::size_t i = main_.size();
+  std::size_t j = tail_.size();
+  main_.resize(i + j);
+  std::size_t k = main_.size();
+  while (j > 0) {
+    if (i > 0 && main_[i - 1] > tail_[j - 1])
+      main_[--k] = main_[--i];
+    else
+      main_[--k] = tail_[--j];
+  }
+  tail_.clear();
+}
+
+}  // namespace digg::platform

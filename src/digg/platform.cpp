@@ -18,9 +18,12 @@ Platform::Platform(graph::Digraph network, std::vector<UserProfile> users,
   if (users_.size() != network_.node_count())
     throw std::invalid_argument(
         "Platform: user population and network size mismatch");
-  // Two stamp arrays per slot dominate the cost; reserve up front so slot
-  // addresses (and thus visibility() references) never move.
-  const std::size_t per_slot = 8 * std::max<std::size_t>(1, users_.size());
+  // Budget slots by the hybrid set's worst case — two word-packed bitmaps
+  // (1 bit per user each) plus slack for the sorted arrays and watcher pool.
+  // Reserve up front so slot addresses (and thus visibility() references)
+  // never move.
+  const std::size_t per_slot =
+      std::max<std::size_t>(1, users_.size()) / 4 + 4096;
   vis_capacity_ = std::clamp<std::size_t>(kVisCacheBudgetBytes / per_slot, 8,
                                           4096);
   vis_slots_.reserve(vis_capacity_);

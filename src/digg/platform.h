@@ -6,12 +6,13 @@
 // the promotion check after every vote, and expires stale submissions.
 //
 // Visibility sets are served from a byte-budgeted LRU cache instead of one
-// resident set per story: a dense-array VisibilitySet costs ~8 bytes per
-// network node, so materialising one per story would dwarf the vote columns
-// themselves. A missing set is rebuilt deterministically by replaying the
-// story's vote column (same insertion order → identical watcher pool /
-// exposure log), so eviction is invisible to callers apart from the replay
-// cost. References returned by visibility() stay valid until a *different*
+// resident set per story: even the hybrid representation (hybrid_set.h) can
+// reach two bitmap-mode sets (~1 bit per network node each) for a
+// long-running story, so materialising one per story would still dwarf the
+// vote columns on large sites. A missing set is rebuilt deterministically by
+// replaying the story's vote column (same insertion order → identical
+// watcher pool / exposure log), so eviction is invisible to callers apart
+// from the replay cost. References returned by visibility() stay valid until a *different*
 // story's set is requested; the dynamics layer already re-fetches per story.
 
 #include <cstdint>
@@ -75,8 +76,9 @@ class Platform {
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
-  /// Soft cap on resident visibility-set bytes; per-slot cost scales with
-  /// node count, so the slot count adapts to the network size.
+  /// Soft cap on resident visibility-set bytes; the per-slot estimate is
+  /// the hybrid set's bitmap-mode worst case, so the slot count adapts to
+  /// the network size.
   static constexpr std::size_t kVisCacheBudgetBytes = 512ull << 20;
 
   struct VisSlot {

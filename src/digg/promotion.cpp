@@ -1,6 +1,6 @@
 #include "src/digg/promotion.h"
 
-#include "src/digg/dense_set.h"
+#include "src/digg/hybrid_set.h"
 
 namespace digg::platform {
 
@@ -41,11 +41,11 @@ double DiversityPolicy::weighted_votes(const Story& story,
                                        const graph::Digraph& network) const {
   // A vote is "in-network" if the voter is a fan of any prior voter
   // (including the submitter). visible = users who follow some prior voter.
-  // Scratch set reused across calls: membership is one array load and
-  // clearing is an epoch bump, so the per-vote promotion check stays cheap.
-  thread_local DenseStampSet watchers_of_prior;
-  watchers_of_prior.reset();
-  watchers_of_prior.ensure_capacity(network.node_count());
+  // Hybrid scratch set reused across calls: each vote merges one sorted fan
+  // span and membership is a galloping search (or a bit probe once big), so
+  // the per-vote promotion check stays cheap.
+  thread_local HybridSet watchers_of_prior;
+  watchers_of_prior.reset(network.node_count());
   double mass = 0.0;
   for (std::size_t i = 0; i < story.voters.size(); ++i) {
     const UserId voter = story.voters[i];
@@ -54,9 +54,8 @@ double DiversityPolicy::weighted_votes(const Story& story,
     } else {
       mass += watchers_of_prior.contains(voter) ? fan_vote_weight_ : 1.0;
     }
-    if (voter < network.node_count()) {
-      for (UserId fan : network.fans(voter)) watchers_of_prior.insert(fan);
-    }
+    if (voter < network.node_count())
+      watchers_of_prior.union_span(network.fans(voter));
   }
   return mass;
 }

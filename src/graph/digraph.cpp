@@ -1,10 +1,35 @@
 #include "src/graph/digraph.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <string>
 
 namespace digg::graph {
+
+namespace {
+
+// Debug post-condition of build()/from_parts(): every adjacency row is
+// strictly increasing (sorted + deduplicated). The hybrid visibility sets
+// (src/digg/hybrid_set.h) merge fans()/friends() spans linearly and would
+// silently drop elements on unsorted input, so the invariant is asserted at
+// the single place rows are materialised instead of defended per consumer.
+[[maybe_unused]] void debug_assert_rows_sorted(
+    const std::vector<std::size_t>& offsets, const std::vector<NodeId>& ids) {
+#ifndef NDEBUG
+  for (std::size_t u = 0; u + 1 < offsets.size(); ++u) {
+    for (std::size_t i = offsets[u] + 1; i < offsets[u + 1]; ++i) {
+      assert(ids[i - 1] < ids[i] &&
+             "Digraph: adjacency row not strictly increasing");
+    }
+  }
+#else
+  (void)offsets;
+  (void)ids;
+#endif
+}
+
+}  // namespace
 
 std::span<const NodeId> Digraph::friends(NodeId u) const {
   if (u >= node_count()) throw std::out_of_range("Digraph::friends: bad node");
@@ -123,7 +148,10 @@ Digraph DigraphBuilder::build() const {
     g.in_sources_[in_fill[v]++] = u;
   }
   // Edges were sorted by (u, v), so each out-row is already sorted by target;
-  // in-rows are filled in (u, v) order, hence sorted by source.
+  // in-rows are filled in (u, v) order, hence sorted by source. Debug builds
+  // verify both directions — arbitrary insertion order must normalize here.
+  debug_assert_rows_sorted(g.out_offsets_, g.out_targets_);
+  debug_assert_rows_sorted(g.in_offsets_, g.in_sources_);
   return g;
 }
 

@@ -232,6 +232,7 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
         shard.events.begin());
     shard.pool.slots.clear();
     shard.pool.clock = 0;
+    shard.pool.bytes = 0;
   }
   std::fill(pool_slot_of_.begin(), pool_slot_of_.end(), kUnrecorded);
 

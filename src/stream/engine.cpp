@@ -121,22 +121,16 @@ StreamEngine::StreamEngine(const EventStream& stream,
   // The layout depends only on the stream, so any thread count walks the
   // same per-shard sequences.
   shards_.resize(kShardCount);
-  std::vector<std::uint32_t> shard_stories(kShardCount, 0);
-  for (std::uint32_t slot = 0; slot < story_count; ++slot)
-    ++shard_stories[slot % kShardCount];
   for (const VoteEvent& ev : stream_->events)
     shards_[ev.story_slot % kShardCount].events.push_back(ev.ordinal);
 
-  // Visibility-pool budget: per-shard share of the byte budget, in units of
-  // one dense-set pair (~9 bytes/node), capped by the shard's story count.
-  const std::size_t per_set = network.node_count() * 9 + 4096;
+  // Visibility-pool budget: each shard gets its share of the byte budget
+  // and accounts the real resident bytes of its hybrid sets against it —
+  // no per-set size estimate, because hybrid sets cost what they hold.
   const std::size_t per_shard =
       std::max<std::size_t>(1, params_.vis_budget_bytes / kShardCount);
-  for (std::uint32_t s = 0; s < kShardCount; ++s) {
-    std::size_t cap = std::max<std::size_t>(1, per_shard / per_set);
-    if (shard_stories[s] > 0) cap = std::min<std::size_t>(cap, shard_stories[s]);
-    shards_[s].pool.capacity = cap;
-  }
+  for (std::uint32_t s = 0; s < kShardCount; ++s)
+    shards_[s].pool.budget = per_shard;
 }
 
 platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
@@ -144,21 +138,47 @@ platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
   VisPool& pool = shard.pool;
   std::uint32_t ps = pool_slot_of_[slot];
   if (ps != kUnrecorded) {
-    pool.slots[ps].last_used = ++pool.clock;
-    return pool.slots[ps].set;
+    PoolSlot& sl = pool.slots[ps];
+    sl.last_used = ++pool.clock;
+    // Refresh the accounting: the set grows between touches as votes land.
+    const std::size_t now_bytes = sl.set.size_bytes();
+    pool.bytes += now_bytes - sl.bytes;
+    sl.bytes = now_bytes;
+    return sl.set;
   }
-  if (pool.slots.size() < pool.capacity) {
+  // Over budget: evict least-recently-used bound slots until the share is
+  // honoured again. The requested story always becomes resident afterwards,
+  // so a 1-byte budget degenerates to rebuild-per-touch, never deadlock.
+  // Pools are a few dozen slots, so linear scans beat maintaining a heap.
+  while (pool.bytes >= pool.budget) {
+    std::uint32_t victim = kUnrecorded;
+    for (std::uint32_t i = 0; i < pool.slots.size(); ++i) {
+      if (pool.slots[i].story == kUnrecorded) continue;
+      if (victim == kUnrecorded ||
+          pool.slots[i].last_used < pool.slots[victim].last_used)
+        victim = i;
+    }
+    if (victim == kUnrecorded) break;
+    PoolSlot& ev = pool.slots[victim];
+    pool_slot_of_[ev.story] = kUnrecorded;
+    ev.story = kUnrecorded;
+    ev.last_used = 0;
+    pool.bytes -= ev.bytes;
+    ev.bytes = 0;
+    ev.set.shed();  // return the memory, not just the binding
+    obs::Registry::global().counter("stream.vis_evictions").inc();
+  }
+  // Reuse any unbound slot before growing the pool.
+  ps = kUnrecorded;
+  for (std::uint32_t i = 0; i < pool.slots.size(); ++i) {
+    if (pool.slots[i].story == kUnrecorded) {
+      ps = i;
+      break;
+    }
+  }
+  if (ps == kUnrecorded) {
     ps = static_cast<std::uint32_t>(pool.slots.size());
     pool.slots.emplace_back();
-  } else {
-    // Evict the least-recently-used resident story (released slots carry
-    // last_used 0, so they win the scan). The pool is at most a few dozen
-    // slots, so a linear scan beats maintaining a heap.
-    ps = 0;
-    for (std::uint32_t i = 1; i < pool.slots.size(); ++i)
-      if (pool.slots[i].last_used < pool.slots[ps].last_used) ps = i;
-    if (pool.slots[ps].story != kUnrecorded)
-      pool_slot_of_[pool.slots[ps].story] = kUnrecorded;
   }
   PoolSlot& sl = pool.slots[ps];
   sl.story = slot;
@@ -170,6 +190,8 @@ platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
   const std::uint64_t applied = progress_[slot].applied;
   const auto voters = stream_->stories[slot].voters();
   for (std::uint64_t k = 0; k < applied; ++k) sl.set.add_voter(voters[k]);
+  sl.bytes = sl.set.size_bytes();
+  pool.bytes += sl.bytes;
   if (applied > 0) obs::Registry::global().counter("stream.vis_rebuilds").inc();
   return sl.set;
 }
@@ -177,8 +199,12 @@ platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
 void StreamEngine::release_vis(Shard& shard, std::uint32_t slot) {
   const std::uint32_t ps = pool_slot_of_[slot];
   if (ps == kUnrecorded) return;
-  shard.pool.slots[ps].story = kUnrecorded;
-  shard.pool.slots[ps].last_used = 0;
+  PoolSlot& sl = shard.pool.slots[ps];
+  sl.story = kUnrecorded;
+  sl.last_used = 0;
+  shard.pool.bytes -= sl.bytes;
+  sl.bytes = 0;
+  sl.set.shed();  // past-horizon sets are dead weight; free them now
   pool_slot_of_[slot] = kUnrecorded;
 }
 
@@ -262,6 +288,8 @@ void StreamEngine::run_until(std::uint64_t event_limit) {
   events_applied_ = event_limit;
   obs::Registry::global().gauge("stream.state_bytes").set(
       static_cast<double>(state_bytes()));
+  obs::Registry::global().gauge("stream.vis_pool_bytes").set(
+      static_cast<double>(vis_pool_bytes()));
 }
 
 StreamResult StreamEngine::result() {
@@ -309,10 +337,15 @@ std::size_t StreamEngine::state_bytes() const {
                       cascade_rec_.capacity() * sizeof(std::uint32_t) +
                       influence_rec_.capacity() * sizeof(std::uint32_t) +
                       pool_slot_of_.capacity() * sizeof(std::uint32_t);
-  for (const Shard& shard : shards_) {
+  for (const Shard& shard : shards_)
     bytes += shard.events.capacity() * sizeof(std::uint64_t);
+  return bytes + vis_pool_bytes();
+}
+
+std::size_t StreamEngine::vis_pool_bytes() const {
+  std::size_t bytes = 0;
+  for (const Shard& shard : shards_)
     for (const PoolSlot& sl : shard.pool.slots) bytes += sl.set.size_bytes();
-  }
   return bytes;
 }
 

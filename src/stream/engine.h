@@ -2,12 +2,17 @@
 // The streaming vote-ingestion engine. Replays an EventStream (event.h) and
 // maintains, per story, O(1)-amortized incremental state per arriving vote:
 //
-//   - fan-union visibility: a platform::VisibilitySet (dense epoch sets,
-//     dense_set.h) served from a byte-budgeted LRU pool per shard — the same
-//     rebuild-on-miss discipline platform.h uses for live visibility. A
-//     missing set is rebuilt by replaying the story's first `applied` votes,
-//     and `applied` never exceeds the checkpoint horizon (at most 21 votes
-//     with the paper's checkpoints), so eviction costs a bounded replay;
+//   - fan-union visibility: a platform::VisibilitySet (hybrid small-sets,
+//     hybrid_set.h — sorted arrays promoting to word-packed bitmaps) served
+//     from a byte-accounted LRU pool per shard — the same rebuild-on-miss
+//     discipline platform.h uses for live visibility. A missing set is
+//     rebuilt by replaying the story's first `applied` votes, and `applied`
+//     never exceeds the checkpoint horizon (at most 21 votes with the
+//     paper's checkpoints), so eviction costs a bounded replay. Because a
+//     set now costs bytes proportional to its cardinality instead of
+//     O(num_users), the pool accounts real resident bytes per slot and
+//     evicts least-recently-used sets only when the shard's byte share is
+//     actually exceeded;
 //   - running in-network vote count (cascade membership): a vote is
 //     in-network iff the visibility set can_see() the voter when the vote
 //     arrives — identical to the batch exposure test in core/cascade.cpp;
@@ -149,8 +154,14 @@ class StreamEngine {
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
     return fingerprint_;
   }
-  /// Resident bytes of visibility pools + progress columns.
+  /// Resident bytes of visibility pools + fixed per-story state — the sum
+  /// of vis_pool_bytes() and the progress/checkpoint/shard columns.
   [[nodiscard]] std::size_t state_bytes() const;
+  /// Resident bytes of the pooled visibility sets alone (`stream.
+  /// vis_pool_bytes` gauge). Kept separate from state_bytes() so the
+  /// variable LRU-pool cost is visible next to the fixed per-story state
+  /// instead of being conflated with it.
+  [[nodiscard]] std::size_t vis_pool_bytes() const;
 
   /// Fixed shard fan-out; also the parallel width cap of one engine run.
   static constexpr std::uint32_t kShardCount = 64;
@@ -162,13 +173,18 @@ class StreamEngine {
     platform::VisibilitySet set;
     std::uint32_t story = kUnrecorded;
     std::uint64_t last_used = 0;
+    std::size_t bytes = 0;  // last-accounted size_bytes() of `set`
   };
-  /// Byte-budgeted LRU pool of visibility sets for one shard's stories —
+  /// Byte-accounted LRU pool of visibility sets for one shard's stories —
   /// the platform.h visibility-cache idiom, scoped to a shard so pools
-  /// need no locking.
+  /// need no locking. `bytes` sums the per-slot accounting; slot sizes are
+  /// refreshed on every touch, so between touches the tally can lag a
+  /// growing set by one vote's worth of fans — a soft budget, never a
+  /// correctness input (eviction only changes what is resident).
   struct VisPool {
     std::vector<PoolSlot> slots;
-    std::size_t capacity = 0;
+    std::size_t budget = 0;  // byte share of StreamParams::vis_budget_bytes
+    std::size_t bytes = 0;   // accounted bytes across bound slots
     std::uint64_t clock = 0;
   };
   struct Shard {

@@ -118,6 +118,36 @@ TEST(Digraph, ImplicitNodeCreationFromEdges) {
   EXPECT_EQ(b.node_count(), 10u);
 }
 
+// Regression for the hybrid visibility sets (src/digg/hybrid_set.h), whose
+// span unions require strictly increasing adjacency rows: edges inserted in
+// arbitrary (here descending, duplicated) order must come out of build() as
+// sorted, deduplicated rows in BOTH CSR directions.
+TEST(Digraph, UnsortedEdgeListsNormalizeAtBuild) {
+  DigraphBuilder b;
+  const std::pair<NodeId, NodeId> edges[] = {{0, 9}, {0, 3}, {0, 7}, {0, 3},
+                                             {8, 4}, {2, 4}, {6, 4}, {2, 4},
+                                             {9, 0}, {5, 0}, {1, 0}};
+  for (auto [u, v] : edges) b.add_follow(u, v);
+  const Digraph g = b.build();
+  EXPECT_EQ(g.edge_count(), 9u);  // two duplicates dropped
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto out = g.friends(u);
+    const auto in = g.fans(u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+      EXPECT_LT(out[i - 1], out[i]) << "out row " << u;
+    for (std::size_t i = 1; i < in.size(); ++i)
+      EXPECT_LT(in[i - 1], in[i]) << "in row " << u;
+  }
+  const NodeId out0[] = {3, 7, 9};
+  const NodeId in4[] = {2, 6, 8};
+  ASSERT_EQ(g.friends(0).size(), 3u);
+  ASSERT_EQ(g.fans(4).size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(g.friends(0)[i], out0[i]);
+    EXPECT_EQ(g.fans(4)[i], in4[i]);
+  }
+}
+
 TEST(Digraph, LargerGraphCrossCheck) {
   // Verify CSR symmetry: u in fans(v) iff v in friends(u), over all pairs.
   DigraphBuilder b;

@@ -333,6 +333,33 @@ TEST_F(StreamTest, CheckpointRoundTripReproducesFinalState) {
   expect_same_result(oneshot.result(), resumed.result());
 }
 
+// The serialized checkpoint must not depend on the in-memory visibility
+// representation or residency: an engine killed mid-stream and resumed on a
+// fresh process writes a final checkpoint byte-for-byte identical to an
+// uninterrupted run's (visibility sets are rebuilt lazily, never persisted,
+// so eviction/promotion history cannot leak into the file).
+TEST_F(StreamTest, CheckpointBytesIdenticalAcrossKillAndResume) {
+  const auto& corpus = small_corpus().corpus;
+  StreamEngine oneshot(small_stream(), corpus.network);
+  oneshot.run_all();
+  const auto straight = file("straight.ckpt");
+  oneshot.save_checkpoint(straight);
+
+  StreamEngine writer(small_stream(), corpus.network);
+  writer.run_until(writer.total_events() / 3);
+  const auto mid = file("mid.ckpt");
+  writer.save_checkpoint(mid);
+
+  StreamEngine resumed(small_stream(), corpus.network);
+  resumed.restore_checkpoint(mid);
+  resumed.run_all();
+  const auto rejoined = file("rejoined.ckpt");
+  resumed.save_checkpoint(rejoined);
+
+  EXPECT_EQ(slurp(straight), slurp(rejoined));
+  expect_same_result(oneshot.result(), resumed.result());
+}
+
 TEST_F(StreamTest, CheckpointRestoreRewindsAFinishedEngine) {
   const auto& corpus = small_corpus().corpus;
   StreamEngine engine(small_stream(), corpus.network);
