@@ -2,8 +2,12 @@
 # Refreshes the per-PR perf trajectory:
 #   BENCH_parallel.json   perf_micro suite with its --json reporter (metrics
 #                         snapshot + wall clock; see bench/perf_micro.cpp)
-#   BENCH_corpus_io.json  perf_corpus_io (CSV load vs snapshot save/load;
-#                         exits nonzero if the snapshot-load 5x bar is missed)
+#   BENCH_corpus_io.json  perf_corpus_io (CSV load vs snapshot save/load vs
+#                         mmap, plus the million-user out-of-core leg:
+#                         streamed generation RSS, mmap load, stream replay;
+#                         exits nonzero if the snapshot-load 5x bar is
+#                         missed; CORPUS_IO_ARGS can downscale, e.g.
+#                         CORPUS_IO_ARGS='--large-users 200000')
 #   BENCH_stream.json     perf_stream (vote-stream replay throughput and
 #                         checkpoint save/restore latency)
 #   BENCH_visibility.json perf_visibility (hybrid-set fan-union and
@@ -29,7 +33,9 @@ cmake --build "$BUILD_DIR" -j --target perf_micro --target perf_corpus_io \
   "$@"
 echo "wrote $(pwd)/BENCH_parallel.json"
 
-"$BUILD_DIR/bench/perf_corpus_io" --json BENCH_corpus_io.json
+# shellcheck disable=SC2086  # CORPUS_IO_ARGS is deliberately word-split
+"$BUILD_DIR/bench/perf_corpus_io" --json BENCH_corpus_io.json \
+  ${CORPUS_IO_ARGS:-}
 echo "wrote $(pwd)/BENCH_corpus_io.json"
 
 "$BUILD_DIR/bench/perf_stream" --json BENCH_stream.json

@@ -6,18 +6,27 @@
 #            exercise the thread pool (label filter TSAN_LABELS below —
 #            TSan slows single-threaded statistics tests ~10x for no
 #            additional race coverage)
+#   large    Release build + the out-of-core smoke: stream-generate a
+#            large corpus to a snapshot, mmap-load it, and replay it
+#            through the stream engine (perf_corpus_io's large leg,
+#            downscaled via LARGE_USERS/LARGE_STORIES so the smoke stays
+#            minutes-cheap; the nightly perf job runs the full million)
 #   all      every configuration above, failing fast on the first broken one
 #
 # The GitHub Actions matrix (.github/workflows/ci.yml) runs one mode per
 # job via this script, so CI legs are reproducible locally with the same
 # command CI uses.
 #
-# Usage: scripts/ci.sh [release|asan|tsan|all] [ctest args...]
+# Usage: scripts/ci.sh [release|asan|tsan|large|all] [ctest args...]
 #   RELEASE_DIR / ASAN_DIR / TSAN_DIR
 #                build dirs (default build-release, build-asan, build-tsan)
 #   JOBS         parallelism (default nproc)
 #   WERROR       ON to add -Werror (CI sets this; local default OFF)
 #   TSAN_LABELS  ctest -L regex for the tsan leg
+#   LARGE_USERS / LARGE_STORIES
+#                large-corpus smoke scale (default 200000 users, 200
+#                stories — big enough to leave RAM-cached territory, small
+#                enough for a PR gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,10 +36,12 @@ TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 WERROR=${WERROR:-OFF}
 TSAN_LABELS=${TSAN_LABELS:-'^(runtime_test|stream_test|obs_test|digg_hybrid_set_test)$'}
+LARGE_USERS=${LARGE_USERS:-200000}
+LARGE_STORIES=${LARGE_STORIES:-200}
 
 MODE=all
 case "${1:-}" in
-  release|asan|tsan|all)
+  release|asan|tsan|large|all)
     MODE=$1
     shift
     ;;
@@ -64,6 +75,15 @@ fi
 if [[ $MODE == tsan || $MODE == all ]]; then
   run_config "$TSAN_DIR" "TSan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDIGG_SANITIZE=thread -- -L "$TSAN_LABELS"
+fi
+if [[ $MODE == large || $MODE == all ]]; then
+  echo "== [large-corpus smoke] configure + build ($RELEASE_DIR) =="
+  cmake -B "$RELEASE_DIR" -S . -DDIGG_WERROR="$WERROR" \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$RELEASE_DIR" -j "$JOBS" --target perf_corpus_io
+  echo "== [large-corpus smoke] generate -> mmap -> replay =="
+  "$RELEASE_DIR"/bench/perf_corpus_io \
+    --large-users "$LARGE_USERS" --large-stories "$LARGE_STORIES"
 fi
 
 echo "ci.sh: $MODE green"

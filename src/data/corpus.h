@@ -17,12 +17,17 @@
 // arena, and moves are cheap (spans follow the moved heap buffers).
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "src/data/vote_store.h"
 #include "src/digg/types.h"
 
 namespace digg::data {
+
+namespace snapfmt {
+class MmapSectionFile;
+}  // namespace snapfmt
 
 using Story = platform::StoryView;
 using platform::StoryId;
@@ -37,6 +42,10 @@ struct Corpus {
   /// paper's top-user cutoffs (rank <= 100, top 1020 snapshot) index into
   /// this.
   std::vector<UserId> top_users;
+  /// Keeps a memory-mapped snapshot alive while `network`/`vote_store`
+  /// borrow column spans from it (load_snapshot_mmap). Null for owned
+  /// corpora; copies of the corpus share the mapping.
+  std::shared_ptr<const snapfmt::MmapSectionFile> backing;
 
   enum class Section { kFrontPage, kUpcoming };
 

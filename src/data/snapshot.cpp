@@ -1,11 +1,13 @@
 #include "src/data/snapshot.h"
 
+#include <bit>
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
-#include "src/data/snapshot_format.h"
 #include "src/obs/metrics.h"
+#include "src/runtime/parallel.h"
 
 namespace digg::data {
 
@@ -15,22 +17,35 @@ using snapfmt::ByteBuffer;
 using snapfmt::ByteReader;
 using snapfmt::Section;
 
-void write_u64_column(ByteBuffer& out, const std::vector<std::size_t>& v) {
-  for (std::size_t x : v) out.pod(static_cast<std::uint64_t>(x));
+// On little-endian hosts with 64-bit size_t the in-memory column already
+// has the on-disk u64 layout; elsewhere widen per element.
+inline constexpr bool kNativeU64 =
+    sizeof(std::size_t) == sizeof(std::uint64_t) &&
+    std::endian::native == std::endian::little;
+
+void write_u64_column(ByteBuffer& out, std::span<const std::size_t> v) {
+  if constexpr (kNativeU64) {
+    out.column(v);
+  } else {
+    for (std::size_t x : v) out.pod(static_cast<std::uint64_t>(x));
+  }
 }
 
-ByteBuffer encode_network(const graph::Digraph& g) {
+ByteBuffer encode_network(const graph::Digraph& g, bool align_columns) {
   ByteBuffer out;
   out.pod(static_cast<std::uint64_t>(g.node_count()));
   out.pod(static_cast<std::uint64_t>(g.edge_count()));
   write_u64_column(out, g.out_offsets());
   out.column(g.out_targets());
+  // v2 keeps u64 columns 8-byte aligned within the body so mapped readers
+  // can bind them in place; v1 bodies stay byte-identical to old writers.
+  if (align_columns) out.pad8();
   write_u64_column(out, g.in_offsets());
   out.column(g.in_sources());
   return out;
 }
 
-ByteBuffer encode_stories(const Corpus& corpus) {
+ByteBuffer encode_stories_v1(const Corpus& corpus) {
   ByteBuffer out;
   out.pod(static_cast<std::uint64_t>(corpus.front_page.size()));
   out.pod(static_cast<std::uint64_t>(corpus.upcoming.size()));
@@ -50,7 +65,7 @@ ByteBuffer encode_stories(const Corpus& corpus) {
   return out;
 }
 
-ByteBuffer encode_votes(const Corpus& corpus) {
+ByteBuffer encode_votes_v1(const Corpus& corpus) {
   ByteBuffer out;
   std::uint64_t total = 0;
   std::vector<std::uint64_t> offsets{0};
@@ -74,88 +89,245 @@ ByteBuffer encode_votes(const Corpus& corpus) {
   return out;
 }
 
-ByteBuffer encode_top_users(const Corpus& corpus) {
+ByteBuffer encode_top_users(std::span<const UserId> top_users) {
   ByteBuffer out;
-  out.pod(static_cast<std::uint64_t>(corpus.top_users.size()));
-  out.column(corpus.top_users);
+  out.pod(static_cast<std::uint64_t>(top_users.size()));
+  out.column(top_users);
   return out;
+}
+
+void record_save_metrics(const std::filesystem::path& path, double start_us) {
+  obs::Registry::global()
+      .counter("data.snapshot_save_bytes")
+      .inc(static_cast<std::size_t>(std::filesystem::file_size(path)));
+  obs::Registry::global().histogram("data.snapshot_save_us").observe(start_us);
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
 
-void save_snapshot(const Corpus& corpus, const std::filesystem::path& path) {
-  const auto start = std::chrono::steady_clock::now();
+// ---------------------------------------------------------------------------
+// Streaming writer
 
-  Section sections[] = {{snapfmt::kNetwork, encode_network(corpus.network)},
-                        {snapfmt::kStories, encode_stories(corpus)},
-                        {snapfmt::kVotes, encode_votes(corpus)},
-                        {snapfmt::kTopUsers, encode_top_users(corpus)}};
-  snapfmt::write_section_file(path, sections);
+SnapshotWriter::SnapshotWriter(const std::filesystem::path& path,
+                               std::size_t chunk_target_bytes)
+    : out_(path), chunk_target_bytes_(chunk_target_bytes) {}
 
-  std::size_t file_bytes = snapfmt::kHeaderBytes +
-                           std::size(sections) * snapfmt::kEntryBytes +
-                           sizeof(std::uint64_t);
-  for (const Section& s : sections) file_bytes += s.body.size();
-
-  const double us = std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-  obs::Registry::global().counter("data.snapshot_save_bytes").inc(file_bytes);
-  obs::Registry::global().histogram("data.snapshot_save_us").observe(us);
+void SnapshotWriter::write_network(const graph::Digraph& network) {
+  if (network_written_)
+    throw std::logic_error("SnapshotWriter: network written twice");
+  out_.add(snapfmt::kNetwork, encode_network(network, /*align_columns=*/true));
+  network_written_ = true;
 }
 
-Corpus load_snapshot(const std::filesystem::path& path) {
+void SnapshotWriter::add_votes(std::span<const UserId> voters,
+                               std::span<const platform::Minutes> times) {
+  if (voters.size() != times.size())
+    throw std::invalid_argument(
+        "SnapshotWriter::add_votes: column length mismatch");
+  chunk_users_.raw(voters.data(), voters.size() * sizeof(UserId));
+  chunk_times_.raw(times.data(), times.size() * sizeof(platform::Minutes));
+  offsets_.push_back(offsets_.back() + voters.size());
+  if (chunk_users_.size() + chunk_times_.size() >= chunk_target_bytes_)
+    flush_chunk();
+}
+
+void SnapshotWriter::flush_chunk() {
+  // Chunks cut at story boundaries only; an in-flight chunk covering zero
+  // stories (right after a flush, or an empty corpus) writes nothing.
+  if (story_count() == chunk_first_story_) return;
+  chunk_table_.push_back(ChunkRef{chunk_first_story_, chunk_first_vote_});
+  out_.add(snapfmt::kVotesUsers, chunk_users_);
+  out_.add(snapfmt::kVotesTimes, chunk_times_);
+  chunk_users_ = ByteBuffer{};
+  chunk_times_ = ByteBuffer{};
+  chunk_first_story_ = story_count();
+  chunk_first_vote_ = offsets_.back();
+}
+
+void SnapshotWriter::add_story(const Story& story) {
+  ids_.push_back(story.id);
+  submitters_.push_back(story.submitter);
+  submitted_at_.push_back(story.submitted_at);
+  quality_.push_back(story.quality);
+  phases_.push_back(static_cast<std::uint8_t>(story.phase));
+  has_promoted_.push_back(story.promoted() ? 1 : 0);
+  promoted_at_.push_back(story.promoted_at.value_or(0.0));
+}
+
+void SnapshotWriter::write_top_users(std::span<const UserId> top_users) {
+  if (top_users_written_)
+    throw std::logic_error("SnapshotWriter: top users written twice");
+  out_.add(snapfmt::kTopUsers, encode_top_users(top_users));
+  top_users_written_ = true;
+}
+
+void SnapshotWriter::finish() {
+  if (!network_written_)
+    throw std::logic_error("SnapshotWriter: finish without write_network");
+  if (!top_users_written_)
+    throw std::logic_error("SnapshotWriter: finish without write_top_users");
+  if (ids_.size() != story_count())
+    throw std::logic_error(
+        "SnapshotWriter: add_story/add_votes call counts disagree");
+  flush_chunk();
+
+  ByteBuffer stories;
+  stories.pod(static_cast<std::uint64_t>(story_count()));
+  stories.column(ids_);
+  stories.column(submitters_);
+  stories.column(submitted_at_);
+  stories.column(quality_);
+  stories.column(phases_);
+  stories.column(has_promoted_);
+  stories.column(promoted_at_);
+  out_.add(snapfmt::kStories, stories);
+
+  ByteBuffer index;
+  index.pod(static_cast<std::uint64_t>(story_count()));
+  index.pod(offsets_.back());
+  index.pod(static_cast<std::uint64_t>(chunk_table_.size()));
+  index.column(offsets_);
+  for (const ChunkRef& c : chunk_table_) {
+    index.pod(c.first_story);
+    index.pod(c.first_vote);
+  }
+  out_.add(snapfmt::kVotesIndex, index);
+
+  out_.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Whole-corpus save
+
+void save_snapshot(const Corpus& corpus, const std::filesystem::path& path,
+                   std::uint32_t version, std::size_t chunk_target_bytes) {
   const auto start = std::chrono::steady_clock::now();
 
-  const snapfmt::SectionFile file = snapfmt::read_section_file(path);
-  const std::string& ctx = file.context;
-
-  Corpus corpus;
-
-  {
-    ByteReader r = file.open(snapfmt::kNetwork);
-    const auto n = static_cast<std::size_t>(r.pod<std::uint64_t>());
-    const auto edges = static_cast<std::size_t>(r.pod<std::uint64_t>());
-    auto out_offsets = r.u64_column(n + 1);
-    auto out_targets = r.column<graph::NodeId>(edges);
-    auto in_offsets = r.u64_column(n + 1);
-    auto in_sources = r.column<graph::NodeId>(edges);
-    try {
-      corpus.network = graph::Digraph::from_parts(
-          std::move(out_offsets), std::move(out_targets),
-          std::move(in_offsets), std::move(in_sources));
-    } catch (const std::invalid_argument& err) {
-      throw std::runtime_error(ctx + err.what());
-    }
+  if (version == kSnapshotVersion) {
+    SnapshotWriter writer(path, chunk_target_bytes);
+    writer.write_network(corpus.network);
+    const auto each = [&](auto&& emit) {
+      for (const Story& s : corpus.front_page) emit(s);
+      for (const Story& s : corpus.upcoming) emit(s);
+    };
+    each([&](const Story& s) { writer.add_votes(s.voters(), s.times()); });
+    each([&](const Story& s) { writer.add_story(s); });
+    writer.write_top_users(corpus.top_users);
+    writer.finish();
+  } else if (version == 1) {
+    Section sections[] = {
+        {snapfmt::kNetwork, encode_network(corpus.network, false)},
+        {snapfmt::kStories, encode_stories_v1(corpus)},
+        {snapfmt::kVotes, encode_votes_v1(corpus)},
+        {snapfmt::kTopUsers, encode_top_users(corpus.top_users)}};
+    snapfmt::write_section_file(path, sections, version);
+  } else {
+    throw std::invalid_argument("save_snapshot: unknown version " +
+                                std::to_string(version));
   }
 
-  std::size_t front_count = 0;
-  std::size_t story_count = 0;
+  record_save_metrics(path, elapsed_us(start));
+}
+
+// ---------------------------------------------------------------------------
+// Loaders
+
+namespace {
+
+/// The STORIES metadata columns shared by both formats (v1 prepends
+/// front/upcoming counts; v2 stores one total and partitions by flag).
+struct StoryColumns {
+  std::size_t count = 0;
   std::vector<StoryId> ids;
   std::vector<UserId> submitters;
   std::vector<double> submitted_at, quality, promoted_at;
   std::vector<std::uint8_t> phases, has_promoted;
+};
+
+void read_story_columns(ByteReader& r, StoryColumns& cols) {
+  cols.ids = r.column<StoryId>(cols.count);
+  cols.submitters = r.column<UserId>(cols.count);
+  cols.submitted_at = r.column<double>(cols.count);
+  cols.quality = r.column<double>(cols.count);
+  cols.phases = r.column<std::uint8_t>(cols.count);
+  cols.has_promoted = r.column<std::uint8_t>(cols.count);
+  cols.promoted_at = r.column<double>(cols.count);
+}
+
+/// Materialises the story views over corpus.vote_store (already loaded),
+/// assigning slot i to file-order story i. `front_of` decides the bucket.
+template <typename FrontOf>
+void emplace_stories(Corpus& corpus, const StoryColumns& cols,
+                     const std::string& ctx, FrontOf&& front_of) {
+  for (std::size_t i = 0; i < cols.count; ++i) {
+    Story s;
+    s.id = cols.ids[i];
+    s.submitter = cols.submitters[i];
+    s.submitted_at = cols.submitted_at[i];
+    s.quality = cols.quality[i];
+    if (cols.phases[i] >
+        static_cast<std::uint8_t>(platform::StoryPhase::kExpired))
+      throw std::runtime_error(ctx + "bad story phase");
+    s.phase = static_cast<platform::StoryPhase>(cols.phases[i]);
+    if (cols.has_promoted[i]) s.promoted_at = cols.promoted_at[i];
+    s.bind(corpus.vote_store.voters(static_cast<std::uint32_t>(i)),
+           corpus.vote_store.times(static_cast<std::uint32_t>(i)),
+           static_cast<std::uint32_t>(i));
+    (front_of(i) ? corpus.front_page : corpus.upcoming).push_back(std::move(s));
+  }
+}
+
+graph::Digraph decode_network_owned(ByteReader& r, bool aligned,
+                                    const std::string& ctx) {
+  const auto n = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  const auto edges = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  auto out_offsets = r.u64_column(n + 1);
+  auto out_targets = r.column<graph::NodeId>(edges);
+  if (aligned) r.align8();
+  auto in_offsets = r.u64_column(n + 1);
+  auto in_sources = r.column<graph::NodeId>(edges);
+  try {
+    return graph::Digraph::from_parts(std::move(out_offsets),
+                                      std::move(out_targets),
+                                      std::move(in_offsets),
+                                      std::move(in_sources));
+  } catch (const std::invalid_argument& err) {
+    throw std::runtime_error(ctx + err.what());
+  }
+}
+
+Corpus load_v1(const snapfmt::SectionFile& file) {
+  const std::string& ctx = file.context;
+  Corpus corpus;
+
+  {
+    ByteReader r = file.open(snapfmt::kNetwork);
+    corpus.network = decode_network_owned(r, /*aligned=*/false, ctx);
+  }
+
+  std::size_t front_count = 0;
+  StoryColumns cols;
   {
     ByteReader r = file.open(snapfmt::kStories);
     front_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
     const auto up_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
-    story_count = front_count + up_count;
-    ids = r.column<StoryId>(story_count);
-    submitters = r.column<UserId>(story_count);
-    submitted_at = r.column<double>(story_count);
-    quality = r.column<double>(story_count);
-    phases = r.column<std::uint8_t>(story_count);
-    has_promoted = r.column<std::uint8_t>(story_count);
-    promoted_at = r.column<double>(story_count);
+    cols.count = front_count + up_count;
+    read_story_columns(r, cols);
   }
 
   {
     ByteReader r = file.open(snapfmt::kVotes);
     const auto vote_stories = static_cast<std::size_t>(r.pod<std::uint64_t>());
-    if (vote_stories != story_count)
+    if (vote_stories != cols.count)
       throw std::runtime_error(ctx + "story count mismatch between sections");
     const auto total = static_cast<std::size_t>(r.pod<std::uint64_t>());
-    auto offsets = r.column<std::uint64_t>(story_count + 1);
+    auto offsets = r.column<std::uint64_t>(cols.count + 1);
     auto users = r.column<UserId>(total);
     auto times = r.column<platform::Minutes>(total);
     try {
@@ -173,32 +345,255 @@ Corpus load_snapshot(const std::filesystem::path& path) {
   }
 
   corpus.front_page.reserve(front_count);
-  corpus.upcoming.reserve(story_count - front_count);
-  for (std::size_t i = 0; i < story_count; ++i) {
-    Story s;
-    s.id = ids[i];
-    s.submitter = submitters[i];
-    s.submitted_at = submitted_at[i];
-    s.quality = quality[i];
-    if (phases[i] > static_cast<std::uint8_t>(platform::StoryPhase::kExpired))
-      throw std::runtime_error(ctx + "bad story phase");
-    s.phase = static_cast<platform::StoryPhase>(phases[i]);
-    if (has_promoted[i]) s.promoted_at = promoted_at[i];
-    s.bind(corpus.vote_store.voters(static_cast<std::uint32_t>(i)),
-           corpus.vote_store.times(static_cast<std::uint32_t>(i)),
-           static_cast<std::uint32_t>(i));
-    (i < front_count ? corpus.front_page : corpus.upcoming)
-        .push_back(std::move(s));
+  corpus.upcoming.reserve(cols.count - front_count);
+  // v1 files order stories front page first; partition by position.
+  emplace_stories(corpus, cols, ctx,
+                  [&](std::size_t i) { return i < front_count; });
+  return corpus;
+}
+
+/// The VOTES_INDEX preamble + chunk table shared by both v2 loaders.
+struct VoteIndex {
+  std::size_t story_count = 0;
+  std::uint64_t total = 0;
+  std::size_t chunk_count = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> chunks;  // story, vote
+};
+
+VoteIndex read_vote_index_preamble(ByteReader& r) {
+  VoteIndex idx;
+  idx.story_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  idx.total = r.pod<std::uint64_t>();
+  idx.chunk_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  return idx;
+}
+
+void read_vote_index_chunks(ByteReader& r, VoteIndex& idx) {
+  idx.chunks.reserve(idx.chunk_count);
+  for (std::size_t c = 0; c < idx.chunk_count; ++c) {
+    const auto story = r.pod<std::uint64_t>();
+    const auto vote = r.pod<std::uint64_t>();
+    idx.chunks.emplace_back(story, vote);
   }
+}
+
+Corpus load_v2(const snapfmt::SectionFile& file) {
+  const std::string& ctx = file.context;
+  Corpus corpus;
+
+  {
+    ByteReader r = file.open(snapfmt::kNetwork);
+    corpus.network = decode_network_owned(r, /*aligned=*/true, ctx);
+  }
+
+  StoryColumns cols;
+  {
+    ByteReader r = file.open(snapfmt::kStories);
+    cols.count = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    read_story_columns(r, cols);
+  }
+
+  {
+    ByteReader r = file.open(snapfmt::kVotesIndex);
+    VoteIndex idx = read_vote_index_preamble(r);
+    if (idx.story_count != cols.count)
+      throw std::runtime_error(ctx + "story count mismatch between sections");
+    auto offsets = r.column<std::uint64_t>(cols.count + 1);
+    read_vote_index_chunks(r, idx);
+
+    const auto user_chunks = file.entries(snapfmt::kVotesUsers);
+    const auto time_chunks = file.entries(snapfmt::kVotesTimes);
+    if (user_chunks.size() != idx.chunk_count ||
+        time_chunks.size() != idx.chunk_count)
+      throw std::runtime_error(ctx + "vote chunk count mismatch");
+
+    std::vector<UserId> users;
+    std::vector<platform::Minutes> times;
+    users.reserve(static_cast<std::size_t>(idx.total));
+    times.reserve(static_cast<std::size_t>(idx.total));
+    for (std::size_t c = 0; c < idx.chunk_count; ++c) {
+      ByteReader ur = file.open(*user_chunks[c]);
+      ByteReader tr = file.open(*time_chunks[c]);
+      const std::size_t votes =
+          static_cast<std::size_t>(user_chunks[c]->size) / sizeof(UserId);
+      auto u = ur.column<UserId>(votes);
+      auto t = tr.column<platform::Minutes>(votes);
+      if (user_chunks[c]->size % sizeof(UserId) != 0 ||
+          time_chunks[c]->size != votes * sizeof(platform::Minutes))
+        throw std::runtime_error(ctx + "vote chunk size mismatch");
+      users.insert(users.end(), u.begin(), u.end());
+      times.insert(times.end(), t.begin(), t.end());
+    }
+    if (users.size() != idx.total)
+      throw std::runtime_error(ctx + "vote chunk size mismatch");
+    try {
+      corpus.vote_store = VoteStore::from_parts(
+          std::move(offsets), std::move(users), std::move(times));
+    } catch (const std::invalid_argument& err) {
+      throw std::runtime_error(ctx + err.what());
+    }
+  }
+
+  {
+    ByteReader r = file.open(snapfmt::kTopUsers);
+    const auto n = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    corpus.top_users = r.column<UserId>(n);
+  }
+
+  // v2 partitions by the promotion flag, so file order can be anything
+  // (submission order for streamed files, front-first for saved corpora).
+  emplace_stories(corpus, cols, ctx,
+                  [&](std::size_t i) { return cols.has_promoted[i] != 0; });
+  return corpus;
+}
+
+}  // namespace
+
+Corpus load_snapshot(const std::filesystem::path& path) {
+  const auto start = std::chrono::steady_clock::now();
+
+  const snapfmt::SectionFile file = snapfmt::read_section_file(path);
+  Corpus corpus =
+      file.version == kSnapshotVersion ? load_v2(file) : load_v1(file);
 
   validate(corpus);
 
-  const double us = std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-  obs::Registry::global().counter("data.snapshot_load_bytes")
+  obs::Registry::global()
+      .counter("data.snapshot_load_bytes")
       .inc(file.bytes.size());
-  obs::Registry::global().histogram("data.snapshot_load_us").observe(us);
+  obs::Registry::global()
+      .histogram("data.snapshot_load_us")
+      .observe(elapsed_us(start));
+  obs::Registry::global()
+      .gauge("data.corpus_vote_column_bytes")
+      .set(static_cast<double>(corpus.vote_store.size_bytes()));
+  return corpus;
+}
+
+Corpus load_snapshot_mmap(const std::filesystem::path& path) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // v1 files predate per-section checksums and column alignment, so the
+  // mapped zero-copy binding cannot apply; route them through the eager
+  // loader for compatibility.
+  if (snapfmt::peek_version(path) == 1) {
+    Corpus corpus = load_snapshot(path);
+    obs::Registry::global()
+        .gauge("data.snapshot_mmap_load_us")
+        .set(elapsed_us(start));
+    return corpus;
+  }
+
+  auto map = std::make_shared<const snapfmt::MmapSectionFile>(path);
+  const std::string& ctx = map->context();
+  Corpus corpus;
+
+  {
+    ByteReader r = map->open(snapfmt::kNetwork);
+    if constexpr (kNativeU64) {
+      // Bind the CSR columns in place; from_views revalidates structure.
+      const auto n = static_cast<std::size_t>(r.pod<std::uint64_t>());
+      const auto edges = static_cast<std::size_t>(r.pod<std::uint64_t>());
+      const auto as_u64 = [](std::span<const char> s) {
+        return std::span<const std::size_t>(
+            reinterpret_cast<const std::size_t*>(s.data()), s.size() / 8);
+      };
+      const auto as_node = [](std::span<const char> s) {
+        return std::span<const graph::NodeId>(
+            reinterpret_cast<const graph::NodeId*>(s.data()), s.size() / 4);
+      };
+      const auto out_offsets = as_u64(r.borrow((n + 1) * 8));
+      const auto out_targets = as_node(r.borrow(edges * 4));
+      r.align8();
+      const auto in_offsets = as_u64(r.borrow((n + 1) * 8));
+      const auto in_sources = as_node(r.borrow(edges * 4));
+      try {
+        corpus.network = graph::Digraph::from_views(out_offsets, out_targets,
+                                                    in_offsets, in_sources);
+      } catch (const std::invalid_argument& err) {
+        throw std::runtime_error(ctx + err.what());
+      }
+    } else {
+      // Hosts without the native u64 layout copy the graph (the vote
+      // columns below still bind zero-copy — u32/f64 need no widening).
+      corpus.network = decode_network_owned(r, /*aligned=*/true, ctx);
+    }
+  }
+
+  StoryColumns cols;
+  {
+    ByteReader r = map->open(snapfmt::kStories);
+    cols.count = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    read_story_columns(r, cols);
+  }
+
+  {
+    ByteReader r = map->open(snapfmt::kVotesIndex);
+    VoteIndex idx = read_vote_index_preamble(r);
+    if (idx.story_count != cols.count)
+      throw std::runtime_error(ctx + "story count mismatch between sections");
+    const std::span<const char> offsets_raw = r.borrow((cols.count + 1) * 8);
+    const std::span<const std::uint64_t> offsets(
+        reinterpret_cast<const std::uint64_t*>(offsets_raw.data()),
+        cols.count + 1);
+    read_vote_index_chunks(r, idx);
+
+    const auto user_chunks = map->entries(snapfmt::kVotesUsers);
+    const auto time_chunks = map->entries(snapfmt::kVotesTimes);
+    if (user_chunks.size() != idx.chunk_count ||
+        time_chunks.size() != idx.chunk_count)
+      throw std::runtime_error(ctx + "vote chunk count mismatch");
+
+    // First touch of every vote chunk — checksum verification dominates
+    // large loads, and chunking makes it embarrassingly parallel. A bad
+    // chunk throws from the lowest-indexed failing chunk.
+    std::vector<VoteChunkView> chunks(idx.chunk_count);
+    runtime::parallel_for(idx.chunk_count, [&](std::size_t c) {
+      const std::span<const char> u = map->view(*user_chunks[c]);
+      const std::span<const char> t = map->view(*time_chunks[c]);
+      if (u.size() % sizeof(UserId) != 0 ||
+          t.size() != (u.size() / sizeof(UserId)) * sizeof(platform::Minutes))
+        throw std::runtime_error(ctx + "vote chunk size mismatch");
+      chunks[c] = VoteChunkView{
+          static_cast<std::size_t>(idx.chunks[c].first),
+          idx.chunks[c].second,
+          {reinterpret_cast<const UserId*>(u.data()),
+           u.size() / sizeof(UserId)},
+          {reinterpret_cast<const platform::Minutes*>(t.data()),
+           t.size() / sizeof(platform::Minutes)}};
+    });
+    try {
+      corpus.vote_store = VoteStore::from_views(offsets, std::move(chunks));
+    } catch (const std::invalid_argument& err) {
+      throw std::runtime_error(ctx + err.what());
+    }
+  }
+
+  {
+    ByteReader r = map->open(snapfmt::kTopUsers);
+    const auto n = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    corpus.top_users = r.column<UserId>(n);
+  }
+
+  emplace_stories(corpus, cols, ctx,
+                  [&](std::size_t i) { return cols.has_promoted[i] != 0; });
+
+  // O(stories) structural checks in place of the eager loader's
+  // O(votes log votes) content validation (see header).
+  for (std::size_t i = 0; i < cols.count; ++i) {
+    if (cols.submitters[i] >= corpus.user_count())
+      throw std::runtime_error(ctx + "story submitter outside the network");
+  }
+  for (UserId u : corpus.top_users) {
+    if (u >= corpus.user_count())
+      throw std::runtime_error(ctx + "top user outside the network");
+  }
+
+  corpus.backing = std::move(map);
+
+  obs::Registry::global()
+      .gauge("data.snapshot_mmap_load_us")
+      .set(elapsed_us(start));
   obs::Registry::global()
       .gauge("data.corpus_vote_column_bytes")
       .set(static_cast<double>(corpus.vote_store.size_bytes()));

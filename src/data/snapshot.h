@@ -2,25 +2,46 @@
 // Versioned binary snapshots of a Corpus — the fast path next to the CSV
 // pair in io.h. The columnar corpus maps almost 1:1 onto flat arrays, so a
 // snapshot is a header, a section table, and a handful of bulk column
-// blobs; loading is one whole-file read plus a few validated moves instead
-// of millions of text parses.
+// blobs; loading is one whole-file read plus a few validated moves — or,
+// via load_snapshot_mmap, an O(ms) metadata parse that binds story views
+// zero-copy into a memory mapping regardless of corpus size.
 //
-// The container discipline (magic, version, section table, checksum, the
+// The container discipline (magic, version, section table, checksums, the
 // malformed-file error taxonomy, and the section-type registry) lives in
 // snapshot_format.h and is shared with the stream-engine checkpoints; this
 // header is the corpus-specific payload on top of it.
 //
-// Corpus sections (offsets are absolute file offsets; sizes in bytes):
-//   1 NETWORK   u64 n, u64 e, out_offsets u64[n+1], out_targets u32[e],
-//               in_offsets u64[n+1], in_sources u32[e]
-//   2 STORIES   u64 front_count, u64 upcoming_count, then columns over all
-//               S stories (front page first, each in corpus order):
-//               id u32[S], submitter u32[S], submitted_at f64[S],
-//               quality f64[S], phase u8[S], has_promoted u8[S],
-//               promoted_at f64[S] (0 where has_promoted is 0)
-//   3 VOTES     u64 S, u64 total, offsets u64[S+1], users u32[total],
-//               times f64[total] — same story order as STORIES
-//   4 TOPUSERS  u64 count, user u32[count]
+// Corpus sections, format v2 (all section bodies start 8-byte aligned so
+// mapped readers can bind typed spans; `pad` = zero bytes to the next
+// 8-byte boundary):
+//   1 NETWORK      u64 n, u64 e, out_offsets u64[n+1], out_targets u32[e],
+//                  pad, in_offsets u64[n+1], in_sources u32[e]
+//   2 STORIES      u64 S, then columns over all S stories in file order:
+//                  id u32[S], submitter u32[S], submitted_at f64[S],
+//                  quality f64[S], phase u8[S], has_promoted u8[S],
+//                  promoted_at f64[S] (0 where has_promoted is 0).
+//                  Loaders partition by has_promoted (promoted stories →
+//                  front_page, rest → upcoming), preserving file order
+//                  within each bucket — so the file can store stories in
+//                  submission order (streamed generation) or front-first
+//                  (save_snapshot of a corpus) interchangeably.
+//   5 VOTES_INDEX  u64 S, u64 total, u64 chunk_count,
+//                  offsets u64[S+1] (global vote offsets per story),
+//                  chunk_count * {u64 first_story, u64 first_vote}
+//   6 VOTES_USERS  voter column of one chunk: u32[chunk_votes]  (repeated;
+//                  the i-th entry of this type is chunk i)
+//   7 VOTES_TIMES  time column of one chunk: f64[chunk_votes]   (repeated)
+//   4 TOPUSERS     u64 count, user u32[count]
+// Vote chunks are bounded (~chunk_target_bytes per column) and cut at
+// story boundaries, so a writer can stream millions of stories with a
+// bounded working set and a mapped reader can verify chunk checksums in
+// parallel.
+//
+// Format v1 (still loadable; save_snapshot can still emit it):
+//   3 VOTES        u64 S, u64 total, offsets u64[S+1], users u32[total],
+//                  times f64[total] — one monolithic body
+//   2 STORIES      u64 front_count, u64 upcoming_count, then the same
+//                  columns as v2, stories ordered front page first
 //
 // Readers reject files with a version newer than kSnapshotVersion
 // ("unsupported version"), truncated files, bad magic, and checksum
@@ -28,19 +49,105 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
+#include <span>
 
 #include "src/data/corpus.h"
 #include "src/data/snapshot_format.h"
 
 namespace digg::data {
 
-/// Writes `corpus` as a binary snapshot at `path` (parent directories are
-/// created). Throws std::runtime_error on I/O failure.
-void save_snapshot(const Corpus& corpus, const std::filesystem::path& path);
+/// Bounded size target for one vote chunk's columns (voters + times).
+inline constexpr std::size_t kDefaultVoteChunkBytes = std::size_t{8} << 20;
 
-/// Loads a snapshot written by save_snapshot. Verifies magic, version, and
-/// checksum, then validates the corpus (see corpus.h) before returning.
-/// Throws std::runtime_error on I/O, format, or integrity errors.
+/// Streams a v2 corpus snapshot to disk with a bounded working set: the
+/// network goes out up front, vote columns leave RAM chunk by chunk as
+/// stories finish, and only the per-story metadata (O(stories), not
+/// O(votes)) accumulates until finish(). This is what lets million-user
+/// generation write a corpus it could never hold in memory.
+///
+/// Protocol: write_network() once, add_votes() once per story in file
+/// order, add_story() once per story in the same order (interleaved with
+/// add_votes or batched at the end — streamed generation only knows final
+/// phases once every story has run), write_top_users() once, finish().
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(const std::filesystem::path& path,
+                          std::size_t chunk_target_bytes =
+                              kDefaultVoteChunkBytes);
+
+  void write_network(const graph::Digraph& network);
+  /// One story's vote columns, appended to the current chunk (flushed to
+  /// disk when it reaches the chunk target).
+  void add_votes(std::span<const UserId> voters,
+                 std::span<const platform::Minutes> times);
+  /// One story's metadata (vote spans of the view are ignored — counts
+  /// live in the offsets column fed by add_votes).
+  void add_story(const Story& story);
+  void write_top_users(std::span<const UserId> top_users);
+  /// Flushes the last chunk, writes STORIES + VOTES_INDEX + table, and
+  /// seals the file. Throws std::logic_error if the add_votes/add_story
+  /// call counts disagree.
+  void finish();
+
+  [[nodiscard]] std::uint64_t total_votes() const { return offsets_.back(); }
+  [[nodiscard]] std::size_t story_count() const {
+    return offsets_.size() - 1;
+  }
+
+ private:
+  void flush_chunk();
+
+  snapfmt::SectionFileWriter out_;
+  std::size_t chunk_target_bytes_;
+  bool network_written_ = false;
+  bool top_users_written_ = false;
+
+  // O(stories) metadata accumulators, written in finish().
+  std::vector<StoryId> ids_;
+  std::vector<UserId> submitters_;
+  std::vector<double> submitted_at_, quality_, promoted_at_;
+  std::vector<std::uint8_t> phases_, has_promoted_;
+  std::vector<std::uint64_t> offsets_{0};
+  struct ChunkRef {
+    std::uint64_t first_story = 0;
+    std::uint64_t first_vote = 0;
+  };
+  std::vector<ChunkRef> chunk_table_;
+
+  // The in-flight chunk (bounded by chunk_target_bytes_).
+  snapfmt::ByteBuffer chunk_users_, chunk_times_;
+  std::uint64_t chunk_first_story_ = 0;
+  std::uint64_t chunk_first_vote_ = 0;
+};
+
+/// Writes `corpus` as a binary snapshot at `path` (parent directories are
+/// created). `version` selects the on-disk layout (v2 default; v1 kept for
+/// compatibility with old readers). Throws std::runtime_error on I/O
+/// failure.
+void save_snapshot(const Corpus& corpus, const std::filesystem::path& path,
+                   std::uint32_t version = kSnapshotVersion,
+                   std::size_t chunk_target_bytes = kDefaultVoteChunkBytes);
+
+/// Loads a snapshot written by save_snapshot (either version). Verifies
+/// magic, version, and every checksum, then validates the corpus (see
+/// corpus.h) before returning. The corpus owns all its columns. Throws
+/// std::runtime_error on I/O, format, or integrity errors.
 [[nodiscard]] Corpus load_snapshot(const std::filesystem::path& path);
+
+/// Memory-maps a v2 snapshot and binds the corpus zero-copy into the
+/// mapping: story views, vote columns, and (on 64-bit little-endian
+/// hosts) the network CSR all borrow file-backed spans, so load time is
+/// metadata parsing plus checksum scans — O(ms), independent of how much
+/// vote data the file holds. Vote-chunk checksums are verified in
+/// parallel; structural invariants (offset monotonicity, section
+/// cross-consistency, CSR shape) are checked, but the per-story O(V log V)
+/// content validation of load_snapshot is skipped — the per-section
+/// checksums already vouch for the bytes, and the file carries the same
+/// invariants save_snapshot enforced when writing. v1 files are routed
+/// through the eager loader (they predate per-section checksums and
+/// alignment). The returned corpus keeps the mapping alive via
+/// Corpus::backing; copies share it.
+[[nodiscard]] Corpus load_snapshot_mmap(const std::filesystem::path& path);
 
 }  // namespace digg::data

@@ -1,16 +1,92 @@
 #include "src/data/snapshot_format.h"
 
-#include <fstream>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <string>
 
 namespace digg::data::snapfmt {
 
 namespace {
+
 constexpr char kMagic[8] = {'D', 'I', 'G', 'G', 'S', 'N', 'A', 'P'};
+constexpr char kZeros[8] = {};
+
+std::string context_for(const std::filesystem::path& path) {
+  return path.string() + ": ";
+}
+
+[[noreturn]] void throw_bad_version(const std::string& ctx,
+                                    std::uint32_t version) {
+  throw std::runtime_error(ctx + "unsupported version " +
+                           std::to_string(version) + " (reader supports <= " +
+                           std::to_string(kSnapshotVersion) + ")");
+}
+
+/// Shared header triage for every reader: size floor, magic, version. The
+/// buffer must hold at least kHeaderBytes + 8 bytes.
+std::uint32_t check_header(const std::string& ctx, const char* data,
+                           std::size_t size) {
+  if (size < kHeaderBytes + sizeof(std::uint64_t))
+    throw std::runtime_error(ctx + "truncated file (smaller than header)");
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error(ctx + "bad magic (not a DIGGSNAP file)");
+  std::uint32_t version;
+  std::memcpy(&version, data + sizeof(kMagic), sizeof(version));
+  if (version == 0 || version > kSnapshotVersion)
+    throw_bad_version(ctx, version);
+  return version;
+}
+
+/// Parses and validates a v2 header + table from a complete in-memory or
+/// mapped file image. Verifies the header/table checksum and returns the
+/// table; section-body checksums are the caller's (eager readers verify
+/// them all, the mmap reader defers each to first open).
+std::vector<SectionEntry> read_table_v2(const std::string& ctx,
+                                        const char* data, std::size_t size) {
+  if (size < kHeaderBytesV2 + sizeof(std::uint64_t))
+    throw std::runtime_error(ctx + "truncated file (smaller than header)");
+  std::uint32_t count;
+  std::uint64_t table_offset;
+  std::memcpy(&count, data + 12, sizeof(count));
+  std::memcpy(&table_offset, data + 16, sizeof(table_offset));
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(count) * kEntryBytesV2;
+  if (table_offset < kHeaderBytesV2 || table_offset > size ||
+      table_bytes + sizeof(std::uint64_t) != size - table_offset)
+    throw std::runtime_error(ctx + "truncated file (section table cut off)");
+
+  std::vector<SectionEntry> table(count);
+  ByteReader r(data + table_offset, static_cast<std::size_t>(table_bytes));
+  for (SectionEntry& e : table) {
+    e.type = r.pod<std::uint32_t>();
+    e.flags = r.pod<std::uint32_t>();
+    e.offset = r.pod<std::uint64_t>();
+    e.size = r.pod<std::uint64_t>();
+    e.checksum = r.pod<std::uint64_t>();
+    if (e.offset < kHeaderBytesV2 || e.offset > table_offset ||
+        e.size > table_offset - e.offset)
+      throw std::runtime_error(ctx + "truncated file (section overruns)");
+  }
+
+  // Header (24B) and table (count * 32B) are both whole numbers of fnv
+  // words, so chaining equals checksumming their concatenation.
+  std::uint64_t meta = fnv1a(data, kHeaderBytesV2);
+  meta = fnv1a(data + table_offset, static_cast<std::size_t>(table_bytes),
+               meta);
+  std::uint64_t stored;
+  std::memcpy(&stored, data + table_offset + table_bytes, sizeof(stored));
+  if (meta != stored)
+    throw std::runtime_error(ctx + "checksum mismatch (corrupt snapshot)");
+  return table;
+}
+
 }  // namespace
 
-std::uint64_t fnv1a(const char* data, std::size_t size) {
-  std::uint64_t h = 14695981039346656037ull;
+std::uint64_t fnv1a(const char* data, std::size_t size, std::uint64_t seed) {
+  std::uint64_t h = seed;
   std::size_t i = 0;
   for (; i + 8 <= size; i += 8) {
     std::uint64_t w;
@@ -25,12 +101,103 @@ std::uint64_t fnv1a(const char* data, std::size_t size) {
   return h;
 }
 
+// ---------------------------------------------------------------------------
+// Streaming v2 writer
+
+SectionFileWriter::SectionFileWriter(const std::filesystem::path& path)
+    : path_(path) {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) throw std::runtime_error("cannot write " + path_.string());
+  // Header with count/table_offset placeholders; finish() patches them.
+  put(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kSnapshotVersion;
+  put(&version, sizeof(version));
+  const std::uint32_t count = 0;
+  put(&count, sizeof(count));
+  const std::uint64_t table_offset = 0;
+  put(&table_offset, sizeof(table_offset));
+}
+
+SectionFileWriter::~SectionFileWriter() = default;
+
+void SectionFileWriter::put(const void* p, std::size_t n) {
+  out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  if (!out_) throw std::runtime_error("short write to " + path_.string());
+}
+
+void SectionFileWriter::pad_to8() {
+  if (offset_ % 8 != 0) {
+    const std::size_t pad = 8 - offset_ % 8;
+    put(kZeros, pad);
+    offset_ += pad;
+  }
+}
+
+void SectionFileWriter::add(std::uint32_t type, std::span<const char> body) {
+  if (finished_)
+    throw std::logic_error("SectionFileWriter: add after finish");
+  pad_to8();
+  SectionEntry e;
+  e.type = type;
+  e.offset = offset_;
+  e.size = body.size();
+  e.checksum = fnv1a(body.data(), body.size());
+  table_.push_back(e);
+  put(body.data(), body.size());
+  offset_ += body.size();
+}
+
+void SectionFileWriter::finish() {
+  if (finished_)
+    throw std::logic_error("SectionFileWriter: finish called twice");
+  pad_to8();
+  const std::uint64_t table_offset = offset_;
+  ByteBuffer table;
+  for (const SectionEntry& e : table_) {
+    table.pod(e.type);
+    table.pod(e.flags);
+    table.pod(e.offset);
+    table.pod(e.size);
+    table.pod(e.checksum);
+  }
+  put(table.bytes().data(), table.size());
+
+  ByteBuffer header;
+  header.raw(kMagic, sizeof(kMagic));
+  header.pod(std::uint32_t{kSnapshotVersion});
+  header.pod(static_cast<std::uint32_t>(table_.size()));
+  header.pod(table_offset);
+  std::uint64_t meta = fnv1a(header.bytes().data(), header.size());
+  meta = fnv1a(table.bytes().data(), table.size(), meta);
+  put(&meta, sizeof(meta));
+
+  out_.seekp(12);  // count + table_offset live at bytes [12, 24)
+  if (!out_) throw std::runtime_error("short write to " + path_.string());
+  put(header.bytes().data() + 12, kHeaderBytesV2 - 12);
+  out_.flush();
+  if (!out_) throw std::runtime_error("short write to " + path_.string());
+  finished_ = true;
+}
+
 void write_section_file(const std::filesystem::path& path,
-                        std::span<const Section> sections) {
+                        std::span<const Section> sections,
+                        std::uint32_t version) {
+  if (version == kSnapshotVersion) {
+    SectionFileWriter w(path);
+    for (const Section& s : sections) w.add(s.type, s.body);
+    w.finish();
+    return;
+  }
+  if (version != 1)
+    throw std::invalid_argument("write_section_file: unknown version " +
+                                std::to_string(version));
+  // Legacy v1 layout: table up front, one whole-file trailing checksum.
   const auto count = static_cast<std::uint32_t>(sections.size());
   ByteBuffer file;
   file.raw(kMagic, sizeof(kMagic));
-  file.pod(kSnapshotVersion);
+  file.pod(std::uint32_t{1});
   file.pod(count);
   std::uint64_t offset = kHeaderBytes + count * kEntryBytes;
   for (const Section& s : sections) {
@@ -52,6 +219,9 @@ void write_section_file(const std::filesystem::path& path,
   if (!out) throw std::runtime_error("short write to " + path.string());
 }
 
+// ---------------------------------------------------------------------------
+// Eager reader
+
 const SectionEntry& SectionFile::find(std::uint32_t type) const {
   for (const SectionEntry& e : table)
     if (e.type == type) return e;
@@ -59,11 +229,21 @@ const SectionEntry& SectionFile::find(std::uint32_t type) const {
                            std::to_string(type));
 }
 
+std::vector<const SectionEntry*> SectionFile::entries(
+    std::uint32_t type) const {
+  std::vector<const SectionEntry*> out;
+  for (const SectionEntry& e : table)
+    if (e.type == type) out.push_back(&e);
+  return out;
+}
+
+ByteReader SectionFile::open(const SectionEntry& e) const {
+  return ByteReader(bytes.data() + e.offset,
+                    static_cast<std::size_t>(e.size));
+}
+
 ByteReader SectionFile::open(std::uint32_t type) const {
-  const SectionEntry& e = find(type);
-  ByteReader r(bytes.data(), static_cast<std::size_t>(e.offset + e.size));
-  r.seek(e.offset);
-  return r;
+  return open(find(type));
 }
 
 SectionFile read_section_file(const std::filesystem::path& path) {
@@ -76,20 +256,25 @@ SectionFile read_section_file(const std::filesystem::path& path) {
   in.read(bytes.data(), static_cast<std::streamsize>(file_size));
   if (!in) throw std::runtime_error("cannot read " + path.string());
 
-  const std::string ctx = path.string() + ": ";
-  if (file_size < kHeaderBytes + sizeof(std::uint64_t))
-    throw std::runtime_error(ctx + "truncated file (smaller than header)");
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error(ctx + "bad magic (not a DIGGSNAP file)");
+  const std::string ctx = context_for(path);
+  const std::uint32_t version = check_header(ctx, bytes.data(), file_size);
 
+  if (version == kSnapshotVersion) {
+    std::vector<SectionEntry> table =
+        read_table_v2(ctx, bytes.data(), file_size);
+    // The eager reader keeps v1's up-front integrity guarantee: verify
+    // every section body now. (The mmap reader is the lazy path.)
+    for (const SectionEntry& e : table) {
+      if (fnv1a(bytes.data() + e.offset, static_cast<std::size_t>(e.size)) !=
+          e.checksum)
+        throw std::runtime_error(ctx + "checksum mismatch (corrupt snapshot)");
+    }
+    return SectionFile{std::move(bytes), std::move(table), version, ctx};
+  }
+
+  // v1: table right after the header, trailing whole-file checksum.
   ByteReader header(bytes.data(), file_size);
-  header.seek(sizeof(kMagic));
-  const auto version = header.pod<std::uint32_t>();
-  if (version > kSnapshotVersion)
-    throw std::runtime_error(ctx + "unsupported version " +
-                             std::to_string(version) +
-                             " (reader supports <= " +
-                             std::to_string(kSnapshotVersion) + ")");
+  header.seek(sizeof(kMagic) + sizeof(std::uint32_t));
   const auto section_count = header.pod<std::uint32_t>();
   const std::size_t table_end =
       kHeaderBytes + static_cast<std::size_t>(section_count) * kEntryBytes;
@@ -113,7 +298,93 @@ SectionFile read_section_file(const std::filesystem::path& path) {
   if (fnv1a(bytes.data(), payload_end) != stored)
     throw std::runtime_error(ctx + "checksum mismatch (corrupt snapshot)");
 
-  return SectionFile{std::move(bytes), std::move(table), ctx};
+  return SectionFile{std::move(bytes), std::move(table), version, ctx};
+}
+
+std::uint32_t peek_version(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  const auto file_size = static_cast<std::size_t>(in.tellg());
+  char head[kHeaderBytes + sizeof(std::uint64_t)] = {};
+  const std::string ctx = context_for(path);
+  if (file_size < sizeof(head))
+    throw std::runtime_error(ctx + "truncated file (smaller than header)");
+  in.seekg(0);
+  in.read(head, sizeof(head));
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  return check_header(ctx, head, file_size);
+}
+
+// ---------------------------------------------------------------------------
+// Mapped reader
+
+MmapSectionFile::MmapSectionFile(const std::filesystem::path& path)
+    : context_(context_for(path)) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("cannot read " + path.string());
+  struct ::stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ < kHeaderBytes + sizeof(std::uint64_t)) {
+    ::close(fd);
+    throw std::runtime_error(context_ +
+                             "truncated file (smaller than header)");
+  }
+  void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED)
+    throw std::runtime_error("cannot read " + path.string());
+  data_ = static_cast<const char*>(map);
+
+  try {
+    const std::uint32_t version = check_header(context_, data_, size_);
+    if (version != kSnapshotVersion)
+      throw_bad_version(context_, version);  // mmap path is v2-only;
+    // load_snapshot_mmap routes v1 files through the eager loader first.
+    table_ = read_table_v2(context_, data_, size_);
+  } catch (...) {
+    ::munmap(const_cast<char*>(data_), size_);
+    throw;
+  }
+  verified_ =
+      std::make_unique<std::atomic<std::uint8_t>[]>(table_.size());
+  for (std::size_t i = 0; i < table_.size(); ++i) verified_[i] = 0;
+}
+
+MmapSectionFile::~MmapSectionFile() {
+  if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+}
+
+const SectionEntry& MmapSectionFile::find(std::uint32_t type) const {
+  for (const SectionEntry& e : table_)
+    if (e.type == type) return e;
+  throw std::runtime_error(context_ + "missing section " +
+                           std::to_string(type));
+}
+
+std::vector<const SectionEntry*> MmapSectionFile::entries(
+    std::uint32_t type) const {
+  std::vector<const SectionEntry*> out;
+  for (const SectionEntry& e : table_)
+    if (e.type == type) out.push_back(&e);
+  return out;
+}
+
+std::span<const char> MmapSectionFile::view(const SectionEntry& e) const {
+  const auto idx = static_cast<std::size_t>(&e - table_.data());
+  if (idx >= table_.size())
+    throw std::logic_error("MmapSectionFile::view: entry not from table()");
+  if (verified_[idx].load(std::memory_order_acquire) == 0) {
+    if (fnv1a(data_ + e.offset, static_cast<std::size_t>(e.size)) !=
+        e.checksum)
+      throw std::runtime_error(context_ +
+                               "checksum mismatch (corrupt snapshot)");
+    verified_[idx].store(1, std::memory_order_release);
+  }
+  return {data_ + e.offset, static_cast<std::size_t>(e.size)};
 }
 
 }  // namespace digg::data::snapfmt

@@ -2,13 +2,28 @@
 // The DIGGSNAP container format, shared by every binary artifact the repo
 // persists: corpus snapshots (snapshot.h) and stream-engine checkpoints
 // (src/stream/checkpoint.h). One container discipline — magic, version,
-// section table, word-wise FNV-1a checksum — means every new artifact gets
+// section table, FNV-1a checksums — means every new artifact gets
 // versioning, truncation detection, and integrity checking for free, and
 // the malformed-file error taxonomy stays identical across artifact kinds.
 //
-// File layout (all integers little-endian; written on little-endian hosts):
+// Version 2 layout (all integers little-endian; written on little-endian
+// hosts). The table moved to the end of the file so sections can be
+// streamed to disk as they are produced, every section body starts on an
+// 8-byte boundary so memory-mapped readers can bind typed column spans
+// directly into the file, and each section carries its own checksum so a
+// mapped reader can verify sections lazily on first open:
+//   header   24 bytes  "DIGGSNAP" + u32 version + u32 count
+//                      + u64 table_offset
+//   payload  section bodies, each padded to an 8-byte-aligned offset
+//   table    count * {u32 type, u32 flags, u64 offset, u64 size,
+//                     u64 checksum}   at table_offset (8-byte aligned)
+//   checksum u64       FNV-1a over header bytes then table bytes
+//                      (section bodies are covered per-entry)
+//
+// Version 1 layout (still readable; `write_section_file` can still emit it
+// for compatibility tests):
 //   magic    8 bytes  "DIGGSNAP"
-//   version  u32      kSnapshotVersion (readers reject newer files)
+//   version  u32      1
 //   count    u32      number of section-table entries
 //   table    count * {u32 type, u32 flags, u64 offset, u64 size}
 //   payload  section bodies at their table offsets
@@ -19,27 +34,38 @@
 // handed the wrong artifact fails with "missing section", not garbage):
 //    1 NETWORK       corpus fan graph          (snapshot.cpp)
 //    2 STORIES       corpus story metadata     (snapshot.cpp)
-//    3 VOTES         corpus vote columns       (snapshot.cpp)
+//    3 VOTES         corpus vote columns, one body      (v1 snapshots)
 //    4 TOPUSERS      corpus top-user ranking   (snapshot.cpp)
+//    5 VOTES_INDEX   chunked vote offsets + chunk table (v2 snapshots)
+//    6 VOTES_USERS   one voter-column chunk (repeated; i-th entry = chunk i)
+//    7 VOTES_TIMES   one time-column chunk  (repeated; i-th entry = chunk i)
 //   16 STREAM_META   stream checkpoint header  (src/stream/checkpoint.cpp)
 //   17 STREAM_STATE  stream per-story progress (src/stream/checkpoint.cpp)
 // Unknown types are ignored by readers (forward-compatible extensions);
-// claim a fresh id here before writing a new section kind.
+// claim a fresh id here before writing a new section kind. A type may
+// repeat (chunked sections); `find`/`open` return the first entry and
+// `entries` returns all of them in table order.
 //
 // Versioning policy: the version bumps whenever a reader of the old code
 // could misread a new file (section layout or meaning changes). Adding a
 // *new* section type does not bump it.
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 namespace digg::data {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 namespace snapfmt {
 
@@ -48,6 +74,9 @@ enum SectionType : std::uint32_t {
   kStories = 2,
   kVotes = 3,
   kTopUsers = 4,
+  kVotesIndex = 5,
+  kVotesUsers = 6,
+  kVotesTimes = 7,
   kStreamMeta = 16,
   kStreamState = 17,
 };
@@ -57,14 +86,21 @@ struct SectionEntry {
   std::uint32_t flags = 0;
   std::uint64_t offset = 0;
   std::uint64_t size = 0;
+  std::uint64_t checksum = 0;  // per-section FNV-1a (v2 files only)
 };
-inline constexpr std::size_t kEntryBytes = 24;
-inline constexpr std::size_t kHeaderBytes = 16;  // magic + version + count
+inline constexpr std::size_t kEntryBytes = 24;    // v1 on-disk entry
+inline constexpr std::size_t kHeaderBytes = 16;   // v1: magic+version+count
+inline constexpr std::size_t kEntryBytesV2 = 32;  // + u64 checksum
+inline constexpr std::size_t kHeaderBytesV2 = 24;  // + u64 table_offset
 
 /// FNV-1a over 8-byte little-endian words, final partial word zero-padded.
 /// Word-at-a-time keeps the multiply chain 8x shorter than the classic
 /// byte-wise form — checksumming is on both the save and load hot paths.
-[[nodiscard]] std::uint64_t fnv1a(const char* data, std::size_t size);
+/// `seed` chains buffers: for buffers whose sizes are multiples of 8,
+/// fnv1a(b, fnv1a(a)) == fnv1a(a ++ b).
+inline constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+[[nodiscard]] std::uint64_t fnv1a(const char* data, std::size_t size,
+                                  std::uint64_t seed = kFnvBasis);
 
 /// Append-only byte sink for section bodies.
 class ByteBuffer {
@@ -82,6 +118,16 @@ class ByteBuffer {
   void column(const std::vector<T>& v) {
     raw(v.data(), v.size() * sizeof(T));
   }
+  template <typename T>
+  void column(std::span<const T> v) {
+    raw(v.data(), v.size() * sizeof(T));
+  }
+  /// Zero-pad so the next write lands on an 8-byte boundary relative to
+  /// the body start. Keeps u64/f64 columns alignable in mapped sections.
+  void pad8() {
+    static constexpr char kZeros[8] = {};
+    if (buf_.size() % 8 != 0) raw(kZeros, 8 - buf_.size() % 8);
+  }
   [[nodiscard]] const std::vector<char>& bytes() const noexcept {
     return buf_;
   }
@@ -98,6 +144,7 @@ class ByteReader {
   ByteReader(const char* data, std::size_t size) : data_(data), size_(size) {}
 
   void seek(std::size_t pos) { pos_ = pos; }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
 
   template <typename T>
   T pod() {
@@ -106,10 +153,29 @@ class ByteReader {
     return v;
   }
   void read_into(void* dst, std::size_t bytes) {
-    if (pos_ + bytes > size_)
+    // Compare against the remainder: `pos_ + bytes` can wrap to a small
+    // value for hostile section sizes near SIZE_MAX and pass the check.
+    if (pos_ > size_ || bytes > size_ - pos_)
       throw std::runtime_error("truncated file (section overruns payload)");
     std::memcpy(dst, data_ + pos_, bytes);
     pos_ += bytes;
+  }
+  /// Skip forward so the cursor sits on an 8-byte boundary (v2 sections
+  /// zero-pad between columns of different widths).
+  void align8() {
+    if (pos_ % 8 != 0) {
+      char pad[8];
+      read_into(pad, 8 - pos_ % 8);
+    }
+  }
+  /// Borrow `bytes` bytes in place (no copy); the span aliases the
+  /// underlying buffer, so it is only valid while that buffer lives.
+  [[nodiscard]] std::span<const char> borrow(std::size_t bytes) {
+    if (pos_ > size_ || bytes > size_ - pos_)
+      throw std::runtime_error("truncated file (section overruns payload)");
+    const std::span<const char> s(data_ + pos_, bytes);
+    pos_ += bytes;
+    return s;
   }
   template <typename T>
   std::vector<T> column(std::size_t count) {
@@ -117,10 +183,26 @@ class ByteReader {
     if (count > 0) read_into(v.data(), count * sizeof(T));
     return v;
   }
-  std::vector<std::size_t> u64_column(std::size_t count) {
-    std::vector<std::size_t> v(count);
-    for (std::size_t i = 0; i < count; ++i)
-      v[i] = static_cast<std::size_t>(pod<std::uint64_t>());
+  /// u64 column widened to size_t. On little-endian hosts where size_t is
+  /// exactly 64 bits the vector's memory layout matches the on-disk column
+  /// and the whole column is one bulk read; elsewhere a portable
+  /// per-element widening loop runs instead.
+  template <typename SizeT = std::size_t>
+  std::vector<SizeT> u64_column(std::size_t count) {
+    static_assert(std::is_same_v<SizeT, std::size_t>,
+                  "u64_column always yields size_t; the template parameter "
+                  "only defers the layout checks below");
+    std::vector<SizeT> v(count);
+    if constexpr (sizeof(SizeT) == sizeof(std::uint64_t) &&
+                  std::endian::native == std::endian::little) {
+      static_assert(alignof(SizeT) == alignof(std::uint64_t) &&
+                        std::is_trivially_copyable_v<SizeT>,
+                    "bulk read requires the on-disk column layout");
+      if (count > 0) read_into(v.data(), count * sizeof(std::uint64_t));
+    } else {
+      for (std::size_t i = 0; i < count; ++i)
+        v[i] = static_cast<SizeT>(pod<std::uint64_t>());
+    }
     return v;
   }
 
@@ -136,30 +218,130 @@ struct Section {
   ByteBuffer body;
 };
 
-/// Assembles header + table + payloads + checksum and writes the file
-/// (parent directories are created). Throws std::runtime_error on I/O
-/// failure.
+/// Streams a v2 container to disk section by section: sections are written
+/// (and checksummed) as they are added, the table and trailing checksum
+/// land in `finish()`. Working set is one section body at a time — this is
+/// what lets million-user corpus generation write votes in bounded RAM.
+class SectionFileWriter {
+ public:
+  /// Opens the file (parent directories are created) and reserves the
+  /// header. Throws std::runtime_error on I/O failure.
+  explicit SectionFileWriter(const std::filesystem::path& path);
+  SectionFileWriter(const SectionFileWriter&) = delete;
+  SectionFileWriter& operator=(const SectionFileWriter&) = delete;
+  ~SectionFileWriter();
+
+  /// Appends one section body (types may repeat — chunked sections).
+  void add(std::uint32_t type, std::span<const char> body);
+  void add(std::uint32_t type, const ByteBuffer& body) {
+    add(type, std::span<const char>(body.bytes()));
+  }
+
+  [[nodiscard]] std::size_t section_count() const { return table_.size(); }
+  /// File size so far (header + padded section bodies).
+  [[nodiscard]] std::uint64_t bytes_written() const { return offset_; }
+
+  /// Writes table + checksums and patches the header; the file is invalid
+  /// until this succeeds. Throws std::runtime_error on I/O failure.
+  void finish();
+
+ private:
+  void put(const void* p, std::size_t n);
+  void pad_to8();
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::vector<SectionEntry> table_;
+  std::uint64_t offset_ = kHeaderBytesV2;
+  bool finished_ = false;
+};
+
+/// Assembles and writes a whole container in one call. `version` selects
+/// the on-disk layout (v2 default; v1 kept for compatibility tests and
+/// old-reader interop). Throws std::runtime_error on I/O failure.
 void write_section_file(const std::filesystem::path& path,
-                        std::span<const Section> sections);
+                        std::span<const Section> sections,
+                        std::uint32_t version = kSnapshotVersion);
 
 /// A validated, fully-read container file. `bytes` owns the payload; table
-/// offsets index into it.
+/// offsets index into it. All checksums are verified eagerly (v1: whole
+/// file; v2: header/table plus every section).
 struct SectionFile {
   std::vector<char> bytes;
   std::vector<SectionEntry> table;
+  std::uint32_t version = 0;
 
-  /// The entry for `type`; throws "<path>: missing section N" if absent.
+  /// The first entry for `type`; throws "<path>: missing section N" if
+  /// absent.
   [[nodiscard]] const SectionEntry& find(std::uint32_t type) const;
-  /// A reader positioned at the start of `type`'s body and bounded to it.
+  /// All entries of `type`, in table order (chunked sections repeat types).
+  [[nodiscard]] std::vector<const SectionEntry*> entries(
+      std::uint32_t type) const;
+  /// A reader over `type`'s body (first entry), positioned at its start.
   [[nodiscard]] ByteReader open(std::uint32_t type) const;
+  [[nodiscard]] ByteReader open(const SectionEntry& e) const;
 
   std::string context;  // "<path>: " prefix for error messages
 };
 
 /// Reads the whole file and verifies magic, version, section-table bounds,
-/// and checksum — with the distinct error messages the malformed-file tests
-/// rely on. Section *contents* are the caller's to parse and validate.
+/// and checksums — with the distinct error messages the malformed-file
+/// tests rely on. Section *contents* are the caller's to parse and
+/// validate.
 [[nodiscard]] SectionFile read_section_file(const std::filesystem::path& path);
+
+/// The container version of `path` (reads only the fixed header; throws
+/// the same truncation/magic errors as the full readers).
+[[nodiscard]] std::uint32_t peek_version(const std::filesystem::path& path);
+
+/// A memory-mapped v2 container. Header and table are validated eagerly
+/// (magic, version, bounds, header/table checksum); each section's own
+/// checksum is verified lazily on the first `open`/`view` of its entry, so
+/// opening a multi-gigabyte snapshot costs milliseconds and sections that
+/// are never touched are never read off disk. Section views are zero-copy
+/// spans into the mapping and stay valid for the lifetime of this object.
+/// Lazy verification is thread-safe: concurrent first opens may both
+/// checksum the section, but the verified flag is sticky.
+class MmapSectionFile {
+ public:
+  explicit MmapSectionFile(const std::filesystem::path& path);
+  MmapSectionFile(const MmapSectionFile&) = delete;
+  MmapSectionFile& operator=(const MmapSectionFile&) = delete;
+  ~MmapSectionFile();
+
+  [[nodiscard]] const std::vector<SectionEntry>& table() const {
+    return table_;
+  }
+  [[nodiscard]] const SectionEntry& find(std::uint32_t type) const;
+  [[nodiscard]] std::vector<const SectionEntry*> entries(
+      std::uint32_t type) const;
+
+  /// Zero-copy body view; verifies the entry's checksum on first use.
+  /// `e` must be a reference into `table()`.
+  [[nodiscard]] std::span<const char> view(const SectionEntry& e) const;
+  [[nodiscard]] std::span<const char> view(std::uint32_t type) const {
+    return view(find(type));
+  }
+  /// A bounds-checked reader over a (checksum-verified) section body.
+  [[nodiscard]] ByteReader open(const SectionEntry& e) const {
+    const std::span<const char> s = view(e);
+    return ByteReader(s.data(), s.size());
+  }
+  [[nodiscard]] ByteReader open(std::uint32_t type) const {
+    return open(find(type));
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const { return size_; }
+  [[nodiscard]] const std::string& context() const { return context_; }
+
+ private:
+  const char* data_ = nullptr;  // whole-file mapping
+  std::size_t size_ = 0;
+  std::vector<SectionEntry> table_;
+  // One sticky "checksum verified" flag per table entry.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> verified_;
+  std::string context_;  // "<path>: " prefix for error messages
+};
 
 }  // namespace snapfmt
 }  // namespace digg::data

@@ -1,7 +1,12 @@
 #include "src/data/synthetic.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "src/digg/platform.h"
 #include "src/digg/promotion.h"
@@ -32,10 +37,36 @@ double sample_community_appeal(const SyntheticParams& p, double general,
   return std::clamp(c, 0.0, 1.0);
 }
 
-}  // namespace
+/// Peak resident set of this process in bytes (VmHWM), or 0 where
+/// /proc/self/status is unavailable.
+std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+  }
+#endif
+  return 0;
+}
 
-SyntheticCorpus generate_corpus(const SyntheticParams& params,
-                                stats::Rng& rng) {
+struct GenerationCore {
+  std::unique_ptr<platform::Platform> plat;
+  std::vector<dynamics::StoryTraits> traits;
+};
+
+/// The generation pipeline shared by the in-memory and streamed drivers.
+/// Both consume the rng identically (the per-story hooks never draw), so
+/// they produce bit-identical platforms. `on_network` fires once, before
+/// the network is handed to the platform; `on_story` fires after each
+/// story's run finishes, while its vote columns are final and still
+/// resident — the streamed driver persists and releases them there.
+GenerationCore run_generation(
+    const SyntheticParams& params, stats::Rng& rng,
+    const std::function<void(const graph::Digraph&)>& on_network,
+    const std::function<void(platform::Platform&, platform::StoryId)>&
+        on_story) {
   if (params.story_count == 0)
     throw std::invalid_argument("generate_corpus: story_count == 0");
   if (params.top_submitter_pool == 0 ||
@@ -50,14 +81,11 @@ SyntheticCorpus generate_corpus(const SyntheticParams& params,
   users_generated.inc(params.user_count);
   stories_generated.inc(params.story_count);
 
-  SyntheticCorpus out;
-  out.seed = rng.seed();
-
   // 1. Fan network; node_count follows user_count regardless of what the
   // nested params carry (they may be stale after field-by-field edits).
   graph::PreferentialAttachmentParams net_params = params.network;
   net_params.node_count = params.user_count;
-  const graph::Digraph network = preferential_attachment(net_params, rng);
+  graph::Digraph network = preferential_attachment(net_params, rng);
 
   // 2. Population (activity aligned with arrival order: user 0 heaviest).
   platform::PopulationParams pop;
@@ -65,18 +93,22 @@ SyntheticCorpus generate_corpus(const SyntheticParams& params,
   std::vector<platform::UserProfile> users =
       platform::generate_population(pop, rng);
 
+  if (on_network) on_network(network);
+
   // 3. Platform with the count-and-rate promotion rule.
-  platform::Platform plat(
-      network, std::move(users),
+  auto plat = std::make_unique<platform::Platform>(
+      std::move(network), std::move(users),
       std::make_unique<platform::VoteRatePolicy>(
           params.promotion_threshold, params.promotion_rate_votes,
           params.promotion_rate_window));
-  dynamics::VoteSimulator sim(plat, params.vote_model, rng.fork());
+  dynamics::VoteSimulator sim(*plat, params.vote_model, rng.fork());
 
   // 4. Submissions: traits drawn per story; community appeal pulled up by
   // the submitter's fan count (their personal audience).
+  GenerationCore core;
   std::vector<std::pair<platform::UserId, dynamics::StoryTraits>> submissions;
   submissions.reserve(params.story_count);
+  core.traits.reserve(params.story_count);
   const stats::ZipfSampler top_picker(params.top_submitter_pool,
                                       params.top_submitter_zipf);
   for (std::size_t k = 0; k < params.story_count; ++k) {
@@ -91,19 +123,38 @@ SyntheticCorpus generate_corpus(const SyntheticParams& params,
     dynamics::StoryTraits traits;
     traits.general = sample_general_appeal(params, top_submitter, rng);
     const double fan_pull = std::min(
-        1.0, static_cast<double>(network.fan_count(submitter)) / 100.0);
+        1.0,
+        static_cast<double>(plat->network().fan_count(submitter)) / 100.0);
     traits.community =
         sample_community_appeal(params, traits.general, fan_pull, rng);
     submissions.emplace_back(submitter, traits);
-    out.traits.push_back(traits);
+    core.traits.push_back(traits);
   }
 
-  dynamics::simulate_batch(plat, sim, submissions,
-                           params.submission_spacing);
+  platform::Platform& plat_ref = *plat;
+  dynamics::simulate_each(
+      plat_ref, sim, submissions, params.submission_spacing,
+      [&](platform::StoryId id, dynamics::StoryRun&&) {
+        if (on_story) on_story(plat_ref, id);
+      });
+
+  core.plat = std::move(plat);
+  return core;
+}
+
+}  // namespace
+
+SyntheticCorpus generate_corpus(const SyntheticParams& params,
+                                stats::Rng& rng) {
+  SyntheticCorpus out;
+  out.seed = rng.seed();
+  GenerationCore core = run_generation(params, rng, nullptr, nullptr);
+  out.traits = std::move(core.traits);
+  platform::Platform& plat = *core.plat;
 
   // 5. Partition into front-page vs upcoming and rank users.
   Corpus& corpus = out.corpus;
-  corpus.network = network;
+  corpus.network = plat.network();
   for (const platform::Story& s : plat.stories()) {
     corpus.add_story(s, s.promoted() ? Corpus::Section::kFrontPage
                                      : Corpus::Section::kUpcoming);
@@ -112,7 +163,7 @@ SyntheticCorpus generate_corpus(const SyntheticParams& params,
       platform::promoted_submission_counts(plat.stories(),
                                            params.user_count);
   corpus.top_users =
-      platform::top_user_ranking(reputation, network.in_degrees());
+      platform::top_user_ranking(reputation, corpus.network.in_degrees());
   obs::log_debug("data", "generated corpus",
                  {{"seed", out.seed},
                   {"users", params.user_count},
@@ -120,6 +171,59 @@ SyntheticCorpus generate_corpus(const SyntheticParams& params,
                   {"front_page", corpus.front_page.size()},
                   {"upcoming", corpus.upcoming.size()}});
   return out;
+}
+
+StreamedCorpusInfo generate_corpus_to_snapshot(
+    const SyntheticParams& params, stats::Rng& rng,
+    const std::filesystem::path& path, std::size_t chunk_target_bytes) {
+  SnapshotWriter writer(path, chunk_target_bytes);
+  StreamedCorpusInfo info;
+  info.seed = rng.seed();
+
+  GenerationCore core = run_generation(
+      params, rng,
+      [&writer](const graph::Digraph& network) {
+        writer.write_network(network);
+      },
+      [&writer](platform::Platform& plat, platform::StoryId id) {
+        // The run is over, so the vote columns are final: persist them and
+        // drop them from the platform to keep the working set bounded.
+        const platform::Story& s = plat.story(id);
+        writer.add_votes(s.voters, s.times);
+        plat.release_votes(id);
+      });
+  platform::Platform& plat = *core.plat;
+
+  // Metadata is only final now — expire_stale during later stories' runs
+  // can still flip earlier phases — so it is written in one O(stories) pass.
+  for (const platform::Story& s : plat.stories()) {
+    writer.add_story(s);
+    if (s.promoted())
+      ++info.front_page_count;
+    else
+      ++info.upcoming_count;
+  }
+  const std::vector<std::uint32_t> reputation =
+      platform::promoted_submission_counts(plat.stories(), params.user_count);
+  const std::vector<platform::UserId> top_users =
+      platform::top_user_ranking(reputation, plat.network().in_degrees());
+  writer.write_top_users(top_users);
+  info.story_count = writer.story_count();
+  info.total_votes = writer.total_votes();
+  writer.finish();
+
+  static obs::Gauge& peak_rss =
+      obs::Registry::global().gauge("data.generation_peak_rss");
+  if (const std::size_t rss = peak_rss_bytes(); rss > 0)
+    peak_rss.set(static_cast<double>(rss));
+  obs::log_debug("data", "streamed corpus to snapshot",
+                 {{"seed", info.seed},
+                  {"users", params.user_count},
+                  {"stories", info.story_count},
+                  {"front_page", info.front_page_count},
+                  {"upcoming", info.upcoming_count},
+                  {"total_votes", info.total_votes}});
+  return info;
 }
 
 }  // namespace digg::data

@@ -79,6 +79,23 @@ void Platform::expire_stale(Minutes now) {
   }
 }
 
+void Platform::release_votes(StoryId id) {
+  if (id >= stories_.size())
+    throw std::out_of_range("Platform::release_votes: unknown story");
+  Story& s = stories_[id];
+  s.voters = {};
+  s.times = {};
+  const std::uint32_t slot = vis_slot_of_[id];
+  if (slot != kNoSlot) {
+    vis_slot_of_[id] = kNoSlot;
+    VisSlot& vs = vis_slots_[slot];
+    // Keep vs.story = id: the eviction path indexes vis_slot_of_ by it, and
+    // re-clearing this story's (already empty) entry there is harmless.
+    vs.last_used = 0;  // first in line for reuse
+    vs.set.shed();
+  }
+}
+
 const Story& Platform::story(StoryId id) const {
   if (id >= stories_.size())
     throw std::out_of_range("Platform::story: unknown story");

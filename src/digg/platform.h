@@ -44,6 +44,13 @@ class Platform {
   /// Expires upcoming stories older than the queue lifetime.
   void expire_stale(Minutes now);
 
+  /// Frees a finished story's vote columns and visibility cache slot once
+  /// the votes have been persisted elsewhere (streamed generation keeps the
+  /// working set bounded this way). Metadata — phase, promotion time, vote
+  /// count via the persisted copy — is unaffected; the story must not
+  /// receive further votes or visibility queries afterwards.
+  void release_votes(StoryId id);
+
   [[nodiscard]] const Story& story(StoryId id) const;
   [[nodiscard]] const std::vector<Story>& stories() const noexcept {
     return stories_;

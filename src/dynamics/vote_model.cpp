@@ -181,16 +181,29 @@ BatchResult simulate_batch(
     platform::Platform& platform, VoteSimulator& sim,
     const std::vector<std::pair<UserId, StoryTraits>>& submissions,
     Minutes spacing_minutes) {
-  obs::Span span("simulate_batch", "dynamics");
   BatchResult out;
+  out.ids.reserve(submissions.size());
+  out.runs.reserve(submissions.size());
+  simulate_each(platform, sim, submissions, spacing_minutes,
+                [&out](StoryId id, StoryRun&& run) {
+                  out.ids.push_back(id);
+                  out.runs.push_back(std::move(run));
+                });
+  return out;
+}
+
+void simulate_each(
+    platform::Platform& platform, VoteSimulator& sim,
+    const std::vector<std::pair<UserId, StoryTraits>>& submissions,
+    Minutes spacing_minutes,
+    const std::function<void(StoryId, StoryRun&&)>& on_story) {
+  obs::Span span("simulate_batch", "dynamics");
   Minutes t = 0.0;
   for (const auto& [submitter, traits] : submissions) {
     const StoryId id = platform.submit(submitter, traits.general, t);
-    out.ids.push_back(id);
-    out.runs.push_back(sim.run_story(id, traits));
+    on_story(id, sim.run_story(id, traits));
     t += spacing_minutes;
   }
-  return out;
 }
 
 }  // namespace digg::dynamics

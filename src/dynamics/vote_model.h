@@ -20,6 +20,7 @@
 // time resolution of Fig. 1); per-channel vote counts per step are Poisson.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/digg/platform.h"
@@ -152,5 +153,18 @@ BatchResult simulate_batch(
     platform::Platform& platform, VoteSimulator& sim,
     const std::vector<std::pair<UserId, StoryTraits>>& submissions,
     Minutes spacing_minutes);
+
+/// Streaming counterpart of simulate_batch: submits and runs the same
+/// stories in the same order, but hands each finished run to `on_story`
+/// instead of accumulating a BatchResult — O(1) driver memory instead of
+/// O(stories) time series. RNG consumption is identical to simulate_batch,
+/// so both drivers produce bit-identical platforms for the same inputs.
+/// `on_story` may persist and then drop the story's vote columns
+/// (Platform::release_votes); the simulator never revisits a finished story.
+void simulate_each(
+    platform::Platform& platform, VoteSimulator& sim,
+    const std::vector<std::pair<UserId, StoryTraits>>& submissions,
+    Minutes spacing_minutes,
+    const std::function<void(StoryId, StoryRun&&)>& on_story);
 
 }  // namespace digg::dynamics

@@ -15,7 +15,7 @@ namespace {
 // silently drop elements on unsorted input, so the invariant is asserted at
 // the single place rows are materialised instead of defended per consumer.
 [[maybe_unused]] void debug_assert_rows_sorted(
-    const std::vector<std::size_t>& offsets, const std::vector<NodeId>& ids) {
+    std::span<const std::size_t> offsets, std::span<const NodeId> ids) {
 #ifndef NDEBUG
   for (std::size_t u = 0; u + 1 < offsets.size(); ++u) {
     for (std::size_t i = offsets[u] + 1; i < offsets[u + 1]; ++i) {
@@ -30,6 +30,38 @@ namespace {
 }
 
 }  // namespace
+
+void Digraph::bind_owned() {
+  out_offsets_ = own_out_offsets_;
+  out_targets_ = own_out_targets_;
+  in_offsets_ = own_in_offsets_;
+  in_sources_ = own_in_sources_;
+  borrowed_ = false;
+}
+
+Digraph& Digraph::operator=(const Digraph& other) {
+  if (this == &other) return *this;
+  if (other.borrowed_) {
+    // Borrowed graphs share the caller-owned columns; copying the spans is
+    // the whole copy.
+    own_out_offsets_.clear();
+    own_out_targets_.clear();
+    own_in_offsets_.clear();
+    own_in_sources_.clear();
+    out_offsets_ = other.out_offsets_;
+    out_targets_ = other.out_targets_;
+    in_offsets_ = other.in_offsets_;
+    in_sources_ = other.in_sources_;
+    borrowed_ = true;
+  } else {
+    own_out_offsets_ = other.own_out_offsets_;
+    own_out_targets_ = other.own_out_targets_;
+    own_in_offsets_ = other.own_in_offsets_;
+    own_in_sources_ = other.own_in_sources_;
+    bind_owned();
+  }
+  return *this;
+}
 
 std::span<const NodeId> Digraph::friends(NodeId u) const {
   if (u >= node_count()) throw std::out_of_range("Digraph::friends: bad node");
@@ -64,9 +96,8 @@ std::vector<std::uint32_t> Digraph::in_degrees() const {
 
 namespace {
 
-void check_csr(const std::vector<std::size_t>& offsets,
-               const std::vector<NodeId>& ids, std::size_t n,
-               const char* what) {
+void check_csr(std::span<const std::size_t> offsets,
+               std::span<const NodeId> ids, std::size_t n, const char* what) {
   if (offsets.size() != n + 1 || offsets.front() != 0 ||
       offsets.back() != ids.size())
     throw std::invalid_argument(std::string("Digraph::from_parts: bad ") +
@@ -86,12 +117,10 @@ void check_csr(const std::vector<std::size_t>& offsets,
   }
 }
 
-}  // namespace
-
-Digraph Digraph::from_parts(std::vector<std::size_t> out_offsets,
-                            std::vector<NodeId> out_targets,
-                            std::vector<std::size_t> in_offsets,
-                            std::vector<NodeId> in_sources) {
+void check_parts(std::span<const std::size_t> out_offsets,
+                 std::span<const NodeId> out_targets,
+                 std::span<const std::size_t> in_offsets,
+                 std::span<const NodeId> in_sources) {
   if (out_offsets.empty() || in_offsets.size() != out_offsets.size())
     throw std::invalid_argument("Digraph::from_parts: offset size mismatch");
   if (out_targets.size() != in_sources.size())
@@ -99,11 +128,38 @@ Digraph Digraph::from_parts(std::vector<std::size_t> out_offsets,
   const std::size_t n = out_offsets.size() - 1;
   check_csr(out_offsets, out_targets, n, "out");
   check_csr(in_offsets, in_sources, n, "in");
+}
+
+}  // namespace
+
+Digraph Digraph::from_parts(std::vector<std::size_t> out_offsets,
+                            std::vector<NodeId> out_targets,
+                            std::vector<std::size_t> in_offsets,
+                            std::vector<NodeId> in_sources) {
+  check_parts(out_offsets, out_targets, in_offsets, in_sources);
   Digraph g;
-  g.out_offsets_ = std::move(out_offsets);
-  g.out_targets_ = std::move(out_targets);
-  g.in_offsets_ = std::move(in_offsets);
-  g.in_sources_ = std::move(in_sources);
+  g.own_out_offsets_ = std::move(out_offsets);
+  g.own_out_targets_ = std::move(out_targets);
+  g.own_in_offsets_ = std::move(in_offsets);
+  g.own_in_sources_ = std::move(in_sources);
+  g.bind_owned();
+  return g;
+}
+
+Digraph Digraph::from_views(std::span<const std::size_t> out_offsets,
+                            std::span<const NodeId> out_targets,
+                            std::span<const std::size_t> in_offsets,
+                            std::span<const NodeId> in_sources) {
+  // Same O(E) structural validation as from_parts — a borrowed graph is
+  // no less trusted than a copied one, and validating a mapped column
+  // costs one sequential scan (milliseconds even at millions of users).
+  check_parts(out_offsets, out_targets, in_offsets, in_sources);
+  Digraph g;
+  g.out_offsets_ = out_offsets;
+  g.out_targets_ = out_targets;
+  g.in_offsets_ = in_offsets;
+  g.in_sources_ = in_sources;
+  g.borrowed_ = true;
   return g;
 }
 
@@ -127,26 +183,27 @@ Digraph DigraphBuilder::build() const {
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
   Digraph g;
-  g.out_offsets_.assign(n + 1, 0);
-  g.in_offsets_.assign(n + 1, 0);
+  g.own_out_offsets_.assign(n + 1, 0);
+  g.own_in_offsets_.assign(n + 1, 0);
   for (const auto& [u, v] : edges) {
-    ++g.out_offsets_[u + 1];
-    ++g.in_offsets_[v + 1];
+    ++g.own_out_offsets_[u + 1];
+    ++g.own_in_offsets_[v + 1];
   }
   for (std::size_t i = 1; i <= n; ++i) {
-    g.out_offsets_[i] += g.out_offsets_[i - 1];
-    g.in_offsets_[i] += g.in_offsets_[i - 1];
+    g.own_out_offsets_[i] += g.own_out_offsets_[i - 1];
+    g.own_in_offsets_[i] += g.own_in_offsets_[i - 1];
   }
-  g.out_targets_.resize(edges.size());
-  g.in_sources_.resize(edges.size());
-  std::vector<std::size_t> out_fill(g.out_offsets_.begin(),
-                                    g.out_offsets_.end() - 1);
-  std::vector<std::size_t> in_fill(g.in_offsets_.begin(),
-                                   g.in_offsets_.end() - 1);
+  g.own_out_targets_.resize(edges.size());
+  g.own_in_sources_.resize(edges.size());
+  std::vector<std::size_t> out_fill(g.own_out_offsets_.begin(),
+                                    g.own_out_offsets_.end() - 1);
+  std::vector<std::size_t> in_fill(g.own_in_offsets_.begin(),
+                                   g.own_in_offsets_.end() - 1);
   for (const auto& [u, v] : edges) {
-    g.out_targets_[out_fill[u]++] = v;
-    g.in_sources_[in_fill[v]++] = u;
+    g.own_out_targets_[out_fill[u]++] = v;
+    g.own_in_sources_[in_fill[v]++] = u;
   }
+  g.bind_owned();
   // Edges were sorted by (u, v), so each out-row is already sorted by target;
   // in-rows are filled in (u, v) order, hence sorted by source. Debug builds
   // verify both directions — arbitrary insertion order must normalize here.

@@ -13,6 +13,13 @@
 // an immutable CSR (compressed sparse row) Digraph for cache-friendly
 // iteration; analysis workloads are read-only and fan lists are scanned
 // millions of times.
+//
+// Storage is either *owned* (vectors, via build()/from_parts()) or
+// *borrowed* (spans over caller-owned memory, via from_views()) — the
+// borrowed mode is how memory-mapped snapshots bind CSR columns zero-copy.
+// All read paths go through the span views, so the two modes are
+// indistinguishable to consumers; whoever creates a borrowed graph must
+// keep the underlying memory alive for the graph's lifetime.
 
 #include <cstdint>
 #include <span>
@@ -26,6 +33,10 @@ using NodeId = std::uint32_t;
 class Digraph {
  public:
   Digraph() = default;
+  Digraph(Digraph&&) noexcept = default;  // moved vectors keep their buffers
+  Digraph& operator=(Digraph&&) noexcept = default;
+  Digraph(const Digraph& other) { *this = other; }
+  Digraph& operator=(const Digraph& other);
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
@@ -55,19 +66,23 @@ class Digraph {
   [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
 
   /// Raw CSR arrays, exposed for binary snapshot serialisation. Offset
-  /// vectors have size node_count()+1; neighbor rows are sorted.
-  [[nodiscard]] const std::vector<std::size_t>& out_offsets() const noexcept {
+  /// spans have size node_count()+1; neighbor rows are sorted.
+  [[nodiscard]] std::span<const std::size_t> out_offsets() const noexcept {
     return out_offsets_;
   }
-  [[nodiscard]] const std::vector<NodeId>& out_targets() const noexcept {
+  [[nodiscard]] std::span<const NodeId> out_targets() const noexcept {
     return out_targets_;
   }
-  [[nodiscard]] const std::vector<std::size_t>& in_offsets() const noexcept {
+  [[nodiscard]] std::span<const std::size_t> in_offsets() const noexcept {
     return in_offsets_;
   }
-  [[nodiscard]] const std::vector<NodeId>& in_sources() const noexcept {
+  [[nodiscard]] std::span<const NodeId> in_sources() const noexcept {
     return in_sources_;
   }
+
+  /// True when this graph borrows its CSR arrays from caller-owned memory
+  /// (from_views) rather than owning them.
+  [[nodiscard]] bool borrowed() const noexcept { return borrowed_; }
 
   /// Reassembles a graph from raw CSR arrays (snapshot deserialisation).
   /// Validates structure — offsets monotone from 0 to the edge count, both
@@ -80,13 +95,35 @@ class Digraph {
                                           std::vector<std::size_t> in_offsets,
                                           std::vector<NodeId> in_sources);
 
+  /// Borrowed-mode from_parts: binds the CSR views directly over
+  /// caller-owned columns (e.g. a memory-mapped snapshot) with the same
+  /// structural validation. The memory must stay alive and unchanged for
+  /// the graph's lifetime; copying a borrowed graph copies the *spans*,
+  /// not the data.
+  [[nodiscard]] static Digraph from_views(
+      std::span<const std::size_t> out_offsets,
+      std::span<const NodeId> out_targets,
+      std::span<const std::size_t> in_offsets,
+      std::span<const NodeId> in_sources);
+
  private:
   friend class DigraphBuilder;
 
-  std::vector<std::size_t> out_offsets_;  // size n+1
-  std::vector<NodeId> out_targets_;       // sorted within each row
-  std::vector<std::size_t> in_offsets_;   // size n+1
-  std::vector<NodeId> in_sources_;        // sorted within each row
+  /// Points the view spans at the owned vectors.
+  void bind_owned();
+
+  // Read paths use only these spans; they alias either the owned vectors
+  // below or caller-owned (mapped) memory when borrowed_.
+  std::span<const std::size_t> out_offsets_;  // size n+1
+  std::span<const NodeId> out_targets_;       // sorted within each row
+  std::span<const std::size_t> in_offsets_;   // size n+1
+  std::span<const NodeId> in_sources_;        // sorted within each row
+  bool borrowed_ = false;
+
+  std::vector<std::size_t> own_out_offsets_;
+  std::vector<NodeId> own_out_targets_;
+  std::vector<std::size_t> own_in_offsets_;
+  std::vector<NodeId> own_in_sources_;
 };
 
 /// Mutable edge-list accumulator. Duplicate edges and self-loops are

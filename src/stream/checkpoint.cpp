@@ -168,10 +168,11 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
   // Per-story consistency: the applied column must describe exactly the
   // first events-applied events of the stream, and every derived field must
   // agree with that prefix. This catches checkpoints that passed the
-  // container checksum but describe an impossible engine state.
-  std::vector<std::uint64_t> expect(story_count, 0);
-  for (std::uint64_t i = 0; i < m.events_applied; ++i)
-    ++expect[stream_->events[i].story_slot];
+  // container checksum but describe an impossible engine state. The
+  // expected prefix is recomputed with the same counting merge run_until
+  // uses, from zeroed cursors.
+  const std::vector<std::uint64_t> expect = merge_prefix_counts(
+      std::vector<std::uint64_t>(story_count, 0), m.events_applied);
   for (std::size_t slot = 0; slot < story_count; ++slot) {
     if (applied[slot] != expect[slot])
       throw std::runtime_error(ctx +
@@ -213,9 +214,10 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
     }
   }
 
-  // Commit. Shard cursors are recomputed (event lists hold ascending
-  // ordinals) and visibility pools dropped — they rebuild lazily from the
-  // restored prefixes, so no stale derived state can survive a restore.
+  // Commit. Visibility pools are dropped — they rebuild lazily from the
+  // restored prefixes, so no stale derived state can survive a restore;
+  // replay cursors need no recompute because the per-story progress IS the
+  // cursor state the counting merge resumes from.
   for (std::size_t slot = 0; slot < story_count; ++slot) {
     progress_[slot].applied = applied[slot];
     progress_[slot].innetwork = innetwork[slot];
@@ -226,10 +228,6 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
   influence_rec_ = std::move(influence_rec);
   events_applied_ = m.events_applied;
   for (Shard& shard : shards_) {
-    shard.cursor = static_cast<std::size_t>(
-        std::lower_bound(shard.events.begin(), shard.events.end(),
-                         m.events_applied) -
-        shard.events.begin());
     shard.pool.slots.clear();
     shard.pool.clock = 0;
     shard.pool.bytes = 0;

@@ -1,6 +1,7 @@
 #include "src/stream/engine.h"
 
 #include <algorithm>
+#include <queue>
 #include <stdexcept>
 #include <string>
 
@@ -75,35 +76,27 @@ StreamEngine::StreamEngine(const EventStream& stream,
                          core::FeatureSet::kPaper &&
                      v10_index_ != static_cast<std::size_t>(-1);
 
-  // Validate the stream against its own story columns: ordinals positional,
-  // per-story events in vote order with matching voters, time-sorted. Every
+  // Validate the stream against its own story columns: the merge order is
+  // only well defined if every story's time column is non-decreasing, and
+  // the cached event total must match the columns it summarises. Every
   // downstream guarantee (rebuild-by-replay, checkpoint prefix validation)
   // leans on these invariants, so buying them up front with one O(E) pass
   // is cheaper than defending each consumer separately.
-  std::vector<std::uint32_t> next_index(story_count, 0);
-  platform::Minutes prev_time = -1.0;
-  for (std::size_t i = 0; i < stream_->events.size(); ++i) {
-    const VoteEvent& ev = stream_->events[i];
-    if (ev.ordinal != i)
-      throw std::invalid_argument("stream ordinals must equal event position");
-    if (ev.story_slot >= story_count)
-      throw std::invalid_argument("stream event story slot out of range");
-    if (ev.vote_index != next_index[ev.story_slot]++)
-      throw std::invalid_argument("stream events out of per-story vote order");
-    if (ev.vote_index >= stream_->stories[ev.story_slot].vote_count())
-      throw std::invalid_argument("stream has more events than story votes");
-    if (ev.voter != stream_->stories[ev.story_slot].voters()[ev.vote_index])
-      throw std::invalid_argument("stream event voter mismatches vote column");
-    if (ev.time < prev_time)
-      throw std::invalid_argument("stream events must be time-sorted");
-    prev_time = ev.time;
-  }
+  std::uint64_t total = 0;
   for (std::uint32_t slot = 0; slot < story_count; ++slot) {
-    if (next_index[slot] != stream_->stories[slot].vote_count())
-      throw std::invalid_argument("stream is missing story vote events");
-    if (stream_->stories[slot].submitter >= network.node_count())
+    const platform::StoryView& s = stream_->stories[slot];
+    const auto times = s.times();
+    if (s.voters().size() != times.size())
+      throw std::invalid_argument("stream story vote columns disagree");
+    for (std::size_t k = 1; k < times.size(); ++k)
+      if (times[k] < times[k - 1])
+        throw std::invalid_argument("stream events must be time-sorted");
+    if (s.submitter >= network.node_count())
       throw std::invalid_argument("stream story submitter out of graph range");
+    total += s.vote_count();
   }
+  if (total != stream_->total)
+    throw std::invalid_argument("stream event total mismatches vote columns");
 
   fingerprint_ = stream_fingerprint(*stream_, *network_);
 
@@ -117,12 +110,9 @@ StreamEngine::StreamEngine(const EventStream& stream,
                         kUnrecorded);
   pool_slot_of_.assign(story_count, kUnrecorded);
 
-  // Shard layout: story slot % kShardCount, with per-shard ordinal lists.
-  // The layout depends only on the stream, so any thread count walks the
-  // same per-shard sequences.
+  // Shard layout: story slot % kShardCount. The layout depends only on the
+  // stream, so any thread count walks the same per-shard story sequences.
   shards_.resize(kShardCount);
-  for (const VoteEvent& ev : stream_->events)
-    shards_[ev.story_slot % kShardCount].events.push_back(ev.ordinal);
 
   // Visibility-pool budget: each shard gets its share of the byte budget
   // and accounts the real resident bytes of its hybrid sets against it —
@@ -265,22 +255,86 @@ void StreamEngine::apply_event(const VoteEvent& ev, Shard& shard) {
   }
 }
 
+std::vector<std::uint64_t> StreamEngine::merge_prefix_counts(
+    std::vector<std::uint64_t> cursor, std::uint64_t take) const {
+  // Min-heap of story heads keyed by (next vote time, slot); popping one
+  // head and consuming a run of its votes that still precede every other
+  // head reproduces the global (time, slot, index) order without ever
+  // materialising it. Ties in time break toward the lower slot, matching
+  // the documented total order.
+  struct Head {
+    platform::Minutes time;
+    std::uint32_t slot;
+  };
+  const auto later = [](const Head& a, const Head& b) {
+    return a.time > b.time || (a.time == b.time && a.slot > b.slot);
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(later);
+  for (std::uint32_t slot = 0; slot < stream_->stories.size(); ++slot) {
+    const auto times = stream_->stories[slot].times();
+    if (cursor[slot] < times.size())
+      heap.push({times[cursor[slot]], slot});
+  }
+  while (take > 0 && !heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    const auto times = stream_->stories[head.slot].times();
+    std::uint64_t k = cursor[head.slot];
+    if (heap.empty()) {
+      // Only one story left: the rest of its column is the rest of the
+      // stream.
+      k += std::min<std::uint64_t>(take, times.size() - k);
+    } else {
+      const Head next = heap.top();
+      while (take > k - cursor[head.slot] && k < times.size() &&
+             (times[k] < next.time ||
+              (times[k] == next.time && head.slot < next.slot)))
+        ++k;
+    }
+    take -= k - cursor[head.slot];
+    cursor[head.slot] = k;
+    if (k < times.size()) heap.push({times[k], head.slot});
+  }
+  return cursor;
+}
+
 void StreamEngine::run_until(std::uint64_t event_limit) {
   event_limit = std::min<std::uint64_t>(event_limit, total_events());
   if (event_limit <= events_applied_) return;
   obs::Span span("stream_run", "stream");
   obs::Counter& votes = obs::Registry::global().counter("stream.votes_ingested");
+
+  // Serial counting merge: how many of the next events belong to each
+  // story. Seeding the cursors from progress_ is sound because progress_
+  // always describes an exact global prefix (run_until applies exact
+  // prefixes; restore_checkpoint verifies the same invariant).
+  std::vector<std::uint64_t> cursor(progress_.size());
+  for (std::size_t slot = 0; slot < progress_.size(); ++slot)
+    cursor[slot] = progress_[slot].applied;
+  const std::vector<std::uint64_t> target =
+      merge_prefix_counts(std::move(cursor), event_limit - events_applied_);
+
+  // Parallel apply, story-major inside each shard: per-story state depends
+  // only on that story's own vote prefix, so outcomes are identical to
+  // strict global interleaving, and each vote column is walked once,
+  // sequentially — the access pattern mmapped corpora reward.
   runtime::parallel_for(
       shards_.size(),
       [&](std::size_t s) {
         Shard& shard = shards_[s];
-        const std::vector<VoteEvent>& events = stream_->events;
         std::uint64_t done = 0;
-        while (shard.cursor < shard.events.size() &&
-               shard.events[shard.cursor] < event_limit) {
-          apply_event(events[shard.events[shard.cursor]], shard);
-          ++shard.cursor;
-          ++done;
+        for (std::uint32_t slot = static_cast<std::uint32_t>(s);
+             slot < stream_->stories.size(); slot += kShardCount) {
+          Progress& p = progress_[slot];
+          if (p.applied >= target[slot]) continue;
+          const platform::StoryView& sv = stream_->stories[slot];
+          const auto voters = sv.voters();
+          const auto times = sv.times();
+          while (p.applied < target[slot]) {
+            const auto k = static_cast<std::uint32_t>(p.applied);
+            apply_event({times[k], slot, k, voters[k]}, shard);
+            ++done;
+          }
         }
         if (done > 0) votes.inc(done);
       },
@@ -333,12 +387,10 @@ StreamResult StreamEngine::result() {
 }
 
 std::size_t StreamEngine::state_bytes() const {
-  std::size_t bytes = progress_.capacity() * sizeof(Progress) +
-                      cascade_rec_.capacity() * sizeof(std::uint32_t) +
-                      influence_rec_.capacity() * sizeof(std::uint32_t) +
-                      pool_slot_of_.capacity() * sizeof(std::uint32_t);
-  for (const Shard& shard : shards_)
-    bytes += shard.events.capacity() * sizeof(std::uint64_t);
+  const std::size_t bytes = progress_.capacity() * sizeof(Progress) +
+                            cascade_rec_.capacity() * sizeof(std::uint32_t) +
+                            influence_rec_.capacity() * sizeof(std::uint32_t) +
+                            pool_slot_of_.capacity() * sizeof(std::uint32_t);
   return bytes + vis_pool_bytes();
 }
 

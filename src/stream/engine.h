@@ -28,6 +28,17 @@
 // horizon is O(fan-degree of the voter), exactly the batch pipeline's cost,
 // paid once per vote instead of once per whole-corpus recomputation.
 //
+// Replay order: the global (time, story slot, vote index) order is never
+// materialised. run_until first runs a serial counting merge over the
+// per-story time columns (a min-heap of story heads, seeded from the
+// current per-story progress — valid because progress always describes an
+// exact global prefix) to find how many of the next events belong to each
+// story, then applies each story's slice of votes in vote order. Per-story
+// state only depends on that story's own prefix, so applying story-major
+// inside a shard yields the same outcomes as strict global interleaving
+// while touching each vote column once, sequentially — the access pattern
+// mmapped corpora want.
+//
 // Parallelism: stories are hashed onto a FIXED number of shards (independent
 // of the thread count) and shards run on the runtime pool via parallel_for,
 // whose chunk layout is also thread-count invariant. A story belongs to
@@ -116,9 +127,9 @@ struct StreamResult {
 class StreamEngine {
  public:
   /// `stream`, `network`, and params.predictor must outlive the engine.
-  /// Validates the stream (ordinals positional, per-story vote order, voters
-  /// matching the story columns, non-decreasing times) and the checkpoint
-  /// lists; throws std::invalid_argument on violations.
+  /// Validates the stream (per-story vote columns non-decreasing in time,
+  /// event total matching the columns, submitters in graph range) and the
+  /// checkpoint lists; throws std::invalid_argument on violations.
   StreamEngine(const EventStream& stream, const graph::Digraph& network,
                StreamParams params = {});
 
@@ -155,7 +166,8 @@ class StreamEngine {
     return fingerprint_;
   }
   /// Resident bytes of visibility pools + fixed per-story state — the sum
-  /// of vis_pool_bytes() and the progress/checkpoint/shard columns.
+  /// of vis_pool_bytes() and the progress/checkpoint columns. O(stories),
+  /// never O(events): the stream itself is not materialised.
   [[nodiscard]] std::size_t state_bytes() const;
   /// Resident bytes of the pooled visibility sets alone (`stream.
   /// vis_pool_bytes` gauge). Kept separate from state_bytes() so the
@@ -187,9 +199,10 @@ class StreamEngine {
     std::size_t bytes = 0;   // accounted bytes across bound slots
     std::uint64_t clock = 0;
   };
+  /// One shard owns the stories with slot % kShardCount == its index; its
+  /// only state is the visibility pool (per-story progress lives in the
+  /// slot-indexed columns), so shards cost nothing per event.
   struct Shard {
-    std::vector<std::uint64_t> events;  // ordinals, ascending
-    std::size_t cursor = 0;
     VisPool pool;
   };
   struct Progress {
@@ -204,6 +217,13 @@ class StreamEngine {
   static constexpr std::uint8_t kPromoted = 4;
 
   void apply_event(const VoteEvent& ev, Shard& shard);
+  /// The counting merge: starting from the per-story cursors in `cursor`
+  /// (which must describe an exact global prefix), advances them through
+  /// the next `take` events of the (time, slot, index) order and returns
+  /// the final cursors — i.e. each story's vote count within the extended
+  /// prefix. O(take · log stories) serial, no event materialisation.
+  [[nodiscard]] std::vector<std::uint64_t> merge_prefix_counts(
+      std::vector<std::uint64_t> cursor, std::uint64_t take) const;
   platform::VisibilitySet& acquire_vis(Shard& shard, std::uint32_t slot);
   void release_vis(Shard& shard, std::uint32_t slot);
   void record_checkpoints(std::uint32_t slot, Progress& p,

@@ -1,37 +1,17 @@
 #include "src/stream/source.h"
 
-#include <algorithm>
-
 #include "src/obs/trace.h"
 
 namespace digg::stream {
 
 EventStream build_event_stream(std::span<const platform::StoryView> stories) {
   obs::Span span("build_event_stream", "stream");
+  // O(stories): the global (time, slot, index) order is never materialised —
+  // the engine merges the per-story time columns on the fly, so building a
+  // stream over a memory-mapped million-user corpus is just the story table.
   EventStream out;
   out.stories.assign(stories.begin(), stories.end());
-
-  std::size_t total = 0;
-  for (const platform::StoryView& s : stories) total += s.vote_count();
-  out.events.reserve(total);
-  for (std::uint32_t slot = 0; slot < out.stories.size(); ++slot) {
-    const auto voters = out.stories[slot].voters();
-    const auto times = out.stories[slot].times();
-    for (std::uint32_t k = 0; k < voters.size(); ++k)
-      out.events.push_back({times[k], slot, k, voters[k], 0});
-  }
-  // stable_sort on time alone would also work (per-story events are emitted
-  // in vote order), but the explicit (time, slot, index) key documents the
-  // total order and keeps it independent of the sort algorithm.
-  std::sort(out.events.begin(), out.events.end(),
-            [](const VoteEvent& a, const VoteEvent& b) {
-              if (a.time != b.time) return a.time < b.time;
-              if (a.story_slot != b.story_slot)
-                return a.story_slot < b.story_slot;
-              return a.vote_index < b.vote_index;
-            });
-  for (std::size_t i = 0; i < out.events.size(); ++i)
-    out.events[i].ordinal = i;
+  for (const platform::StoryView& s : out.stories) out.total += s.vote_count();
   return out;
 }
 

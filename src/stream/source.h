@@ -1,8 +1,10 @@
 #pragma once
-// Event-stream construction: flattens per-story vote columns into the single
-// time-ordered event order of event.h. Sources exist for the corpus (replay
-// of scraped/synthetic data) and for any explicit story list, so a synthetic
-// generator run can be streamed without materialising a Corpus first.
+// Event-stream construction: assembles the story table the engine merges
+// into the single time-ordered event order of event.h. O(stories) — the
+// event order itself stays implicit in the per-story time columns. Sources
+// exist for the corpus (replay of scraped/synthetic/mmapped data) and for
+// any explicit story list, so a synthetic generator run can be streamed
+// without materialising a Corpus first.
 
 #include <span>
 

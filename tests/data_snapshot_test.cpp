@@ -63,8 +63,9 @@ void spew(const fs::path& path, const std::vector<char>& bytes) {
 
 // Same word-wise FNV-1a as the writer; needed to re-seal deliberately
 // edited files so a test reaches the check *behind* the checksum.
-std::uint64_t fnv1a(const char* data, std::size_t size) {
-  std::uint64_t h = 14695981039346656037ull;
+std::uint64_t fnv1a(const char* data, std::size_t size,
+                    std::uint64_t seed = 14695981039346656037ull) {
+  std::uint64_t h = seed;
   std::size_t i = 0;
   for (; i + 8 <= size; i += 8) {
     std::uint64_t w;
@@ -79,16 +80,25 @@ std::uint64_t fnv1a(const char* data, std::size_t size) {
   return h;
 }
 
-void reseal(std::vector<char>& bytes) {
-  const std::size_t payload_end = bytes.size() - sizeof(std::uint64_t);
-  const std::uint64_t sum = fnv1a(bytes.data(), payload_end);
-  std::memcpy(bytes.data() + payload_end, &sum, sizeof(sum));
+// Recomputes a v2 file's trailing header+table checksum (fnv over the 24-byte
+// header chained into the table) after a deliberate edit.
+void reseal_v2(std::vector<char>& bytes) {
+  std::uint32_t count;
+  std::uint64_t table_offset;
+  std::memcpy(&count, bytes.data() + 12, sizeof(count));
+  std::memcpy(&table_offset, bytes.data() + 16, sizeof(table_offset));
+  const std::size_t table_bytes = std::size_t{count} * 32;
+  std::uint64_t sum = fnv1a(bytes.data(), 24);
+  sum = fnv1a(bytes.data() + table_offset, table_bytes, sum);
+  std::memcpy(bytes.data() + table_offset + table_bytes, &sum, sizeof(sum));
 }
 
-void expect_load_error(const fs::path& path, const std::string& needle) {
+template <typename Loader>
+void expect_error_with(Loader&& loader, const fs::path& path,
+                       const std::string& needle) {
   try {
-    (void)load_snapshot(path);
-    FAIL() << "expected load_snapshot to throw; wanted message containing '"
+    (void)loader(path);
+    FAIL() << "expected the loader to throw; wanted message containing '"
            << needle << "'";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
@@ -98,6 +108,41 @@ void expect_load_error(const fs::path& path, const std::string& needle) {
               std::string::npos)
         << "actual message: " << e.what();
   }
+}
+
+void expect_load_error(const fs::path& path, const std::string& needle) {
+  expect_error_with([](const fs::path& p) { return load_snapshot(p); }, path,
+                    needle);
+}
+
+void expect_mmap_load_error(const fs::path& path, const std::string& needle) {
+  expect_error_with([](const fs::path& p) { return load_snapshot_mmap(p); },
+                    path, needle);
+}
+
+// One decoded v2 section-table entry plus its own position in the file, so
+// tests can surgically edit entries and bodies.
+struct RawEntry {
+  std::uint32_t type = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::size_t entry_pos = 0;  // byte position of this entry in the table
+};
+
+std::vector<RawEntry> read_table(const std::vector<char>& bytes) {
+  std::uint32_t count;
+  std::uint64_t table_offset;
+  std::memcpy(&count, bytes.data() + 12, sizeof(count));
+  std::memcpy(&table_offset, bytes.data() + 16, sizeof(table_offset));
+  std::vector<RawEntry> table(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RawEntry& e = table[i];
+    e.entry_pos = static_cast<std::size_t>(table_offset) + i * 32;
+    std::memcpy(&e.type, bytes.data() + e.entry_pos, 4);
+    std::memcpy(&e.offset, bytes.data() + e.entry_pos + 8, 8);
+    std::memcpy(&e.size, bytes.data() + e.entry_pos + 16, 8);
+  }
+  return table;
 }
 
 void expect_same_story(const Story& a, const Story& b) {
@@ -185,7 +230,8 @@ TEST_F(SnapshotTest, FutureVersionThrows) {
 TEST_F(SnapshotTest, CutOffSectionTableThrows) {
   save_snapshot(small_corpus(), snap());
   auto bytes = slurp(snap());
-  bytes.resize(24);  // header survives, table does not
+  // Drop the trailing seal: the end-of-file table no longer adds up.
+  bytes.resize(bytes.size() - sizeof(std::uint64_t));
   spew(snap(), bytes);
   expect_load_error(snap(), "truncated file (section table cut off)");
 }
@@ -193,11 +239,29 @@ TEST_F(SnapshotTest, CutOffSectionTableThrows) {
 TEST_F(SnapshotTest, SectionOverrunThrows) {
   save_snapshot(small_corpus(), snap());
   auto bytes = slurp(snap());
-  // First table entry's size field (header 16 + type 4 + flags 4 + offset 8).
+  std::uint64_t table_offset;
+  std::memcpy(&table_offset, bytes.data() + 16, sizeof(table_offset));
+  // First table entry's size field (type 4 + flags 4 + offset 8 in).
   const std::uint64_t huge = ~0ull;
-  std::memcpy(bytes.data() + 16 + 16, &huge, sizeof(huge));
+  std::memcpy(bytes.data() + table_offset + 16, &huge, sizeof(huge));
   spew(snap(), bytes);
   expect_load_error(snap(), "truncated file (section overruns)");
+}
+
+TEST_F(SnapshotTest, ByteReaderRejectsSizesNearMax) {
+  // Regression: the in-bounds check must compare a requested length against
+  // the *remaining* bytes. The old `pos + bytes > size` form wraps for
+  // hostile lengths near SIZE_MAX and would admit a wild read.
+  const char buf[16] = {};
+  const std::size_t huge = SIZE_MAX - 4;
+  snapfmt::ByteReader r(buf, sizeof(buf));
+  (void)r.pod<std::uint64_t>();  // pos = 8, so pos + huge wraps small
+  char sink[8];
+  EXPECT_THROW(r.read_into(sink, huge), std::runtime_error);
+  EXPECT_THROW((void)r.borrow(huge), std::runtime_error);
+  // The reader survives the rejected reads: the remaining 8 bytes are
+  // still readable.
+  EXPECT_EQ(r.pod<std::uint64_t>(), 0u);
 }
 
 TEST_F(SnapshotTest, ChecksumMismatchThrows) {
@@ -209,53 +273,163 @@ TEST_F(SnapshotTest, ChecksumMismatchThrows) {
 }
 
 TEST_F(SnapshotTest, UnknownSectionTypesAreIgnored) {
-  // Forward compatibility: rebuild the file with a fifth, unknown section.
+  // Forward compatibility: append an unknown entry to the section table.
+  // The v2 table sits at the end of the file, so no payload offset moves —
+  // bump the count, splice in a 32-byte entry, and re-seal.
   save_snapshot(small_corpus(), snap());
-  const auto bytes = slurp(snap());
-  constexpr std::size_t kHeaderBytes = 16;
-  constexpr std::size_t kEntryBytes = 24;
-  const std::size_t old_table_end = kHeaderBytes + 4 * kEntryBytes;
-  const std::size_t payload_end = bytes.size() - sizeof(std::uint64_t);
+  auto bytes = slurp(snap());
+  std::uint32_t count;
+  std::uint64_t table_offset;
+  std::memcpy(&count, bytes.data() + 12, sizeof(count));
+  std::memcpy(&table_offset, bytes.data() + 16, sizeof(table_offset));
+  const std::uint32_t new_count = count + 1;
+  std::memcpy(bytes.data() + 12, &new_count, sizeof(new_count));
 
-  std::vector<char> out(bytes.begin(), bytes.begin() + kHeaderBytes);
-  const std::uint32_t count = 5;
-  std::memcpy(out.data() + 12, &count, sizeof(count));
-  // Copy the four real entries, shifting their offsets past the new entry.
-  for (std::size_t i = 0; i < 4; ++i) {
-    const char* entry = bytes.data() + kHeaderBytes + i * kEntryBytes;
-    std::uint32_t type = 0, flags = 0;
-    std::uint64_t offset = 0, size = 0;
-    std::memcpy(&type, entry, 4);
-    std::memcpy(&flags, entry + 4, 4);
-    std::memcpy(&offset, entry + 8, 8);
-    std::memcpy(&size, entry + 16, 8);
-    offset += kEntryBytes;
-    const std::size_t at = out.size();
-    out.resize(at + kEntryBytes);
-    std::memcpy(out.data() + at, &type, 4);
-    std::memcpy(out.data() + at + 4, &flags, 4);
-    std::memcpy(out.data() + at + 8, &offset, 8);
-    std::memcpy(out.data() + at + 16, &size, 8);
-  }
-  // The unknown entry: type 99, empty body at the end of the payload.
-  {
-    const std::uint32_t type = 99, flags = 0;
-    const std::uint64_t offset = payload_end + kEntryBytes, size = 0;
-    const std::size_t at = out.size();
-    out.resize(at + kEntryBytes);
-    std::memcpy(out.data() + at, &type, 4);
-    std::memcpy(out.data() + at + 4, &flags, 4);
-    std::memcpy(out.data() + at + 8, &offset, 8);
-    std::memcpy(out.data() + at + 16, &size, 8);
-  }
-  out.insert(out.end(), bytes.begin() + static_cast<std::ptrdiff_t>(old_table_end),
-             bytes.begin() + static_cast<std::ptrdiff_t>(payload_end));
-  out.resize(out.size() + sizeof(std::uint64_t));
-  reseal(out);
-  spew(snap(), out);
+  // The unknown entry: type 99, empty body parked at the table boundary,
+  // checksum of zero bytes (the fnv basis).
+  char entry[32] = {};
+  const std::uint32_t type = 99;
+  const std::uint64_t checksum = fnv1a(entry, 0);
+  std::memcpy(entry, &type, sizeof(type));
+  std::memcpy(entry + 8, &table_offset, sizeof(table_offset));
+  std::memcpy(entry + 24, &checksum, sizeof(checksum));
+  bytes.insert(bytes.end() - sizeof(std::uint64_t), entry, entry + 32);
+  reseal_v2(bytes);
+  spew(snap(), bytes);
 
   const Corpus loaded = load_snapshot(snap());
   EXPECT_EQ(loaded.story_count(), small_corpus().story_count());
+  // The zero-copy reader must shrug the stranger off too.
+  const Corpus mapped = load_snapshot_mmap(snap());
+  EXPECT_EQ(mapped.story_count(), loaded.story_count());
+}
+
+TEST_F(SnapshotTest, MmapCorruptVoteChunkThrows) {
+  // A flipped byte inside a vote-chunk body leaves the header/table seal
+  // intact; the per-section checksum must catch it — lazily on first view
+  // for the mapped reader, eagerly for load_snapshot.
+  save_snapshot(small_corpus(), snap());
+  auto bytes = slurp(snap());
+  const auto table = read_table(bytes);
+  const auto chunk = std::ranges::find_if(table, [](const RawEntry& e) {
+    return e.type == snapfmt::kVotesUsers && e.size > 0;
+  });
+  ASSERT_NE(chunk, table.end());
+  bytes[static_cast<std::size_t>(chunk->offset + chunk->size / 2)] ^= 0x5a;
+  spew(snap(), bytes);
+  expect_mmap_load_error(snap(), "checksum mismatch");
+  expect_load_error(snap(), "checksum mismatch");
+}
+
+TEST_F(SnapshotTest, MmapTruncatedVoteChunkThrows) {
+  // Shrink one time-column chunk and re-seal both its section checksum and
+  // the table, so the file is checksum-clean but structurally short: the
+  // user/time columns of the chunk no longer describe the same vote count.
+  save_snapshot(small_corpus(), snap());
+  auto bytes = slurp(snap());
+  const auto table = read_table(bytes);
+  const auto chunk = std::ranges::find_if(table, [](const RawEntry& e) {
+    return e.type == snapfmt::kVotesTimes && e.size >= 16;
+  });
+  ASSERT_NE(chunk, table.end());
+  const std::uint64_t short_size = chunk->size - 8;
+  const std::uint64_t short_sum =
+      fnv1a(bytes.data() + chunk->offset, static_cast<std::size_t>(short_size));
+  std::memcpy(bytes.data() + chunk->entry_pos + 16, &short_size, 8);
+  std::memcpy(bytes.data() + chunk->entry_pos + 24, &short_sum, 8);
+  reseal_v2(bytes);
+  spew(snap(), bytes);
+  expect_mmap_load_error(snap(), "vote chunk size mismatch");
+}
+
+TEST_F(SnapshotTest, MmapLoadMatchesEagerLoad) {
+  const Corpus original = small_corpus(42);
+  save_snapshot(original, snap());
+  const Corpus eager = load_snapshot(snap());
+  const Corpus mapped = load_snapshot_mmap(snap());
+
+  EXPECT_EQ(mapped.user_count(), eager.user_count());
+  EXPECT_EQ(mapped.network.edge_count(), eager.network.edge_count());
+  EXPECT_EQ(mapped.top_users, eager.top_users);
+  ASSERT_EQ(mapped.front_page.size(), eager.front_page.size());
+  ASSERT_EQ(mapped.upcoming.size(), eager.upcoming.size());
+  for (std::size_t i = 0; i < eager.front_page.size(); ++i)
+    expect_same_story(eager.front_page[i], mapped.front_page[i]);
+  for (std::size_t i = 0; i < eager.upcoming.size(); ++i)
+    expect_same_story(eager.upcoming[i], mapped.upcoming[i]);
+
+  // Figures bit-identical across the two load paths (seed 42).
+  const core::Fig3aResult a = core::fig3a_influence(eager);
+  const core::Fig3aResult b = core::fig3a_influence(mapped);
+  EXPECT_EQ(a.at_submission, b.at_submission);
+  EXPECT_EQ(a.after_10, b.after_10);
+  EXPECT_EQ(a.after_20, b.after_20);
+  const auto fa = core::extract_features(eager.front_page, eager.network);
+  const auto fb = core::extract_features(mapped.front_page, mapped.network);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].v10, fb[i].v10);
+    EXPECT_EQ(fa[i].influence10, fb[i].influence10);
+    EXPECT_EQ(fa[i].final_votes, fb[i].final_votes);
+    EXPECT_EQ(fa[i].interesting, fb[i].interesting);
+  }
+}
+
+TEST_F(SnapshotTest, MmapSurvivesCopyAndSourceRelease) {
+  // The mapping must stay alive through Corpus copies even after the
+  // original loaded corpus is gone (shared backing).
+  save_snapshot(small_corpus(), snap());
+  Corpus copy;
+  {
+    const Corpus mapped = load_snapshot_mmap(snap());
+    copy = mapped;
+  }
+  fs::remove(snap());  // mapping survives unlinking on POSIX
+  EXPECT_NO_THROW(validate(copy));
+  EXPECT_GT(copy.vote_store.total_votes(), 0u);
+}
+
+TEST_F(SnapshotTest, MultiChunkRoundTrip) {
+  // A tiny chunk target forces many VOTES_USERS/VOTES_TIMES sections; both
+  // loaders must reassemble them into the identical corpus.
+  const Corpus original = small_corpus(5);
+  save_snapshot(original, snap(), kSnapshotVersion,
+                /*chunk_target_bytes=*/512);
+  const auto table = read_table(slurp(snap()));
+  const auto chunks = std::ranges::count_if(table, [](const RawEntry& e) {
+    return e.type == snapfmt::kVotesUsers;
+  });
+  EXPECT_GT(chunks, 4) << "chunk target did not split the vote columns";
+
+  for (const Corpus& loaded : {load_snapshot(snap()), load_snapshot_mmap(snap())}) {
+    ASSERT_EQ(loaded.story_count(), original.story_count());
+    ASSERT_EQ(loaded.vote_store.total_votes(),
+              original.vote_store.total_votes());
+    for (std::size_t i = 0; i < original.front_page.size(); ++i)
+      expect_same_story(original.front_page[i], loaded.front_page[i]);
+    for (std::size_t i = 0; i < original.upcoming.size(); ++i)
+      expect_same_story(original.upcoming[i], loaded.upcoming[i]);
+  }
+}
+
+TEST_F(SnapshotTest, V1FilesLoadThroughBothEntryPoints) {
+  // save_snapshot can still emit v1; load_snapshot reads it directly and
+  // load_snapshot_mmap routes it through the eager loader.
+  const Corpus original = small_corpus(3);
+  save_snapshot(original, snap(), /*version=*/1);
+  const auto bytes = slurp(snap());
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  ASSERT_EQ(version, 1u);
+
+  for (const Corpus& loaded : {load_snapshot(snap()), load_snapshot_mmap(snap())}) {
+    ASSERT_EQ(loaded.story_count(), original.story_count());
+    for (std::size_t i = 0; i < original.front_page.size(); ++i)
+      expect_same_story(original.front_page[i], loaded.front_page[i]);
+    for (std::size_t i = 0; i < original.upcoming.size(); ++i)
+      expect_same_story(original.upcoming[i], loaded.upcoming[i]);
+    EXPECT_EQ(loaded.top_users, original.top_users);
+  }
 }
 
 // The acceptance gate for the whole storage layer: one experiment run

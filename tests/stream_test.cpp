@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -100,35 +102,50 @@ void spew(const std::filesystem::path& p, const std::vector<char>& bytes) {
 
 // ------------------------------------------------ stream construction ----
 
-TEST(EventStreamTest, TimeOrderedWithPositionalOrdinals) {
+TEST(EventStreamTest, StoryTableAndTotalMatchCorpus) {
   const EventStream& s = small_stream();
   EXPECT_EQ(s.stories.size(), small_corpus().corpus.story_count());
-  ASSERT_GT(s.events.size(), 0u);
-  for (std::size_t i = 0; i < s.events.size(); ++i) {
-    EXPECT_EQ(s.events[i].ordinal, i);
-    if (i > 0) {
-      EXPECT_GE(s.events[i].time, s.events[i - 1].time);
-    }
+  std::uint64_t votes = 0;
+  for (const platform::StoryView& sv : s.stories) {
+    votes += sv.vote_count();
+    // The merge order leans on per-story time columns being sorted.
+    const auto times = sv.times();
+    for (std::size_t k = 1; k < times.size(); ++k)
+      EXPECT_GE(times[k], times[k - 1]);
   }
+  ASSERT_GT(votes, 0u);
+  EXPECT_EQ(s.total_events(), votes);
 }
 
 TEST(EventStreamTest, EngineRejectsTamperedStreams) {
   const auto& corpus = small_corpus().corpus;
   {
+    // Cached event total disagreeing with the vote columns.
     EventStream broken = build_event_stream(corpus);
-    std::swap(broken.events[3].ordinal, broken.events[4].ordinal);
+    broken.total -= 1;
     EXPECT_THROW(StreamEngine(broken, corpus.network), std::invalid_argument);
   }
   {
-    EventStream broken = build_event_stream(corpus);
-    broken.events[5].voter ^= 1;
+    // A story whose time column is not sorted: no merge order exists.
+    platform::Story story;
+    story.id = 0;
+    story.submitter = 0;
+    story.voters = {0, 1};
+    story.times = {5.0, 1.0};
+    const std::vector<platform::StoryView> stories = {story};
+    const EventStream broken = build_event_stream(stories);
     EXPECT_THROW(StreamEngine(broken, corpus.network), std::invalid_argument);
   }
   {
-    EventStream broken = build_event_stream(corpus);
-    broken.events.pop_back();
-    for (std::size_t i = 0; i < broken.events.size(); ++i)
-      broken.events[i].ordinal = i;
+    // A submitter outside the graph.
+    platform::Story story;
+    story.id = 0;
+    story.submitter =
+        static_cast<platform::UserId>(corpus.network.node_count());
+    story.voters = {story.submitter};
+    story.times = {0.0};
+    const std::vector<platform::StoryView> stories = {story};
+    const EventStream broken = build_event_stream(stories);
     EXPECT_THROW(StreamEngine(broken, corpus.network), std::invalid_argument);
   }
 }
@@ -470,9 +487,16 @@ TEST_F(StreamTest, RejectsForgedProgressColumns) {
   // semantics: valid magic/checksum, matching fingerprint and config, but
   // an applied column that is not the stream's 500-event prefix.
   const std::size_t stories = corpus.story_count();
+  // Reproduce the engine's global (time, slot, index) order independently:
+  // flatten every (time, slot) key, stable-sort (stability keeps equal-time
+  // votes of one story in index order), and count the first `cut`.
+  std::vector<std::pair<double, std::uint32_t>> keys;
+  for (std::uint32_t slot = 0; slot < small_stream().stories.size(); ++slot)
+    for (const double t : small_stream().stories[slot].times())
+      keys.emplace_back(t, slot);
+  std::stable_sort(keys.begin(), keys.end());
   std::vector<std::uint64_t> applied(stories, 0);
-  for (std::uint64_t i = 0; i < cut; ++i)
-    ++applied[small_stream().events[i].story_slot];
+  for (std::uint64_t i = 0; i < cut; ++i) ++applied[keys[i].second];
   // Move one vote between two stories: totals still sum to `cut`.
   std::size_t donor = 0;
   while (applied[donor] == 0) ++donor;
