@@ -14,10 +14,16 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include "bench/common.h"
 #include "src/core/features.h"
+#include "src/obs/exporter.h"
+#include "src/obs/perf.h"
 #include "src/stream/checkpoint.h"
 #include "src/stream/engine.h"
 #include "src/stream/source.h"
@@ -43,8 +49,22 @@ double best_of_ms(int reps, F&& work) {
 int main(int argc, char** argv) {
   using namespace digg;
   namespace fs = std::filesystem;
-  bench::Context ctx = bench::make_context(
-      argc, argv, "Stream engine: vote ingest throughput");
+  // --serve-ms <n>: after measuring, keep the process (and its
+  // DIGG_METRICS_PORT exporter) alive for n ms so CI can scrape it.
+  // Stripped here because make_context rejects flags it doesn't know.
+  long serve_ms = 0;
+  std::vector<char*> args(argv, argv + argc);
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (std::strcmp(args[i], "--serve-ms") == 0) {
+      serve_ms = std::strtol(args[i + 1], nullptr, 10);
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      break;
+    }
+  }
+  bench::Context ctx =
+      bench::make_context(static_cast<int>(args.size()), args.data(),
+                          "Stream engine: vote ingest throughput");
   const data::Corpus& corpus = ctx.synthetic.corpus;
   constexpr int kReps = 5;
 
@@ -62,6 +82,26 @@ int main(int argc, char** argv) {
     if (e.events_applied() != es.total_events()) std::abort();
   });
   const double votes_per_sec = votes / (replay_ms / 1e3);
+
+  // Hardware-counter pass: one extra full replay under a perf_event group.
+  // Invalid readings (no PMU, paranoid kernel) publish nothing, so the
+  // stream.bench_ipc / _cache_miss_pct gauges simply vanish from the JSON
+  // on machines that cannot measure them.
+  obs::PerfReading perf_reading;
+  {
+    obs::PerfCounters counters;
+    counters.start();
+    stream::StreamEngine e(es, corpus.network);
+    e.run_all();
+    perf_reading = counters.stop();
+  }
+  if (perf_reading.valid && perf_reading.cycles != 0) {
+    obs::Registry::global().gauge("stream.bench_ipc").set(perf_reading.ipc());
+    if (perf_reading.cache_references != 0)
+      obs::Registry::global()
+          .gauge("stream.bench_cache_miss_pct")
+          .set(perf_reading.cache_miss_pct());
+  }
 
   const double batch_ms = best_of_ms(kReps, [&] {
     const auto rows = core::extract_features(corpus.front_page, corpus.network);
@@ -88,6 +128,9 @@ int main(int argc, char** argv) {
   std::printf("checkpoint save:                      %8.2f ms  (%zu bytes)\n",
               save_ms, static_cast<std::size_t>(ec ? 0 : ckpt_bytes));
   std::printf("checkpoint restore (validated):       %8.2f ms\n", restore_ms);
+  if (perf_reading.valid && perf_reading.cycles != 0)
+    std::printf("replay IPC:                           %8.2f  (%.1f%% cache miss)\n",
+                perf_reading.ipc(), perf_reading.cache_miss_pct());
 
   // Gauges for the perf trajectory: bench_check.py flags regressions on
   // these (higher is better for throughput, lower for latencies).
@@ -96,5 +139,12 @@ int main(int argc, char** argv) {
   reg.gauge("stream.bench_replay_ms").set(replay_ms);
   reg.gauge("stream.bench_checkpoint_save_ms").set(save_ms);
   reg.gauge("stream.bench_checkpoint_restore_ms").set(restore_ms);
+
+  if (serve_ms > 0) {
+    std::printf("serving metrics for %ld ms (exporter port %u)\n", serve_ms,
+                static_cast<unsigned>(obs::exporter_port()));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+  }
   return 0;
 }

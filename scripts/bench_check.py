@@ -14,8 +14,9 @@ For every report present in BASELINE_DIR, the same file must exist in
 NEW_DIR and every *gated metric* must be within --threshold (default 25%)
 of its baseline in the bad direction:
 
-  - gauges ending in  per_sec / per_s     higher is better
-  - gauges ending in  _ms / _us / _bytes / _ns_per_op
+  - gauges ending in  per_sec / per_s / _ipc
+                                          higher is better
+  - gauges ending in  _ms / _us / _bytes / _ns_per_op / _p99
                                           lower is better
   - wall_ms                               lower is better (reported but NOT
     gated: it includes corpus generation and, for perf_micro, however many
@@ -23,8 +24,14 @@ of its baseline in the bad direction:
     shared CI runners; the per-metric gauges are the stable signal)
 
 Improvements never fail the gate. Counters and histograms are ignored: they
-measure workload shape, not speed. A report present only in NEW_DIR is
-listed as new and passes (first PR for a bench commits its baseline).
+measure workload shape, not speed (the registry derives a gated <hist>_p99
+gauge from every latency histogram, which is the gated tail-latency
+signal). A report present only in NEW_DIR is listed as new and passes
+(first PR for a bench commits its baseline).
+
+A gated metric that exists in the baseline but not the new report fails the
+gate — except *_ipc gauges, which are published only where perf_event
+hardware counters open; those vanish as info when a runner has no PMU.
 
 Exit status: 0 all gated metrics within threshold, 1 regression or missing
 report, 2 usage/IO error. A delta table is always printed.
@@ -36,8 +43,11 @@ import pathlib
 import sys
 import tempfile
 
-HIGHER_BETTER = ("per_sec", "per_s")
-LOWER_BETTER = ("_ms", "_us", "_bytes", "_ns_per_op")
+HIGHER_BETTER = ("per_sec", "per_s", "_ipc")
+LOWER_BETTER = ("_ms", "_us", "_bytes", "_ns_per_op", "_p99")
+# Gated, but allowed to vanish: hardware-counter gauges only exist where
+# perf_event_open works (bare metal, VMs with a vPMU).
+HARDWARE_DEPENDENT = ("_ipc", "_cache_miss_pct")
 
 
 def direction(name):
@@ -79,7 +89,11 @@ def compare_dirs(baseline_dir, new_dir, threshold, out=sys.stdout):
         new = load_report(new_path)
         for name in sorted(base):
             if name not in new:
-                if direction(name) != 0:
+                if name.endswith(HARDWARE_DEPENDENT):
+                    rows.append(
+                        (base_path.name, name, base[name], 0, 0.0, "info")
+                    )
+                elif direction(name) != 0:
                     failures.append(f"{base_path.name}: metric {name} vanished")
                 continue
             b, n = base[name], new[name]
@@ -131,6 +145,8 @@ def self_test():
         "metrics": {"gauges": {"x.bench_votes_per_sec": 1000.0,
                                "x.bench_replay_ms": 50.0,
                                "x.union_ns_per_op": 80.0,
+                               "x.ingest_story_us_p99": 120.0,
+                               "x.bench_ipc": 2.0,
                                "x.some_ratio": 0.5}},
     }
 
@@ -138,16 +154,19 @@ def self_test():
         doc = json.loads(json.dumps(base))
         gauges = doc["metrics"]["gauges"]
         gauges["x.bench_votes_per_sec"] *= scale_throughput
+        gauges["x.bench_ipc"] *= scale_throughput
         gauges["x.bench_replay_ms"] *= scale_latency
         gauges["x.union_ns_per_op"] *= scale_latency
+        gauges["x.ingest_story_us_p99"] *= scale_latency
         return doc
 
     with tempfile.TemporaryDirectory() as tmp:
         tmp = pathlib.Path(tmp)
-        for sub in ("baseline", "slow", "fine"):
+        for sub in ("baseline", "slow", "fine", "nopmu"):
             (tmp / sub).mkdir()
         (tmp / "baseline" / "BENCH_x.json").write_text(json.dumps(base))
-        # 30% throughput drop AND 30% latency/ns-op growth: all must trip.
+        # 30% throughput/IPC drop AND 30% latency/ns-op/p99 growth: all five
+        # gated gauges must trip.
         (tmp / "slow" / "BENCH_x.json").write_text(
             json.dumps(variant(0.7, 1.3))
         )
@@ -155,11 +174,27 @@ def self_test():
         wobble = variant(0.9, 1.1)
         wobble["metrics"]["gauges"]["x.some_ratio"] = 9.9
         (tmp / "fine" / "BENCH_x.json").write_text(json.dumps(wobble))
+        # IPC gauge vanished (runner without a PMU): must pass; a vanished
+        # gated latency gauge must still fail.
+        nopmu = json.loads(json.dumps(base))
+        del nopmu["metrics"]["gauges"]["x.bench_ipc"]
+        (tmp / "nopmu" / "BENCH_x.json").write_text(json.dumps(nopmu))
 
         slow = compare_dirs(tmp / "baseline", tmp / "slow", 0.25)
-        assert len(slow) == 3, f"expected 3 failures, got {slow}"
+        assert len(slow) == 5, f"expected 5 failures, got {slow}"
         fine = compare_dirs(tmp / "baseline", tmp / "fine", 0.25)
         assert fine == [], f"expected clean pass, got {fine}"
+        vanished_ipc = compare_dirs(tmp / "baseline", tmp / "nopmu", 0.25)
+        assert vanished_ipc == [], (
+            f"vanished _ipc must not fail, got {vanished_ipc}"
+        )
+        nop99 = json.loads(json.dumps(base))
+        del nop99["metrics"]["gauges"]["x.ingest_story_us_p99"]
+        (tmp / "nopmu" / "BENCH_x.json").write_text(json.dumps(nop99))
+        vanished_p99 = compare_dirs(tmp / "baseline", tmp / "nopmu", 0.25)
+        assert any("vanished" in f for f in vanished_p99), (
+            f"vanished _p99 must fail, got {vanished_p99}"
+        )
         missing = compare_dirs(tmp / "baseline", tmp / "fine" / "nope", 0.25)
         assert missing, "expected a failure for a missing report"
     print("bench_check.py self-test: ok")

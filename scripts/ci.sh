@@ -11,13 +11,17 @@
 #            through the stream engine (perf_corpus_io's large leg,
 #            downscaled via LARGE_USERS/LARGE_STORIES so the smoke stays
 #            minutes-cheap; the nightly perf job runs the full million)
+#   obs      Release build + the telemetry-exporter smoke: run perf_stream
+#            with DIGG_METRICS_PORT set and --serve-ms holding the process
+#            alive, curl the endpoint, and verify the Prometheus text
+#            exposition (TYPE lines, histogram buckets, ingest counter)
 #   all      every configuration above, failing fast on the first broken one
 #
 # The GitHub Actions matrix (.github/workflows/ci.yml) runs one mode per
 # job via this script, so CI legs are reproducible locally with the same
 # command CI uses.
 #
-# Usage: scripts/ci.sh [release|asan|tsan|large|all] [ctest args...]
+# Usage: scripts/ci.sh [release|asan|tsan|large|obs|all] [ctest args...]
 #   RELEASE_DIR / ASAN_DIR / TSAN_DIR
 #                build dirs (default build-release, build-asan, build-tsan)
 #   JOBS         parallelism (default nproc)
@@ -41,7 +45,7 @@ LARGE_STORIES=${LARGE_STORIES:-200}
 
 MODE=all
 case "${1:-}" in
-  release|asan|tsan|large|all)
+  release|asan|tsan|large|obs|all)
     MODE=$1
     shift
     ;;
@@ -76,6 +80,46 @@ if [[ $MODE == tsan || $MODE == all ]]; then
   run_config "$TSAN_DIR" "TSan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDIGG_SANITIZE=thread -- -L "$TSAN_LABELS"
 fi
+if [[ $MODE == obs || $MODE == all ]]; then
+  echo "== [exporter smoke] configure + build ($RELEASE_DIR) =="
+  cmake -B "$RELEASE_DIR" -S . -DDIGG_WERROR="$WERROR" \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$RELEASE_DIR" -j "$JOBS" --target perf_stream
+  echo "== [exporter smoke] serve + scrape =="
+  OBS_PORT=$(( (RANDOM % 20000) + 20000 ))
+  DIGG_METRICS_PORT=$OBS_PORT "$RELEASE_DIR"/bench/perf_stream \
+    --serve-ms 60000 &
+  OBS_PID=$!
+  # shellcheck disable=SC2064  # expand $OBS_PID now, not at trap time
+  trap "kill $OBS_PID 2>/dev/null || true" EXIT
+  # The exporter answers as soon as the corpus generates, well before the
+  # replay populates histograms — keep scraping until the ingest counter
+  # shows up, not merely until some exposition arrives.
+  scrape=""
+  for _ in $(seq 1 60); do
+    if scrape=$(curl -sf "http://127.0.0.1:$OBS_PORT/metrics"); then
+      grep -qF 'digg_stream_votes_ingested_total' <<<"$scrape" && break
+    fi
+    kill -0 "$OBS_PID" 2>/dev/null || {
+      echo "exporter smoke: perf_stream exited early" >&2; exit 1; }
+    sleep 1
+  done
+  kill "$OBS_PID" 2>/dev/null || true
+  wait "$OBS_PID" 2>/dev/null || true
+  trap - EXIT
+  for needle in \
+    '# TYPE digg_' \
+    '_bucket{le="' \
+    'digg_stream_votes_ingested_total'; do
+    if ! grep -qF "$needle" <<<"$scrape"; then
+      echo "exporter smoke: exposition is missing '$needle'" >&2
+      printf '%s\n' "$scrape" | head -40 >&2
+      exit 1
+    fi
+  done
+  echo "exporter smoke: Prometheus exposition ok ($(wc -l <<<"$scrape") lines)"
+fi
+
 if [[ $MODE == large || $MODE == all ]]; then
   echo "== [large-corpus smoke] configure + build ($RELEASE_DIR) =="
   cmake -B "$RELEASE_DIR" -S . -DDIGG_WERROR="$WERROR" \

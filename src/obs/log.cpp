@@ -38,10 +38,9 @@ LogLevel resolve_env_level() {
 std::FILE* resolve_out() {
   const char* path = std::getenv("DIGG_LOG_FILE");
   if (path && *path != '\0') {
-    if (std::FILE* f = std::fopen(path, "a")) return f;
-    std::fprintf(stderr,
-                 "obs: cannot open DIGG_LOG_FILE=%s, logging to stderr\n",
-                 path);
+    std::string error;
+    if (std::FILE* f = open_log_file(path, &error)) return f;
+    std::fprintf(stderr, "%s\n", error.c_str());
   }
   return stderr;
 }
@@ -177,6 +176,16 @@ void set_log_sink(std::function<void(std::string_view)> sink) {
   LogState& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
   s.sink = std::move(sink);
+}
+
+std::FILE* open_log_file(const char* path, std::string* error) {
+  if (std::FILE* f = std::fopen(path, "a")) return f;
+  if (error != nullptr) {
+    *error = "obs: cannot open DIGG_LOG_FILE=";
+    error->append(path);
+    error->append(", logging to stderr");
+  }
+  return nullptr;
 }
 
 }  // namespace digg::obs

@@ -13,6 +13,7 @@
 // uniformly.
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <initializer_list>
 #include <string>
@@ -116,5 +117,12 @@ inline void log_error(std::string_view component, std::string_view message,
 /// Redirects emitted lines (newline included) to `sink` instead of
 /// stderr/DIGG_LOG_FILE; pass nullptr to restore the default. Test hook.
 void set_log_sink(std::function<void(std::string_view)> sink);
+
+/// Opens a DIGG_LOG_FILE target for append. Returns nullptr on failure and,
+/// when `error` is non-null, fills it with the warning line the logger
+/// prints in that case — the unit under test for the "unwritable log path
+/// falls back to stderr, loudly" contract.
+[[nodiscard]] std::FILE* open_log_file(const char* path,
+                                       std::string* error = nullptr);
 
 }  // namespace digg::obs

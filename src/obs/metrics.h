@@ -68,6 +68,9 @@ class Histogram {
   [[nodiscard]] double sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
   }
+  /// histogram_quantile() over the live buckets — p50/p95/p99 helpers for
+  /// gauges and reports. q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
 
  private:
   std::vector<double> bounds_;                    // ascending
@@ -78,6 +81,38 @@ class Histogram {
 
 /// 1us..~8.4s in powers of 2 — the default latency bucket layout.
 [[nodiscard]] const std::vector<double>& default_latency_bounds_us();
+
+/// Percentile estimate from bucketed counts, Prometheus histogram_quantile
+/// style: find the bucket where the cumulative count crosses q * total and
+/// interpolate linearly inside it (the first bucket interpolates from 0, the
+/// overflow bucket clamps to the last finite bound — a log-bucketed histogram
+/// cannot resolve beyond it). `counts` has bounds.size() + 1 entries, the
+/// layout Histogram::bucket_counts() returns. Returns 0 when empty.
+[[nodiscard]] double histogram_quantile(const std::vector<double>& bounds,
+                                        const std::vector<std::uint64_t>& counts,
+                                        double q);
+
+/// Point-in-time copy of every instrument — the iteration surface shared by
+/// the JSON snapshot, the Prometheus exporter (exporter.h), and the crash
+/// reporter (recorder.h). Plain values, no atomics: safe to hand across
+/// threads.
+struct MetricsSnapshot {
+  struct Hist {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1, overflow last
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted
+  std::vector<std::pair<std::string, double>> gauges;           // sorted
+  std::vector<Hist> histograms;                                 // sorted
+};
+
+/// Renders a snapshot as the DIGG_METRICS JSON document. Latency histograms
+/// (*_us / *_ms) additionally contribute a derived `<name>_p99` gauge so the
+/// bench gate can gate tail latency, not just means.
+[[nodiscard]] std::string render_metrics_json(const MetricsSnapshot& snap);
 
 /// Named-instrument registry. Instruments are created on first request and
 /// live for the process (references stay valid); requesting an existing name
@@ -91,10 +126,20 @@ class Registry {
   [[nodiscard]] Histogram& histogram(std::string_view name,
                                      std::vector<double> bounds = {});
 
+  /// Copies every instrument's current value. One lock acquisition; the
+  /// result is independent of the registry afterwards.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Lock-avoiding variant for the crash-report path: fails (returns false)
+  /// instead of blocking when another thread holds the registry lock — a
+  /// signal handler must never wait on a mutex its own thread may hold.
+  [[nodiscard]] bool try_snapshot(MetricsSnapshot& out) const;
+
   /// JSON snapshot of every instrument:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
   /// "sum":..,"buckets":[[bound,count],...,["+inf",count]]}}}.
-  /// Keys are sorted, so snapshots diff cleanly.
+  /// Keys are sorted, so snapshots diff cleanly. Latency histograms also
+  /// emit a derived `<name>_p99` gauge (see render_metrics_json).
   [[nodiscard]] std::string to_json() const;
 
   /// Zeroes nothing — drops every instrument (references die). Test hook;
@@ -120,5 +165,11 @@ class Registry {
 /// written.
 bool write_bench_report(const std::string& path, std::string_view name,
                         std::uint64_t seed, double wall_ms);
+
+/// Probes `path` for writability (open-for-append) and emits a log_warn
+/// naming `env_name` when it is not — output env vars (DIGG_METRICS,
+/// DIGG_CRASH_REPORT, DIGG_LOG_FILE) must fail loudly at startup, not
+/// silently drop their output at exit. Returns true when writable.
+bool warn_if_unwritable(const char* env_name, const char* path);
 
 }  // namespace digg::obs

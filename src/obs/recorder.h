@@ -1,0 +1,94 @@
+#pragma once
+// Flight recorder: per-thread lock-free ring buffers of recent structured
+// events (votes applied, chunks scheduled, checkpoints, LRU evictions...),
+// kept cheap enough to leave on in production — recording is a handful of
+// relaxed atomic stores into a thread-owned slot, no locks, no allocation
+// after the ring exists. The value is post-mortem: when something crashes,
+// stalls, or is sent SIGUSR2, the dump shows what every thread was doing in
+// the moments before, per shard, alongside a metrics snapshot.
+//
+// Memory model (seqlock slots, single writer per ring):
+//   - each thread that records owns exactly one ring (acquired lazily,
+//     registered in a fixed lock-free table, never freed — a dead thread's
+//     recent events stay dumpable);
+//   - a slot's fields are all relaxed atomics; the writer brackets a write
+//     with seq = 2k+1 (in progress) ... payload ... seq = 2k+2 (release),
+//     where k is the event ordinal, then publishes head = k+1 (release);
+//   - a reader (dump, watchdog, signal handler — any thread) walks ordinals
+//     [head-N, head), accepts a slot only when seq reads 2k+2 before AND
+//     after the payload loads, and skips torn slots. No reader ever blocks
+//     a writer; a dump racing live writers loses only the events being
+//     overwritten mid-read.
+//
+// Zero-perturbation contract (shared with the rest of src/obs): recorded
+// events are never read back into computation; numeric results are
+// bit-identical with the recorder enabled (the default) or off.
+//
+// Crash reports: install_crash_handlers(path) arms SIGSEGV/SIGABRT/SIGUSR2.
+// SIGUSR2 writes the report and the process continues (the live-inspection
+// path); the fatal signals write the report, restore the default disposition
+// and re-raise. The ring dump in the handler is async-signal-safe (atomics,
+// stack buffers, write(2)); the appended metrics snapshot is best-effort —
+// it try-locks the registry and allocates, which is safe for SIGUSR2 and
+// accepted-risk for a process that is already crashing. DIGG_CRASH_REPORT=
+// <path> installs the handlers automatically at first instrument creation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace digg::obs {
+
+enum class EventKind : std::uint32_t {
+  kMark = 0,            // free-form marker (tests, apps); a/b caller-defined
+  kVoteApplied,         // dom=shard, a=story slot, b=votes applied so far
+  kChunkScheduled,      // dom=pool thread count, a=chunk index, b=chunk count
+  kJobStart,            // a=chunk count, b=lanes
+  kCheckpointRecorded,  // dom=shard, a=story slot, b=votes applied
+  kCheckpointSave,      // a=events applied
+  kCheckpointRestore,   // a=events applied
+  kLruEvict,            // dom=shard, a=story slot
+  kStoryRetired,        // dom=shard, a=story slot
+  kQuery,               // a=events applied
+};
+
+/// Stable lowercase name ("vote_applied") used by dumps; "?" for unknown.
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+
+/// Records one event into the calling thread's ring. Wait-free after the
+/// first call on a thread (which allocates and registers the ring). `dom`
+/// is the event's domain — stream shard, pool lane — so dumps group by it.
+void record_event(EventKind kind, std::uint32_t dom = 0, std::uint64_t a = 0,
+                  std::uint64_t b = 0) noexcept;
+
+/// Default on; DIGG_RECORDER=off|0 disables at startup, and tests can
+/// toggle. Disabled recording is one relaxed load.
+[[nodiscard]] bool recorder_enabled() noexcept;
+void set_recorder_enabled(bool on) noexcept;
+
+/// Events retained per thread ring (DIGG_RECORDER_EVENTS, default 256,
+/// clamped to [16, 65536], fixed once the first ring exists).
+[[nodiscard]] std::size_t recorder_ring_capacity() noexcept;
+/// Rings registered so far (threads that have recorded at least once).
+[[nodiscard]] std::size_t recorder_ring_count() noexcept;
+
+/// Human-readable dump of every ring's surviving events, oldest to newest
+/// within a ring: `ring=<r> seq=<k> t_us=<t> kind=<name> dom=<d> a=<a>
+/// b=<b>` lines. Torn slots (overwritten mid-read) are skipped.
+[[nodiscard]] std::string dump_recorder();
+
+/// The signal-handler dump: ring events (async-signal-safe) plus the
+/// best-effort metrics snapshot, written to `fd`. `signal` 0 means "not a
+/// signal" (watchdog stall dumps reuse this writer).
+void write_crash_report(int fd, int signal) noexcept;
+
+/// Arms SIGSEGV/SIGABRT/SIGUSR2 to write a crash report to `path`.
+/// Idempotent; the path is copied into static storage (signal handlers
+/// cannot touch heap state). Repeated calls update the path.
+void install_crash_handlers(const std::string& path);
+[[nodiscard]] bool crash_handlers_installed() noexcept;
+/// The installed crash-report path ("" when handlers are not installed).
+/// The watchdog writes stall dumps beside it (`<path>.stall`).
+[[nodiscard]] const char* crash_report_path() noexcept;
+
+}  // namespace digg::obs

@@ -5,7 +5,9 @@
 #include <cstdlib>
 
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 
 namespace digg::runtime {
 
@@ -89,6 +91,9 @@ void ThreadPool::work_on(Job& job) {
     const std::size_t chunk =
         job.next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job.chunk_count) break;
+    obs::record_event(obs::EventKind::kChunkScheduled, thread_count_, chunk,
+                      job.chunk_count);
+    if (job.watchdog != nullptr) job.watchdog->beat();
     std::exception_ptr error;
     const auto chunk_start = std::chrono::steady_clock::now();
     {
@@ -135,9 +140,15 @@ void ThreadPool::run(std::size_t chunk_count,
   utilization.set(static_cast<double>(lanes) /
                   static_cast<double>(thread_count_));
   obs::Span job_span("job", "runtime");
+  obs::record_event(obs::EventKind::kJobStart, 0, chunk_count, lanes);
+  // A pool job that goes 60s without claiming a chunk is wedged by any
+  // reasonable definition for this workload; the watchdog dumps the flight
+  // recorder so the stuck chunk is identifiable.
+  obs::WatchdogTask watchdog("runtime.job", 60'000);
   Job job;
   job.chunk_count = chunk_count;
   job.task = &task;
+  job.watchdog = &watchdog;
   job.extra_lanes = lanes - 1;
   {
     std::lock_guard<std::mutex> lock(mutex_);

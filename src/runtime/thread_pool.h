@@ -22,6 +22,10 @@
 #include <thread>
 #include <vector>
 
+namespace digg::obs {
+class WatchdogTask;
+}
+
 namespace digg::runtime {
 
 /// Number of hardware threads, never 0.
@@ -73,6 +77,7 @@ class ThreadPool {
   struct Job {
     std::size_t chunk_count = 0;
     const std::function<void(std::size_t)>* task = nullptr;
+    obs::WatchdogTask* watchdog = nullptr;  // owned by run(); beaten per chunk
     std::atomic<std::size_t> next{0};
     // Guarded by ThreadPool::mutex_:
     std::size_t finished = 0;

@@ -8,6 +8,7 @@
 
 #include "src/data/snapshot_format.h"
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/obs/trace.h"
 #include "src/stream/engine.h"
 
@@ -118,6 +119,7 @@ void StreamEngine::save_checkpoint(const std::filesystem::path& path) const {
   state.column(influence_rec_);
 
   snapfmt::write_section_file(path, sections);
+  obs::record_event(obs::EventKind::kCheckpointSave, 0, events_applied_);
   obs::Registry::global()
       .histogram("stream.checkpoint_save_us")
       .observe(elapsed_us(t0));
@@ -234,6 +236,7 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
   }
   std::fill(pool_slot_of_.begin(), pool_slot_of_.end(), kUnrecorded);
 
+  obs::record_event(obs::EventKind::kCheckpointRestore, 0, events_applied_);
   obs::Registry::global()
       .histogram("stream.checkpoint_restore_us")
       .observe(elapsed_us(t0));

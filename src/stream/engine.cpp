@@ -1,13 +1,16 @@
 #include "src/stream/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 #include <stdexcept>
 #include <string>
 
 #include "src/data/snapshot_format.h"
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 #include "src/runtime/parallel.h"
 
 namespace digg::stream {
@@ -150,6 +153,7 @@ platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
     }
     if (victim == kUnrecorded) break;
     PoolSlot& ev = pool.slots[victim];
+    const std::uint32_t evicted_story = ev.story;
     pool_slot_of_[ev.story] = kUnrecorded;
     ev.story = kUnrecorded;
     ev.last_used = 0;
@@ -157,6 +161,8 @@ platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
     ev.bytes = 0;
     ev.set.shed();  // return the memory, not just the binding
     obs::Registry::global().counter("stream.vis_evictions").inc();
+    obs::record_event(obs::EventKind::kLruEvict, evicted_story % kShardCount,
+                      evicted_story);
   }
   // Reuse any unbound slot before growing the pool.
   ps = kUnrecorded;
@@ -203,9 +209,12 @@ void StreamEngine::record_checkpoints(std::uint32_t slot, Progress& p,
                                       platform::Minutes now) {
   const auto& ic = params_.influence_checkpoints;
   for (std::size_t j = 0; j < ic.size(); ++j)
-    if (ic[j] == p.applied)
+    if (ic[j] == p.applied) {
       influence_rec_[slot * ic.size() + j] =
           static_cast<std::uint32_t>(vis.influence());
+      obs::record_event(obs::EventKind::kCheckpointRecorded,
+                        slot % kShardCount, slot, p.applied);
+    }
   const auto& cc = params_.cascade_checkpoints;
   for (std::size_t j = 0; j < cc.size(); ++j) {
     if (static_cast<std::uint64_t>(cc[j]) + 1 != p.applied) continue;
@@ -243,6 +252,8 @@ void StreamEngine::apply_event(const VoteEvent& ev, Shard& shard) {
     if (next >= horizon_) {
       release_vis(shard, ev.story_slot);
       obs::Registry::global().counter("stream.stories_retired").inc();
+      obs::record_event(obs::EventKind::kStoryRetired,
+                        ev.story_slot % kShardCount, ev.story_slot, next);
     }
   } else {
     // Past the horizon every vote is a bare counter bump — the O(1) tail.
@@ -303,6 +314,12 @@ void StreamEngine::run_until(std::uint64_t event_limit) {
   if (event_limit <= events_applied_) return;
   obs::Span span("stream_run", "stream");
   obs::Counter& votes = obs::Registry::global().counter("stream.votes_ingested");
+  obs::Histogram& ingest_story_us =
+      obs::Registry::global().histogram("stream.ingest_story_us");
+  // Replay liveness: a shard that goes 30s without finishing a story is
+  // stuck (a healthy story is microseconds). The watchdog dumps the flight
+  // recorder, whose per-shard events identify the wedged slot.
+  obs::WatchdogTask watchdog("stream.run_until", 30'000);
 
   // Serial counting merge: how many of the next events belong to each
   // story. Seeding the cursors from progress_ is sound because progress_
@@ -330,11 +347,23 @@ void StreamEngine::run_until(std::uint64_t event_limit) {
           const platform::StoryView& sv = stream_->stories[slot];
           const auto voters = sv.voters();
           const auto times = sv.times();
+          const auto story_start = std::chrono::steady_clock::now();
           while (p.applied < target[slot]) {
             const auto k = static_cast<std::uint32_t>(p.applied);
             apply_event({times[k], slot, k, voters[k]}, shard);
+            // Sampled (first vote per shard pass, then every 1024th): the
+            // flight recorder wants recent context, not every vote.
+            if ((done & 1023) == 0)
+              obs::record_event(obs::EventKind::kVoteApplied,
+                                static_cast<std::uint32_t>(s), slot,
+                                p.applied);
             ++done;
           }
+          ingest_story_us.observe(std::chrono::duration<double, std::micro>(
+                                      std::chrono::steady_clock::now() -
+                                      story_start)
+                                      .count());
+          watchdog.beat();
         }
         if (done > 0) votes.inc(done);
       },
@@ -348,6 +377,8 @@ void StreamEngine::run_until(std::uint64_t event_limit) {
 
 StreamResult StreamEngine::result() {
   obs::Span span("stream_result", "stream");
+  const auto query_start = std::chrono::steady_clock::now();
+  obs::record_event(obs::EventKind::kQuery, 0, events_applied_);
   const auto& cc = params_.cascade_checkpoints;
   const auto& ic = params_.influence_checkpoints;
   StreamResult out;
@@ -383,6 +414,11 @@ StreamResult StreamEngine::result() {
       o.predicted_interesting = (p.flags & kPredictedYes) != 0;
     if (p.flags & kPromoted) o.promoted_time = p.promoted_time;
   }
+  obs::Registry::global()
+      .histogram("stream.query_us")
+      .observe(std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - query_start)
+                   .count());
   return out;
 }
 
