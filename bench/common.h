@@ -1,16 +1,19 @@
 #pragma once
-// Shared scaffolding for the figure-reproduction benches: every binary
-// generates the standard calibrated corpus (optionally re-seeded from a
-// positional argument) and prints the seed and sample sizes so runs are
-// reproducible.
+// Shared scaffolding for the figure-reproduction benches and the seed-taking
+// examples: one CLI grammar, one scenario resolver, one corpus generator —
+// so every binary reproduces a run from the same three words (scenario,
+// seed, json path).
 //
-// Usage: <bench> [seed] [--json <path>]
-//   seed          decimal uint64; anything else is rejected with a usage
-//                 message (a silently mis-parsed seed would "reproduce" a
-//                 different run).
-//   --json <path> at exit, dump the obs metrics snapshot plus wall-clock
-//                 timing to <path> (the BENCH_<name>.json perf-trajectory
-//                 format; see scripts/bench_snapshot.sh).
+// Usage: <bench> [seed] [--scenario <name>] [--json <path>]
+//   seed              decimal uint64; anything else is rejected with a
+//                     usage message (a silently mis-parsed seed would
+//                     "reproduce" a different run).
+//   --scenario <name> named generation scenario (src/data/scenario.h);
+//                     default "legacy", the calibrated corpus every golden
+//                     figure is pinned to.
+//   --json <path>     at exit, dump the obs metrics snapshot plus
+//                     wall-clock timing to <path> (the BENCH_<name>.json
+//                     perf-trajectory format; see scripts/bench_snapshot.sh).
 
 #include <chrono>
 #include <cstdint>
@@ -18,14 +21,23 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
+#include "src/data/scenario.h"
 #include "src/data/synthetic.h"
 #include "src/obs/metrics.h"
 
 namespace digg::bench {
 
+struct CliOptions {
+  std::uint64_t seed = 42;
+  std::string scenario = "legacy";
+  std::string json_path;
+};
+
 struct Context {
-  data::SyntheticCorpus synthetic;
+  data::ScenarioSpec scenario;      // the resolved spec (name, params, seed)
+  data::SyntheticCorpus synthetic;  // the generated corpus
   stats::Rng rng;  // stream for experiment-level randomness (CV folds etc.)
 };
 
@@ -70,43 +82,79 @@ inline void write_report_at_exit() {
 }
 
 [[noreturn]] inline void usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [seed] [--json <path>]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s [seed] [--scenario <name>] [--json <path>]\n",
+               argv0);
   std::fprintf(stderr, "  seed must be a decimal unsigned 64-bit integer\n");
+  std::fprintf(stderr, "  scenarios:");
+  for (const std::string& n : data::scenario_names())
+    std::fprintf(stderr, " %s", n.c_str());
+  std::fprintf(stderr, "\n");
   std::exit(2);
 }
 
 }  // namespace detail
 
-inline Context make_context(int argc, char** argv, const char* title) {
-  std::uint64_t seed = 42;
-  std::string json_path;
+/// The shared CLI grammar. Unknown flags and malformed seeds exit with the
+/// usage message; an unknown scenario name is caught later by
+/// make_scenario (its error lists the known names).
+inline CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       if (i + 1 >= argc) detail::usage(argv[0]);
-      json_path = argv[++i];
-    } else if (!parse_seed_strict(argv[i], seed)) {
-      std::fprintf(stderr, "%s: bad seed '%s'\n", argv[0], argv[i]);
+      opts.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scenario") == 0) {
+      if (i + 1 >= argc) detail::usage(argv[0]);
+      opts.scenario = argv[++i];
+    } else if (!parse_seed_strict(argv[i], opts.seed)) {
+      std::fprintf(stderr, "%s: bad argument '%s'\n", argv[0], argv[i]);
       detail::usage(argv[0]);
     }
   }
-  if (!json_path.empty()) {
-    detail::Report& r = detail::report();
-    r.json_path = std::move(json_path);
-    r.title = title;
-    r.seed = seed;
-    r.start = std::chrono::steady_clock::now();
-    std::atexit(detail::write_report_at_exit);
-  }
+  return opts;
+}
+
+/// Installs the atexit JSON report if `json_path` is set. Split out of
+/// make_context for binaries that drive generation themselves (the perf
+/// benches) but still emit BENCH_*.json.
+inline void arm_report(const CliOptions& opts, const char* title) {
+  if (opts.json_path.empty()) return;
+  detail::Report& r = detail::report();
+  r.json_path = opts.json_path;
+  r.title = title;
+  r.seed = opts.seed;
+  r.start = std::chrono::steady_clock::now();
+  std::atexit(detail::write_report_at_exit);
+}
+
+/// Resolves the scenario and generates its corpus, echoing the run line.
+/// Exits with the scenario's error message (listing known names) when the
+/// scenario is unknown.
+inline Context make_context(const CliOptions& opts, const char* title) {
+  arm_report(opts, title);
   std::printf("== %s ==\n", title);
-  stats::Rng rng(seed);
-  data::SyntheticParams params;
-  data::SyntheticCorpus synthetic = data::generate_corpus(params, rng);
+  data::ScenarioSpec spec;
+  try {
+    spec = data::make_scenario(opts.scenario, opts.seed);
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    std::exit(2);
+  }
+  stats::Rng rng(spec.seed);
+  data::SyntheticCorpus synthetic = data::generate_corpus(spec.params, rng);
   std::printf(
-      "corpus: seed=%llu users=%zu stories=%zu front_page=%zu upcoming=%zu\n\n",
-      static_cast<unsigned long long>(seed), synthetic.corpus.user_count(),
-      synthetic.corpus.story_count(), synthetic.corpus.front_page.size(),
-      synthetic.corpus.upcoming.size());
-  return Context{std::move(synthetic), rng.fork()};
+      "corpus: scenario=%s model=%s seed=%llu users=%zu stories=%zu "
+      "front_page=%zu upcoming=%zu\n\n",
+      spec.name.c_str(), spec.model_id().c_str(),
+      static_cast<unsigned long long>(spec.seed),
+      synthetic.corpus.user_count(), synthetic.corpus.story_count(),
+      synthetic.corpus.front_page.size(), synthetic.corpus.upcoming.size());
+  return Context{std::move(spec), std::move(synthetic), rng.fork()};
+}
+
+inline Context make_context(int argc, char** argv, const char* title) {
+  return make_context(parse_cli(argc, argv), title);
 }
 
 }  // namespace digg::bench

@@ -12,8 +12,9 @@
 // With --json <path> the metrics snapshot (data.snapshot_{load,save}_bytes,
 // *_us histograms, data.corpus_vote_column_bytes, and the gated gauges
 // data.snapshot_mmap_load_us / data.generation_peak_rss /
-// stream.bench_votes_per_sec from the large leg) plus wall clock land in
-// the BENCH_corpus_io.json perf-trajectory format.
+// stream.bench_votes_per_sec from the large leg, and
+// data.scenario_gen_votes_per_sec from the scenario-engine leg) plus wall
+// clock land in the BENCH_corpus_io.json perf-trajectory format.
 //
 // Extra flags (stripped before the common seed/--json parsing):
 //   --large-users N    users in the large leg            (default 1000000)
@@ -130,6 +131,35 @@ int main(int argc, char** argv) {
   std::printf("snapshot load speedup over CSV load: %.1fx %s\n", speedup,
               speedup >= 5.0 ? "(meets the 5x bar)" : "(BELOW the 5x bar)");
   fs::remove_all(dir);
+
+  // Scenario-engine generation throughput: the stochastic model is the
+  // expensive registered model (per-user consideration clocks instead of
+  // closed-form channels), so its votes/sec is the gated number — a
+  // regression here means the pluggable-model seam got slower, not just
+  // one figure bench.
+  {
+    data::ScenarioSpec spec =
+        data::make_scenario("stochastic", ctx.synthetic.seed);
+    data::downscale(spec, 4000, 120);
+    std::size_t scenario_votes = 0;
+    const double scen_ms = best_of_ms(3, [&] {
+      stats::Rng rng(spec.seed);
+      const data::SyntheticCorpus sc =
+          data::generate_corpus(spec.params, rng);
+      scenario_votes = sc.corpus.vote_store.total_votes();
+      if (sc.corpus.story_count() != spec.params.story_count) std::abort();
+    });
+    const double scen_votes_per_sec =
+        static_cast<double>(scenario_votes) / (scen_ms / 1000.0);
+    obs::Registry::global()
+        .gauge("data.scenario_gen_votes_per_sec")
+        .set(scen_votes_per_sec);
+    std::printf(
+        "\nscenario generation (stochastic, %zu users): %10.1f ms  "
+        "(%zu votes, %.0f votes/s)\n",
+        spec.params.user_count, scen_ms, scenario_votes,
+        scen_votes_per_sec);
+  }
 
   if (!skip_large) {
     // The out-of-core leg: generation never holds the vote columns, the

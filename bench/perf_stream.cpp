@@ -108,6 +108,19 @@ int main(int argc, char** argv) {
     if (rows.size() != corpus.front_page.size()) std::abort();
   });
 
+  // Online Bayes-fit replay: same stream with the Gamma-Poisson fit hook
+  // armed. The gated gauge is the *marginal* cost per vote — the hook's
+  // O(1)-amortised discipline is the acceptance bar, so it is expressed in
+  // ns/vote rather than as a second throughput number.
+  const double bayes_replay_ms = best_of_ms(kReps, [&] {
+    stream::StreamParams bp;
+    bp.bayes.enabled = true;
+    stream::StreamEngine e(es, corpus.network, bp);
+    e.run_all();
+    if (e.events_applied() != es.total_events()) std::abort();
+  });
+  const double bayes_ns_per_vote = bayes_replay_ms * 1e6 / votes;
+
   stream::StreamEngine engine(es, corpus.network);
   engine.run_until(es.total_events() / 2);
   const fs::path dir = fs::temp_directory_path() /
@@ -125,6 +138,8 @@ int main(int argc, char** argv) {
   std::printf("full replay:                          %8.2f ms  (%.0f votes/s)\n",
               replay_ms, votes_per_sec);
   std::printf("batch feature extraction (front page):%8.2f ms\n", batch_ms);
+  std::printf("replay with Bayes fit hook:           %8.2f ms  (%.0f ns/vote)\n",
+              bayes_replay_ms, bayes_ns_per_vote);
   std::printf("checkpoint save:                      %8.2f ms  (%zu bytes)\n",
               save_ms, static_cast<std::size_t>(ec ? 0 : ckpt_bytes));
   std::printf("checkpoint restore (validated):       %8.2f ms\n", restore_ms);
@@ -139,6 +154,7 @@ int main(int argc, char** argv) {
   reg.gauge("stream.bench_replay_ms").set(replay_ms);
   reg.gauge("stream.bench_checkpoint_save_ms").set(save_ms);
   reg.gauge("stream.bench_checkpoint_restore_ms").set(restore_ms);
+  reg.gauge("stream.bayes_fit_ns_per_vote").set(bayes_ns_per_vote);
 
   if (serve_ms > 0) {
     std::printf("serving metrics for %ld ms (exporter port %u)\n", serve_ms,

@@ -25,18 +25,14 @@ struct Band {
 
 int main(int argc, char** argv) {
   using namespace digg;
-  std::uint64_t seed = 42;
-  if (argc > 1 && !bench::parse_seed_strict(argv[1], seed)) {
-    std::fprintf(stderr, "%s: bad seed '%s' (decimal uint64 expected)\n",
-                 argv[0], argv[1]);
-    return 2;
-  }
-  stats::Rng rng(seed);
-  data::SyntheticParams params;
-  const data::SyntheticCorpus synthetic = data::generate_corpus(params, rng);
+  const bench::Context ctx = bench::make_context(
+      argc, argv, "Calibration report: latent traits vs observables");
+  const data::SyntheticParams& params = ctx.scenario.params;
+  const data::SyntheticCorpus& synthetic = ctx.synthetic;
   const data::Corpus& corpus = synthetic.corpus;
   obs::log_info("calibration_report", "corpus ready",
-                {{"seed", seed},
+                {{"seed", ctx.scenario.seed},
+                 {"scenario", ctx.scenario.name.c_str()},
                  {"users", corpus.user_count()},
                  {"stories", corpus.story_count()},
                  {"front_page", corpus.front_page.size()},

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/common.h"
 #include "src/core/cascade.h"
 #include "src/digg/platform.h"
 #include "src/dynamics/cascade_sim.h"
@@ -15,12 +16,16 @@
 #include "src/obs/log.h"
 #include "src/stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace digg;
+  // Seed via the shared CLI grammar (the modular network is hand-built, so
+  // no scenario/corpus generation here).
+  bench::CliOptions opts = bench::parse_cli(argc, argv);
+  if (argc <= 1) opts.seed = 11;  // this demo's historical default
   std::printf("== Community spread: narrow vs broad stories ==\n\n");
 
   // A modular fan network: 8 communities of 500 users.
-  stats::Rng rng(11);
+  stats::Rng rng(opts.seed);
   graph::PlantedPartitionParams net_params;
   net_params.node_count = 4000;
   net_params.communities = 8;

@@ -11,19 +11,23 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "bench/common.h"
 #include "src/core/experiment.h"
 #include "src/data/io.h"
 #include "src/data/synthetic.h"
 #include "src/obs/log.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace digg;
 
-  // 1. Corpus. (Swap generate_corpus for data::load_corpus(dir) to run on
-  //    converted real data — the analysis below is unchanged.)
-  stats::Rng rng(7);
-  data::SyntheticParams params;
-  const data::SyntheticCorpus synthetic = data::generate_corpus(params, rng);
+  // 1. Corpus — any scenario/seed via the shared CLI. (Swap for
+  //    data::load_corpus(dir) to run on converted real data — the analysis
+  //    below is unchanged.)
+  bench::CliOptions opts = bench::parse_cli(argc, argv);
+  if (argc <= 1) opts.seed = 7;  // this walkthrough's historical default
+  const bench::Context ctx = bench::make_context(
+      opts, "Early prediction: the Sec. 5.2 pipeline, online");
+  const data::SyntheticCorpus& synthetic = ctx.synthetic;
   const data::Corpus& corpus = synthetic.corpus;
 
   const auto dir = std::filesystem::temp_directory_path() / "digg_example";

@@ -1,39 +1,53 @@
 // Full reproduction report: generate (or load) a corpus and emit the
 // complete paper-vs-measured Markdown document in one call. Pass a
 // directory containing the four corpus CSVs to run on real data:
-//   ./full_report                 # synthetic corpus, seed 42
-//   ./full_report 7               # synthetic corpus, another seed
-//   ./full_report /path/to/csvs   # converted real data
+//   ./full_report                        # synthetic corpus, seed 42
+//   ./full_report 7                      # synthetic corpus, another seed
+//   ./full_report --scenario stochastic  # another generative scenario
+//   ./full_report --load /path/to/csvs   # converted real data
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
+#include "bench/common.h"
 #include "src/core/report.h"
 #include "src/data/io.h"
 #include "src/data/synthetic.h"
 
 int main(int argc, char** argv) {
   using namespace digg;
-  const std::string arg = argc > 1 ? argv[1] : "42";
-  const bool is_seed =
-      !arg.empty() && std::all_of(arg.begin(), arg.end(), [](unsigned char c) {
-        return std::isdigit(c);
-      });
+
+  // --load <dir> bypasses generation; everything else is the shared
+  // scenario/seed grammar from bench/common.h.
+  const char* load_dir = nullptr;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc)
+      load_dir = argv[++i];
+    else
+      passthrough.push_back(argv[i]);
+  }
+  const bench::CliOptions opts = bench::parse_cli(
+      static_cast<int>(passthrough.size()), passthrough.data());
 
   data::Corpus corpus;
-  std::uint64_t seed = 42;
-  if (is_seed) {
-    seed = std::strtoull(arg.c_str(), nullptr, 10);
-    stats::Rng rng(seed);
-    corpus = data::generate_corpus(data::SyntheticParams{}, rng).corpus;
+  if (load_dir != nullptr) {
+    corpus = data::load_corpus(load_dir);
   } else {
-    corpus = data::load_corpus(arg);
+    data::ScenarioSpec spec;
+    try {
+      spec = data::make_scenario(opts.scenario, opts.seed);
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "error: %s\n", err.what());
+      return 2;
+    }
+    stats::Rng rng(spec.seed);
+    corpus = data::generate_corpus(spec.params, rng).corpus;
   }
 
-  stats::Rng rng(seed ^ 0xabcdef);
+  stats::Rng rng(opts.seed ^ 0xabcdef);
   core::write_reproduction_report(corpus, rng, std::cout);
   return 0;
 }

@@ -9,19 +9,26 @@
 // classification instead.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
+#include "bench/common.h"
 #include "src/digg/platform.h"
 #include "src/dynamics/vote_model.h"
 #include "src/graph/generators.h"
 #include "src/obs/log.h"
 #include "src/stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace digg;
 
+  // Seed via the shared CLI grammar (no corpus generation here — the two
+  // platforms below share one hand-built world).
+  bench::CliOptions opts = bench::parse_cli(argc, argv);
+  if (argc <= 1) opts.seed = 2026;  // this demo's historical default
+
   // Shared world: one fan network, one population, one submission stream.
-  stats::Rng rng(2026);
+  stats::Rng rng(opts.seed);
   graph::PreferentialAttachmentParams net_params;
   net_params.node_count = 12000;
   net_params.mean_out_degree = 4.0;

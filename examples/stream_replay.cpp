@@ -6,7 +6,7 @@
 // saved, a fresh engine restores it, and the resumed run finishes with
 // state bit-identical to the uninterrupted one.
 //
-// Usage: stream_replay [seed]
+// Usage: stream_replay [seed] [--scenario <name>]
 
 #include <cstdio>
 #include <filesystem>
@@ -21,18 +21,9 @@
 int main(int argc, char** argv) {
   using namespace digg;
   namespace fs = std::filesystem;
-  std::uint64_t seed = 42;
-  if (argc > 1 && !bench::parse_seed_strict(argv[1], seed)) {
-    std::fprintf(stderr, "%s: bad seed '%s' (decimal uint64 expected)\n",
-                 argv[0], argv[1]);
-    return 2;
-  }
-  stats::Rng rng(seed);
-  data::SyntheticParams params;
-  const data::SyntheticCorpus synthetic = data::generate_corpus(params, rng);
-  const data::Corpus& corpus = synthetic.corpus;
-  std::printf("corpus: seed=%llu stories=%zu\n",
-              static_cast<unsigned long long>(seed), corpus.story_count());
+  const bench::Context ctx = bench::make_context(
+      argc, argv, "Stream replay: online decisions + kill/resume");
+  const data::Corpus& corpus = ctx.synthetic.corpus;
 
   // Train the paper's (v10, fans1) classifier on the front page, then let
   // the engine apply it online as upcoming-queue votes stream in.
@@ -44,6 +35,7 @@ int main(int argc, char** argv) {
   const stream::EventStream es = stream::build_event_stream(corpus);
   stream::StreamParams sp;
   sp.predictor = &predictor;
+  sp.bayes.enabled = true;  // the online Gamma-Poisson fit races the tree
   std::printf("stream: %zu vote events\n\n",
               static_cast<std::size_t>(es.total_events()));
 
@@ -82,6 +74,8 @@ int main(int argc, char** argv) {
     if (a.cascade != b.cascade || a.influence != b.influence ||
         a.final_votes != b.final_votes ||
         a.predicted_interesting != b.predicted_interesting ||
+        a.bayes_interesting != b.bayes_interesting ||
+        a.bayes_expected_final != b.bayes_expected_final ||
         a.promoted_time != b.promoted_time)
       ++mismatches;
   }
@@ -90,9 +84,13 @@ int main(int argc, char** argv) {
 
   // --- what the online hooks saw.
   std::size_t predicted = 0, predicted_yes = 0, yes_correct = 0;
-  std::size_t promoted = 0;
+  std::size_t promoted = 0, bayes_yes = 0, bayes_yes_correct = 0;
   for (const stream::StoryOutcome& o : result.stories) {
     if (o.promoted_time) ++promoted;
+    if (o.bayes_interesting && *o.bayes_interesting) {
+      ++bayes_yes;
+      if (o.interesting) ++bayes_yes_correct;
+    }
     if (!o.predicted_interesting) continue;
     ++predicted;
     if (*o.predicted_interesting) {
@@ -112,6 +110,13 @@ int main(int argc, char** argv) {
                 yes_correct,
                 static_cast<double>(yes_correct) /
                     static_cast<double>(predicted_yes));
+  std::printf("  Bayes fit called interesting:                %zu\n",
+              bayes_yes);
+  if (bayes_yes > 0)
+    std::printf("  ... of those, actually interesting:          %zu (P=%.2f)\n",
+                bayes_yes_correct,
+                static_cast<double>(bayes_yes_correct) /
+                    static_cast<double>(bayes_yes));
 
   std::error_code ec;
   fs::remove(ckpt, ec);

@@ -17,15 +17,9 @@
 
 int main(int argc, char** argv) {
   using namespace digg;
-  std::uint64_t seed = 42;
-  if (argc > 1 && !bench::parse_seed_strict(argv[1], seed)) {
-    std::fprintf(stderr, "%s: bad seed '%s' (decimal uint64 expected)\n",
-                 argv[0], argv[1]);
-    return 2;
-  }
-  stats::Rng rng(seed);
-  const data::Corpus corpus =
-      data::generate_corpus(data::SyntheticParams{}, rng).corpus;
+  const bench::Context ctx = bench::make_context(
+      argc, argv, "Weka export: the paper's ARFF datasets");
+  const data::Corpus& corpus = ctx.synthetic.corpus;
 
   const auto train_features =
       core::extract_features(corpus.front_page, corpus.network);

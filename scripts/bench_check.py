@@ -16,7 +16,7 @@ of its baseline in the bad direction:
 
   - gauges ending in  per_sec / per_s / _ipc
                                           higher is better
-  - gauges ending in  _ms / _us / _bytes / _ns_per_op / _p99
+  - gauges ending in  _ms / _us / _bytes / _ns_per_op / _ns_per_vote / _p99
                                           lower is better
   - wall_ms                               lower is better (reported but NOT
     gated: it includes corpus generation and, for perf_micro, however many
@@ -44,7 +44,7 @@ import sys
 import tempfile
 
 HIGHER_BETTER = ("per_sec", "per_s", "_ipc")
-LOWER_BETTER = ("_ms", "_us", "_bytes", "_ns_per_op", "_p99")
+LOWER_BETTER = ("_ms", "_us", "_bytes", "_ns_per_op", "_ns_per_vote", "_p99")
 # Gated, but allowed to vanish: hardware-counter gauges only exist where
 # perf_event_open works (bare metal, VMs with a vPMU).
 HARDWARE_DEPENDENT = ("_ipc", "_cache_miss_pct")
@@ -143,8 +143,10 @@ def self_test():
         "seed": 42,
         "wall_ms": 100.0,
         "metrics": {"gauges": {"x.bench_votes_per_sec": 1000.0,
+                               "x.scenario_gen_votes_per_sec": 5000.0,
                                "x.bench_replay_ms": 50.0,
                                "x.union_ns_per_op": 80.0,
+                               "x.bayes_fit_ns_per_vote": 40.0,
                                "x.ingest_story_us_p99": 120.0,
                                "x.bench_ipc": 2.0,
                                "x.some_ratio": 0.5}},
@@ -154,9 +156,11 @@ def self_test():
         doc = json.loads(json.dumps(base))
         gauges = doc["metrics"]["gauges"]
         gauges["x.bench_votes_per_sec"] *= scale_throughput
+        gauges["x.scenario_gen_votes_per_sec"] *= scale_throughput
         gauges["x.bench_ipc"] *= scale_throughput
         gauges["x.bench_replay_ms"] *= scale_latency
         gauges["x.union_ns_per_op"] *= scale_latency
+        gauges["x.bayes_fit_ns_per_vote"] *= scale_latency
         gauges["x.ingest_story_us_p99"] *= scale_latency
         return doc
 
@@ -165,8 +169,8 @@ def self_test():
         for sub in ("baseline", "slow", "fine", "nopmu"):
             (tmp / sub).mkdir()
         (tmp / "baseline" / "BENCH_x.json").write_text(json.dumps(base))
-        # 30% throughput/IPC drop AND 30% latency/ns-op/p99 growth: all five
-        # gated gauges must trip.
+        # 30% throughput/IPC drop AND 30% latency/ns-op/p99 growth: all
+        # seven gated gauges must trip.
         (tmp / "slow" / "BENCH_x.json").write_text(
             json.dumps(variant(0.7, 1.3))
         )
@@ -181,7 +185,7 @@ def self_test():
         (tmp / "nopmu" / "BENCH_x.json").write_text(json.dumps(nopmu))
 
         slow = compare_dirs(tmp / "baseline", tmp / "slow", 0.25)
-        assert len(slow) == 5, f"expected 5 failures, got {slow}"
+        assert len(slow) == 7, f"expected 7 failures, got {slow}"
         fine = compare_dirs(tmp / "baseline", tmp / "fine", 0.25)
         assert fine == [], f"expected clean pass, got {fine}"
         vanished_ipc = compare_dirs(tmp / "baseline", tmp / "nopmu", 0.25)

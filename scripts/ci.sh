@@ -15,13 +15,19 @@
 #            with DIGG_METRICS_PORT set and --serve-ms holding the process
 #            alive, curl the endpoint, and verify the Prometheus text
 #            exposition (TYPE lines, histogram buckets, ingest counter)
+#   scenarios
+#            Release build + the scenario-engine smoke: run the fig7
+#            prediction-comparison bench in --smoke mode (downscaled
+#            corpora), which generates every named scenario, races the
+#            Bayes fit against the C4.5 tree, and fails unless every
+#            registered dynamics::Model id is covered by the matrix
 #   all      every configuration above, failing fast on the first broken one
 #
 # The GitHub Actions matrix (.github/workflows/ci.yml) runs one mode per
 # job via this script, so CI legs are reproducible locally with the same
 # command CI uses.
 #
-# Usage: scripts/ci.sh [release|asan|tsan|large|obs|all] [ctest args...]
+# Usage: scripts/ci.sh [release|asan|tsan|large|obs|scenarios|all] [ctest args...]
 #   RELEASE_DIR / ASAN_DIR / TSAN_DIR
 #                build dirs (default build-release, build-asan, build-tsan)
 #   JOBS         parallelism (default nproc)
@@ -45,7 +51,7 @@ LARGE_STORIES=${LARGE_STORIES:-200}
 
 MODE=all
 case "${1:-}" in
-  release|asan|tsan|large|obs|all)
+  release|asan|tsan|large|obs|scenarios|all)
     MODE=$1
     shift
     ;;
@@ -118,6 +124,15 @@ if [[ $MODE == obs || $MODE == all ]]; then
     fi
   done
   echo "exporter smoke: Prometheus exposition ok ($(wc -l <<<"$scrape") lines)"
+fi
+
+if [[ $MODE == scenarios || $MODE == all ]]; then
+  echo "== [scenario smoke] configure + build ($RELEASE_DIR) =="
+  cmake -B "$RELEASE_DIR" -S . -DDIGG_WERROR="$WERROR" \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$RELEASE_DIR" -j "$JOBS" --target fig7_model_prediction
+  echo "== [scenario smoke] every scenario x both predictors =="
+  "$RELEASE_DIR"/bench/fig7_model_prediction --smoke
 fi
 
 if [[ $MODE == large || $MODE == all ]]; then

@@ -25,6 +25,7 @@ Corpus& Corpus::operator=(const Corpus& other) {
   front_page = other.front_page;
   upcoming = other.upcoming;
   top_users = other.top_users;
+  model_id = other.model_id;
   backing = other.backing;  // borrowed spans stay valid across copies
   rebind_views();  // copied views still point at other's arena
   return *this;

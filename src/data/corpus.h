@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/data/vote_store.h"
@@ -42,6 +43,11 @@ struct Corpus {
   /// paper's top-user cutoffs (rank <= 100, top 1020 snapshot) index into
   /// this.
   std::vector<UserId> top_users;
+  /// Which registered dynamics::Model generated the vote records (see
+  /// dynamics/model.h). Loaded corpora carry the id recorded in their
+  /// snapshot; files that predate the MODELINFO section default to the
+  /// legacy two-mechanism model. Real scraped data would use a reserved id.
+  std::string model_id = "two-mechanism";  // dynamics::kLegacyModelId
   /// Keeps a memory-mapped snapshot alive while `network`/`vote_store`
   /// borrow column spans from it (load_snapshot_mmap). Null for owned
   /// corpora; copies of the corpus share the mapping.

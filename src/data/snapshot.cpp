@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "src/dynamics/model.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/parallel.h"
 
@@ -89,6 +90,31 @@ ByteBuffer encode_votes_v1(const Corpus& corpus) {
   return out;
 }
 
+ByteBuffer encode_model_id(std::string_view id) {
+  ByteBuffer out;
+  out.pod(static_cast<std::uint64_t>(id.size()));
+  out.raw(id.data(), id.size());
+  return out;
+}
+
+/// Reads the MODELINFO section if present; files that predate it carry the
+/// legacy two-mechanism model. An id the running binary has no registered
+/// model for is a load error — analyses keyed on the model (scenario
+/// comparisons, predictor calibration) must not silently misattribute data.
+template <typename File>
+std::string read_model_id(const File& file, const std::string& ctx) {
+  if (file.entries(snapfmt::kModelInfo).empty())
+    return dynamics::kLegacyModelId;
+  ByteReader r = file.open(snapfmt::kModelInfo);
+  const auto len = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  std::string id(len, '\0');
+  r.read_into(id.data(), len);
+  if (!dynamics::model_registered(id))
+    throw std::runtime_error(ctx + "unknown generative model id '" + id +
+                             "' (not in the dynamics::Model registry)");
+  return id;
+}
+
 ByteBuffer encode_top_users(std::span<const UserId> top_users) {
   ByteBuffer out;
   out.pod(static_cast<std::uint64_t>(top_users.size()));
@@ -123,6 +149,13 @@ void SnapshotWriter::write_network(const graph::Digraph& network) {
     throw std::logic_error("SnapshotWriter: network written twice");
   out_.add(snapfmt::kNetwork, encode_network(network, /*align_columns=*/true));
   network_written_ = true;
+}
+
+void SnapshotWriter::write_model_id(std::string_view model_id) {
+  if (model_written_)
+    throw std::logic_error("SnapshotWriter: model id written twice");
+  out_.add(snapfmt::kModelInfo, encode_model_id(model_id));
+  model_written_ = true;
 }
 
 void SnapshotWriter::add_votes(std::span<const UserId> voters,
@@ -212,6 +245,7 @@ void save_snapshot(const Corpus& corpus, const std::filesystem::path& path,
   if (version == kSnapshotVersion) {
     SnapshotWriter writer(path, chunk_target_bytes);
     writer.write_network(corpus.network);
+    writer.write_model_id(corpus.model_id);
     const auto each = [&](auto&& emit) {
       for (const Story& s : corpus.front_page) emit(s);
       for (const Story& s : corpus.upcoming) emit(s);
@@ -305,6 +339,7 @@ graph::Digraph decode_network_owned(ByteReader& r, bool aligned,
 Corpus load_v1(const snapfmt::SectionFile& file) {
   const std::string& ctx = file.context;
   Corpus corpus;
+  corpus.model_id = read_model_id(file, ctx);
 
   {
     ByteReader r = file.open(snapfmt::kNetwork);
@@ -380,6 +415,7 @@ void read_vote_index_chunks(ByteReader& r, VoteIndex& idx) {
 Corpus load_v2(const snapfmt::SectionFile& file) {
   const std::string& ctx = file.context;
   Corpus corpus;
+  corpus.model_id = read_model_id(file, ctx);
 
   {
     ByteReader r = file.open(snapfmt::kNetwork);
@@ -487,6 +523,7 @@ Corpus load_snapshot_mmap(const std::filesystem::path& path) {
   auto map = std::make_shared<const snapfmt::MmapSectionFile>(path);
   const std::string& ctx = map->context();
   Corpus corpus;
+  corpus.model_id = read_model_id(*map, ctx);
 
   {
     ByteReader r = map->open(snapfmt::kNetwork);

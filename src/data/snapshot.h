@@ -32,6 +32,11 @@
 //                  the i-th entry of this type is chunk i)
 //   7 VOTES_TIMES  time column of one chunk: f64[chunk_votes]   (repeated)
 //   4 TOPUSERS     u64 count, user u32[count]
+//   8 MODELINFO    u64 length, id bytes (UTF-8, no terminator) — the
+//                  registered dynamics::Model id that generated the votes.
+//                  Optional: files that predate it load as the legacy
+//                  two-mechanism model; an id unknown to the running
+//                  binary's model registry is a load error.
 // Vote chunks are bounded (~chunk_target_bytes per column) and cut at
 // story boundaries, so a writer can stream millions of stories with a
 // bounded working set and a mapped reader can verify chunk checksums in
@@ -51,6 +56,7 @@
 #include <filesystem>
 #include <memory>
 #include <span>
+#include <string_view>
 
 #include "src/data/corpus.h"
 #include "src/data/snapshot_format.h"
@@ -77,6 +83,10 @@ class SnapshotWriter {
                               kDefaultVoteChunkBytes);
 
   void write_network(const graph::Digraph& network);
+  /// Records which generative model produced the vote records (MODELINFO
+  /// section). Call at most once, any time before finish(); omitting it
+  /// leaves a file that loads as the legacy two-mechanism model.
+  void write_model_id(std::string_view model_id);
   /// One story's vote columns, appended to the current chunk (flushed to
   /// disk when it reaches the chunk target).
   void add_votes(std::span<const UserId> voters,
@@ -102,6 +112,7 @@ class SnapshotWriter {
   std::size_t chunk_target_bytes_;
   bool network_written_ = false;
   bool top_users_written_ = false;
+  bool model_written_ = false;
 
   // O(stories) metadata accumulators, written in finish().
   std::vector<StoryId> ids_;

@@ -39,6 +39,7 @@
 //    5 VOTES_INDEX   chunked vote offsets + chunk table (v2 snapshots)
 //    6 VOTES_USERS   one voter-column chunk (repeated; i-th entry = chunk i)
 //    7 VOTES_TIMES   one time-column chunk  (repeated; i-th entry = chunk i)
+//    8 MODELINFO     generative model id       (snapshot.cpp)
 //   16 STREAM_META   stream checkpoint header  (src/stream/checkpoint.cpp)
 //   17 STREAM_STATE  stream per-story progress (src/stream/checkpoint.cpp)
 // Unknown types are ignored by readers (forward-compatible extensions);
@@ -77,6 +78,7 @@ enum SectionType : std::uint32_t {
   kVotesIndex = 5,
   kVotesUsers = 6,
   kVotesTimes = 7,
+  kModelInfo = 8,
   kStreamMeta = 16,
   kStreamState = 17,
 };

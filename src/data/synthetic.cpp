@@ -37,6 +37,24 @@ double sample_community_appeal(const SyntheticParams& p, double general,
   return std::clamp(c, 0.0, 1.0);
 }
 
+std::unique_ptr<platform::PromotionPolicy> make_policy(
+    const SyntheticParams& p) {
+  switch (p.promotion_rule) {
+    case PromotionRule::kCountOnly:
+      return std::make_unique<platform::VoteCountPolicy>(
+          p.promotion_threshold);
+    case PromotionRule::kCountAndRate:
+      return std::make_unique<platform::VoteRatePolicy>(
+          p.promotion_threshold, p.promotion_rate_votes,
+          p.promotion_rate_window);
+    case PromotionRule::kDiversity:
+      return std::make_unique<platform::DiversityPolicy>(
+          static_cast<double>(p.promotion_threshold),
+          p.diversity_fan_vote_weight);
+  }
+  throw std::invalid_argument("generate_corpus: bad promotion_rule");
+}
+
 /// Peak resident set of this process in bytes (VmHWM), or 0 where
 /// /proc/self/status is unavailable.
 std::size_t peak_rss_bytes() {
@@ -88,20 +106,22 @@ GenerationCore run_generation(
   graph::Digraph network = preferential_attachment(net_params, rng);
 
   // 2. Population (activity aligned with arrival order: user 0 heaviest).
-  platform::PopulationParams pop;
+  platform::PopulationParams pop = params.population;
   pop.user_count = params.user_count;
   std::vector<platform::UserProfile> users =
       platform::generate_population(pop, rng);
 
   if (on_network) on_network(network);
 
-  // 3. Platform with the count-and-rate promotion rule.
+  // 3. Platform with the scenario's promotion rule.
   auto plat = std::make_unique<platform::Platform>(
-      std::move(network), std::move(users),
-      std::make_unique<platform::VoteRatePolicy>(
-          params.promotion_threshold, params.promotion_rate_votes,
-          params.promotion_rate_window));
-  dynamics::VoteSimulator sim(*plat, params.vote_model, rng.fork());
+      std::move(network), std::move(users), make_policy(params));
+  // The model draws from per-story rng.split(story_id) substreams, but the
+  // fork here still consumes one parent draw — keeping the trait-sampling
+  // stream below identical to pre-Model corpora.
+  const std::unique_ptr<dynamics::Model> model = params.make_model();
+  const std::unique_ptr<dynamics::Simulator> sim =
+      model->make_simulator(*plat, rng.fork());
 
   // 4. Submissions: traits drawn per story; community appeal pulled up by
   // the submitter's fan count (their personal audience).
@@ -133,7 +153,7 @@ GenerationCore run_generation(
 
   platform::Platform& plat_ref = *plat;
   dynamics::simulate_each(
-      plat_ref, sim, submissions, params.submission_spacing,
+      plat_ref, *sim, submissions, params.submission_spacing,
       [&](platform::StoryId id, dynamics::StoryRun&&) {
         if (on_story) on_story(plat_ref, id);
       });
@@ -143,6 +163,14 @@ GenerationCore run_generation(
 }
 
 }  // namespace
+
+std::unique_ptr<dynamics::Model> SyntheticParams::make_model() const {
+  if (model_id == dynamics::kLegacyModelId)
+    return std::make_unique<dynamics::VoteModel>(vote_model);
+  if (model_id == dynamics::kStochasticModelId)
+    return std::make_unique<dynamics::StochasticModel>(stochastic);
+  return dynamics::make_model(model_id);  // throws for unknown ids
+}
 
 SyntheticCorpus generate_corpus(const SyntheticParams& params,
                                 stats::Rng& rng) {
@@ -154,6 +182,7 @@ SyntheticCorpus generate_corpus(const SyntheticParams& params,
 
   // 5. Partition into front-page vs upcoming and rank users.
   Corpus& corpus = out.corpus;
+  corpus.model_id = params.model_id;
   corpus.network = plat.network();
   for (const platform::Story& s : plat.stories()) {
     corpus.add_story(s, s.promoted() ? Corpus::Section::kFrontPage
@@ -177,6 +206,7 @@ StreamedCorpusInfo generate_corpus_to_snapshot(
     const SyntheticParams& params, stats::Rng& rng,
     const std::filesystem::path& path, std::size_t chunk_target_bytes) {
   SnapshotWriter writer(path, chunk_target_bytes);
+  writer.write_model_id(params.model_id);
   StreamedCorpusInfo info;
   info.seed = rng.seed();
 

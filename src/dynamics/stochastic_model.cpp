@@ -1,0 +1,271 @@
+#include "src/dynamics/stochastic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace digg::dynamics {
+
+namespace {
+
+std::vector<double> channel_weights(
+    const std::vector<platform::UserProfile>& users, double cap,
+    double platform::UserProfile::*channel) {
+  std::vector<double> weights;
+  weights.reserve(users.size());
+  for (const platform::UserProfile& u : users)
+    weights.push_back(
+        std::max(1e-6, std::min(cap, u.activity_rate * (u.*channel))));
+  return weights;
+}
+
+}  // namespace
+
+StochasticSimulator::StochasticSimulator(platform::Platform& platform,
+                                         StochasticModelParams params,
+                                         stats::Rng rng)
+    : platform_(&platform),
+      params_(params),
+      rng_(std::move(rng)),
+      front_sampler_(channel_weights(platform.users(),
+                                     params_.discovery_activity_cap,
+                                     &platform::UserProfile::front_page_weight)),
+      upcoming_sampler_(
+          channel_weights(platform.users(), params_.discovery_activity_cap,
+                          &platform::UserProfile::upcoming_weight)) {
+  if (params_.step <= 0.0)
+    throw std::invalid_argument("StochasticSimulator: step <= 0");
+  if (params_.horizon < params_.step)
+    throw std::invalid_argument("StochasticSimulator: horizon < step");
+  if (params_.session_rate_scale <= 0.0)
+    throw std::invalid_argument(
+        "StochasticSimulator: session_rate_scale <= 0");
+}
+
+bool StochasticSimulator::pick_browser(const stats::DiscreteSampler& sampler,
+                                       const platform::VisibilitySet& vis,
+                                       stats::Rng& rng, UserId& out_voter) {
+  // Rejection-sample a channel browser who has not acted on the story yet.
+  // Watchers are excluded too: a fan of a prior voter encounters the story
+  // through their Friends page clock, not through queue browsing.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto user = static_cast<UserId>(sampler.sample(rng));
+    if (!vis.has_voted(user) && !vis.can_see(user)) {
+      out_voter = user;
+      return true;
+    }
+  }
+  return false;
+}
+
+StoryRun StochasticSimulator::run_story(StoryId id,
+                                        const StoryTraits& traits) {
+  if (traits.general < 0.0 || traits.general > 1.0 ||
+      traits.community < 0.0 || traits.community > 1.0)
+    throw std::invalid_argument("run_story: traits outside [0,1]");
+
+  // Model RNG contract (model.h): one substream per story, keyed on its id.
+  stats::Rng rng = rng_.split(id);
+
+  StoryRun run;
+  run.story = id;
+  const Minutes t0 = platform_->story(id).submitted_at;
+  run.votes_over_time.append(0.0, 1.0);  // submitter's digg
+
+  const double dt_days = params_.step / platform::kMinutesPerDay;
+  const auto fan_digg_p = [&](bool promoted) {
+    const double community_scale =
+        promoted ? params_.fan_digg_community_scale *
+                       params_.post_promotion_community_factor
+                 : params_.fan_digg_community_scale;
+    return std::min(1.0, params_.fan_digg_floor +
+                             community_scale * traits.community +
+                             params_.fan_digg_general_scale * traits.general);
+  };
+
+  // Per-watcher consideration clocks: when user u becomes a watcher, their
+  // next Friends-page visit is Exponential(ω_u · w_friends · scale) away.
+  // A min-heap keyed on (fire time, user) resolves the clocks in a
+  // deterministic order; a clock that fires after the recency window is
+  // dropped — that watcher never sees the story.
+  using Clock = std::pair<Minutes, UserId>;  // compares time, then user
+  std::priority_queue<Clock, std::vector<Clock>, std::greater<Clock>> clocks;
+  std::size_t pool_cursor = 0;
+
+  const auto& users = platform_->users();
+  std::size_t last_recorded = 1;
+  for (Minutes t = t0 + params_.step; t - t0 <= params_.horizon;
+       t += params_.step) {
+    const platform::Story& s = platform_->story(id);
+    if (s.phase == platform::StoryPhase::kUpcoming &&
+        t - t0 > platform_->queue_params().upcoming_lifetime) {
+      platform_->expire_stale(t);
+    }
+    if (platform_->story(id).phase == platform::StoryPhase::kExpired) break;
+
+    // Friends channel: wind each newly exposed watcher's clock.
+    {
+      const auto& vis = platform_->visibility(id);
+      const auto& log = vis.exposure_log();
+      for (; pool_cursor < log.size(); ++pool_cursor) {
+        const UserId watcher = log[pool_cursor];
+        const double rate_per_day =
+            (watcher < users.size()
+                 ? users[watcher].activity_rate *
+                       users[watcher].friends_interface_weight
+                 : 1.0) *
+            params_.friends_rate_scale * params_.session_rate_scale;
+        if (rate_per_day <= 0.0) continue;
+        const Minutes delay =
+            rng.exponential(rate_per_day / platform::kMinutesPerDay);
+        if (delay <= params_.friends_recency_window)
+          clocks.push({t + delay, watcher});
+      }
+    }
+
+    // Fire every clock due this step.
+    const bool promoted = s.phase == platform::StoryPhase::kFrontPage;
+    const double p_fan = fan_digg_p(promoted);
+    while (!clocks.empty() && clocks.top().first <= t) {
+      const UserId watcher = clocks.top().second;
+      clocks.pop();
+      const auto& vis = platform_->visibility(id);
+      if (vis.has_voted(watcher)) continue;  // acted via another channel
+      if (rng.bernoulli(p_fan)) {
+        platform_->vote(id, watcher, t);
+        ++run.fan_channel_votes;
+      }
+    }
+
+    // Discovery channels: aggregate browsing traffic, Poisson per step;
+    // each browser diggs with an appeal-dependent probability (browsing
+    // and digging are separate events, unlike the two-mechanism model
+    // where the discovery rate already folds the appeal in).
+    double browse_rate = 0.0;
+    double p_digg = 0.0;
+    const stats::DiscreteSampler* sampler = nullptr;
+    if (!promoted) {
+      const double queue_age = t - t0;
+      browse_rate =
+          (params_.upcoming_browse_rate *
+               std::exp(-queue_age / params_.upcoming_visibility_decay) +
+           params_.upcoming_background_rate) *
+          params_.session_rate_scale * dt_days;
+      p_digg = std::min(1.0, params_.upcoming_digg_floor +
+                                 params_.upcoming_digg_slope * traits.general);
+      sampler = &upcoming_sampler_;
+    } else {
+      const double fp_age = t - *platform_->story(id).promoted_at;
+      browse_rate = params_.front_page_browse_rate *
+                    std::pow(0.5, fp_age / params_.novelty_half_life) *
+                    params_.session_rate_scale * dt_days;
+      p_digg =
+          std::min(1.0, params_.front_page_digg_floor +
+                            params_.front_page_digg_slope * traits.general);
+      sampler = &front_sampler_;
+    }
+    const std::int64_t browsers = rng.poisson(browse_rate);
+    for (std::int64_t k = 0; k < browsers; ++k) {
+      if (!rng.bernoulli(p_digg)) continue;
+      UserId voter;
+      if (!pick_browser(*sampler, platform_->visibility(id), rng, voter))
+        break;
+      platform_->vote(id, voter, t);
+      ++run.discovery_votes;
+    }
+
+    const std::size_t count = platform_->story(id).vote_count();
+    if (count != last_recorded) {
+      run.votes_over_time.append(t - t0, static_cast<double>(count));
+      last_recorded = count;
+    }
+  }
+  const std::size_t final_count = platform_->story(id).vote_count();
+  if (run.votes_over_time.times().back() < params_.horizon)
+    run.votes_over_time.append(params_.horizon,
+                               static_cast<double>(final_count));
+  static obs::Counter& stories =
+      obs::Registry::global().counter("dynamics.stories_simulated");
+  static obs::Counter& fan_votes =
+      obs::Registry::global().counter("dynamics.fan_votes");
+  static obs::Counter& discovery_votes =
+      obs::Registry::global().counter("dynamics.discovery_votes");
+  stories.inc();
+  fan_votes.inc(run.fan_channel_votes);
+  discovery_votes.inc(run.discovery_votes);
+  return run;
+}
+
+std::vector<ModelParam> StochasticModel::params() const {
+  return {
+      {"session_rate_scale", params_.session_rate_scale},
+      {"friends_rate_scale", params_.friends_rate_scale},
+      {"friends_recency_window", params_.friends_recency_window},
+      {"fan_digg_floor", params_.fan_digg_floor},
+      {"fan_digg_community_scale", params_.fan_digg_community_scale},
+      {"fan_digg_general_scale", params_.fan_digg_general_scale},
+      {"post_promotion_community_factor",
+       params_.post_promotion_community_factor},
+      {"upcoming_browse_rate", params_.upcoming_browse_rate},
+      {"upcoming_visibility_decay", params_.upcoming_visibility_decay},
+      {"upcoming_background_rate", params_.upcoming_background_rate},
+      {"upcoming_digg_floor", params_.upcoming_digg_floor},
+      {"upcoming_digg_slope", params_.upcoming_digg_slope},
+      {"front_page_browse_rate", params_.front_page_browse_rate},
+      {"novelty_half_life", params_.novelty_half_life},
+      {"front_page_digg_floor", params_.front_page_digg_floor},
+      {"front_page_digg_slope", params_.front_page_digg_slope},
+      {"discovery_activity_cap", params_.discovery_activity_cap},
+      {"step", params_.step},
+      {"horizon", params_.horizon},
+  };
+}
+
+bool StochasticModel::set_param(std::string_view name, double value) {
+  const std::pair<std::string_view, double StochasticModelParams::*> table[] =
+      {
+          {"session_rate_scale", &StochasticModelParams::session_rate_scale},
+          {"friends_rate_scale", &StochasticModelParams::friends_rate_scale},
+          {"friends_recency_window",
+           &StochasticModelParams::friends_recency_window},
+          {"fan_digg_floor", &StochasticModelParams::fan_digg_floor},
+          {"fan_digg_community_scale",
+           &StochasticModelParams::fan_digg_community_scale},
+          {"fan_digg_general_scale",
+           &StochasticModelParams::fan_digg_general_scale},
+          {"post_promotion_community_factor",
+           &StochasticModelParams::post_promotion_community_factor},
+          {"upcoming_browse_rate",
+           &StochasticModelParams::upcoming_browse_rate},
+          {"upcoming_visibility_decay",
+           &StochasticModelParams::upcoming_visibility_decay},
+          {"upcoming_background_rate",
+           &StochasticModelParams::upcoming_background_rate},
+          {"upcoming_digg_floor", &StochasticModelParams::upcoming_digg_floor},
+          {"upcoming_digg_slope", &StochasticModelParams::upcoming_digg_slope},
+          {"front_page_browse_rate",
+           &StochasticModelParams::front_page_browse_rate},
+          {"novelty_half_life", &StochasticModelParams::novelty_half_life},
+          {"front_page_digg_floor",
+           &StochasticModelParams::front_page_digg_floor},
+          {"front_page_digg_slope",
+           &StochasticModelParams::front_page_digg_slope},
+          {"discovery_activity_cap",
+           &StochasticModelParams::discovery_activity_cap},
+          {"step", &StochasticModelParams::step},
+          {"horizon", &StochasticModelParams::horizon},
+      };
+  for (const auto& [key, member] : table) {
+    if (key == name) {
+      params_.*member = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace digg::dynamics

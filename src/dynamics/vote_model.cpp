@@ -36,12 +36,12 @@ VoteSimulator::VoteSimulator(platform::Platform& platform,
 }
 
 bool VoteSimulator::pick_discovery_voter(const platform::VisibilitySet& vis,
-                                         UserId& out_voter) {
+                                         stats::Rng& rng, UserId& out_voter) {
   // Rejection-sample an out-of-network voter, weighted by (capped) activity:
   // Fig. 2(b)'s heavy-tailed per-user vote counts come from this skew, while
   // the long inactive tail is what makes most voters vote only once.
   for (int attempt = 0; attempt < 64; ++attempt) {
-    const auto user = static_cast<UserId>(discovery_sampler_.sample(rng_));
+    const auto user = static_cast<UserId>(discovery_sampler_.sample(rng));
     if (!vis.has_voted(user) && !vis.can_see(user)) {
       out_voter = user;
       return true;
@@ -54,6 +54,11 @@ StoryRun VoteSimulator::run_story(StoryId id, const StoryTraits& traits) {
   if (traits.general < 0.0 || traits.general > 1.0 ||
       traits.community < 0.0 || traits.community > 1.0)
     throw std::invalid_argument("run_story: traits outside [0,1]");
+
+  // The Model RNG contract (model.h): every draw for this story comes from
+  // a substream keyed on the story id, derived from the base stream's seed —
+  // independent of how many stories ran before, which unpins story order.
+  stats::Rng rng = rng_.split(id);
 
   StoryRun run;
   run.story = id;
@@ -101,7 +106,7 @@ StoryRun VoteSimulator::run_story(StoryId id, const StoryTraits& traits) {
         const double engaged =
             params_.fan_engagement_scale *
             (watcher < users.size() ? users[watcher].activity_rate : 1.0);
-        if (rng_.bernoulli(std::min(1.0, engaged)))
+        if (rng.bernoulli(std::min(1.0, engaged)))
           pending.push_back(watcher);
       }
     }
@@ -127,29 +132,29 @@ StoryRun VoteSimulator::run_story(StoryId id, const StoryTraits& traits) {
     }
 
     const std::int64_t considering =
-        std::min<std::int64_t>(rng_.poisson(consider_mean),
+        std::min<std::int64_t>(rng.poisson(consider_mean),
                                static_cast<std::int64_t>(pending.size()));
-    const std::int64_t discovery_votes = rng_.poisson(discovery_rate);
+    const std::int64_t discovery_votes = rng.poisson(discovery_rate);
     const double fan_digg_p =
         fan_digg_p_now(s.phase == platform::StoryPhase::kFrontPage);
 
     for (std::int64_t k = 0; k < considering; ++k) {
       // Draw a random pending watcher and retire them (one-shot).
-      const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<std::int64_t>(pending.size()) - 1));
       const UserId candidate = pending[idx];
       pending[idx] = pending.back();
       pending.pop_back();
       const auto& live = platform_->visibility(id);
       if (live.has_voted(candidate)) continue;  // acted via another channel
-      if (rng_.bernoulli(fan_digg_p)) {
+      if (rng.bernoulli(fan_digg_p)) {
         platform_->vote(id, candidate, t);
         ++run.fan_channel_votes;
       }
     }
     for (std::int64_t k = 0; k < discovery_votes; ++k) {
       UserId voter;
-      if (!pick_discovery_voter(platform_->visibility(id), voter)) break;
+      if (!pick_discovery_voter(platform_->visibility(id), rng, voter)) break;
       platform_->vote(id, voter, t);
       ++run.discovery_votes;
     }
@@ -177,8 +182,58 @@ StoryRun VoteSimulator::run_story(StoryId id, const StoryTraits& traits) {
   return run;
 }
 
+std::vector<ModelParam> VoteModel::params() const {
+  return {
+      {"fan_consider_rate", params_.fan_consider_rate},
+      {"fan_engagement_scale", params_.fan_engagement_scale},
+      {"fan_digg_floor", params_.fan_digg_floor},
+      {"fan_digg_community_scale", params_.fan_digg_community_scale},
+      {"fan_digg_general_scale", params_.fan_digg_general_scale},
+      {"post_promotion_community_factor",
+       params_.post_promotion_community_factor},
+      {"upcoming_discovery_rate", params_.upcoming_discovery_rate},
+      {"upcoming_visibility_decay", params_.upcoming_visibility_decay},
+      {"upcoming_background_rate", params_.upcoming_background_rate},
+      {"upcoming_quality_floor", params_.upcoming_quality_floor},
+      {"discovery_activity_cap", params_.discovery_activity_cap},
+      {"front_page_rate", params_.front_page_rate},
+      {"novelty_half_life", params_.novelty_half_life},
+      {"step", params_.step},
+      {"horizon", params_.horizon},
+  };
+}
+
+bool VoteModel::set_param(std::string_view name, double value) {
+  const std::pair<std::string_view, double VoteModelParams::*> table[] = {
+      {"fan_consider_rate", &VoteModelParams::fan_consider_rate},
+      {"fan_engagement_scale", &VoteModelParams::fan_engagement_scale},
+      {"fan_digg_floor", &VoteModelParams::fan_digg_floor},
+      {"fan_digg_community_scale", &VoteModelParams::fan_digg_community_scale},
+      {"fan_digg_general_scale", &VoteModelParams::fan_digg_general_scale},
+      {"post_promotion_community_factor",
+       &VoteModelParams::post_promotion_community_factor},
+      {"upcoming_discovery_rate", &VoteModelParams::upcoming_discovery_rate},
+      {"upcoming_visibility_decay",
+       &VoteModelParams::upcoming_visibility_decay},
+      {"upcoming_background_rate", &VoteModelParams::upcoming_background_rate},
+      {"upcoming_quality_floor", &VoteModelParams::upcoming_quality_floor},
+      {"discovery_activity_cap", &VoteModelParams::discovery_activity_cap},
+      {"front_page_rate", &VoteModelParams::front_page_rate},
+      {"novelty_half_life", &VoteModelParams::novelty_half_life},
+      {"step", &VoteModelParams::step},
+      {"horizon", &VoteModelParams::horizon},
+  };
+  for (const auto& [key, member] : table) {
+    if (key == name) {
+      params_.*member = value;
+      return true;
+    }
+  }
+  return false;
+}
+
 BatchResult simulate_batch(
-    platform::Platform& platform, VoteSimulator& sim,
+    platform::Platform& platform, Simulator& sim,
     const std::vector<std::pair<UserId, StoryTraits>>& submissions,
     Minutes spacing_minutes) {
   BatchResult out;
@@ -193,7 +248,7 @@ BatchResult simulate_batch(
 }
 
 void simulate_each(
-    platform::Platform& platform, VoteSimulator& sim,
+    platform::Platform& platform, Simulator& sim,
     const std::vector<std::pair<UserId, StoryTraits>>& submissions,
     Minutes spacing_minutes,
     const std::function<void(StoryId, StoryRun&&)>& on_story) {

@@ -1,5 +1,6 @@
 #pragma once
-// The two-mechanism vote model of §5.1, made generative.
+// The two-mechanism vote model of §5.1, made generative — the first
+// registered dynamics::Model (id "two-mechanism", model.h).
 //
 // The paper argues interest in a story spreads by two mechanisms:
 //   1. interest-based — users unconnected to prior voters discover the story
@@ -18,6 +19,9 @@
 //
 // The simulation advances in fixed steps (default: one minute, matching the
 // time resolution of Fig. 1); per-channel vote counts per step are Poisson.
+// Each story draws from the simulator's rng.split(story_id) substream (the
+// Model RNG contract), so a story's votes do not depend on which other
+// stories ran before it.
 
 #include <cstdint>
 #include <functional>
@@ -25,21 +29,11 @@
 
 #include "src/digg/platform.h"
 #include "src/digg/types.h"
+#include "src/dynamics/model.h"
 #include "src/stats/rng.h"
 #include "src/stats/timeseries.h"
 
 namespace digg::dynamics {
-
-using platform::Minutes;
-using platform::StoryId;
-using platform::UserId;
-
-/// Latent per-story appeal. `general` doubles as Story::quality on the
-/// platform; `community` only matters to fans of prior voters.
-struct StoryTraits {
-  double general = 0.2;    // in [0,1]
-  double community = 0.2;  // in [0,1]
-};
 
 struct VoteModelParams {
   /// The fan channel is a one-shot exposure process: when a user becomes a
@@ -106,25 +100,13 @@ struct VoteModelParams {
   Minutes horizon = 4.0 * platform::kMinutesPerDay;
 };
 
-/// Result of simulating one story to its horizon.
-struct StoryRun {
-  StoryId story = 0;
-  stats::TimeSeries votes_over_time;  // cumulative votes, minute resolution
-  std::size_t fan_channel_votes = 0;  // votes that arrived via the Friends
-                                      // interface channel (mechanism 2)
-  std::size_t discovery_votes = 0;    // mechanism 1 (upcoming + front page)
-};
-
-/// Drives the platform's stories through the vote model.
-class VoteSimulator {
+/// Drives the platform's stories through the two-mechanism vote model.
+class VoteSimulator final : public Simulator {
  public:
   VoteSimulator(platform::Platform& platform, VoteModelParams params,
                 stats::Rng rng);
 
-  /// Simulates the full lifetime of an already-submitted story. Traits'
-  /// `general` should match the story's platform quality. Votes are recorded
-  /// on the platform (promotion fires automatically).
-  StoryRun run_story(StoryId id, const StoryTraits& traits);
+  StoryRun run_story(StoryId id, const StoryTraits& traits) override;
 
   [[nodiscard]] const VoteModelParams& params() const noexcept {
     return params_;
@@ -133,36 +115,64 @@ class VoteSimulator {
  private:
   platform::Platform* platform_;
   VoteModelParams params_;
-  stats::Rng rng_;
+  stats::Rng rng_;  // base stream; per-story draws come from rng_.split(id)
   stats::DiscreteSampler discovery_sampler_;  // activity-weighted, capped
 
   /// Picks an out-of-network voter: an activity-weighted random user who has
   /// neither voted nor watches the story. Returns false if none found.
   bool pick_discovery_voter(const platform::VisibilitySet& vis,
-                            UserId& out_voter);
+                            stats::Rng& rng, UserId& out_voter);
+};
+
+/// The two-mechanism model as a registered dynamics::Model (id
+/// "two-mechanism") — a configured VoteModelParams with value semantics.
+class VoteModel final : public Model {
+ public:
+  VoteModel() = default;
+  explicit VoteModel(VoteModelParams params) : params_(params) {}
+
+  [[nodiscard]] std::string id() const override { return kLegacyModelId; }
+  [[nodiscard]] std::vector<ModelParam> params() const override;
+  bool set_param(std::string_view name, double value) override;
+  [[nodiscard]] std::unique_ptr<Model> clone() const override {
+    return std::make_unique<VoteModel>(params_);
+  }
+  [[nodiscard]] std::unique_ptr<Simulator> make_simulator(
+      platform::Platform& platform, stats::Rng rng) const override {
+    return std::make_unique<VoteSimulator>(platform, params_, std::move(rng));
+  }
+
+  [[nodiscard]] const VoteModelParams& model_params() const noexcept {
+    return params_;
+  }
+
+ private:
+  VoteModelParams params_;
 };
 
 /// Convenience: submit + simulate a batch of stories with the given traits,
 /// spacing submissions `spacing_minutes` apart. The votes land on the
 /// platform either way; the returned runs add the per-channel breakdown.
+/// Works with any Simulator (any registered model).
 struct BatchResult {
   std::vector<StoryId> ids;
   std::vector<StoryRun> runs;
 };
 BatchResult simulate_batch(
-    platform::Platform& platform, VoteSimulator& sim,
+    platform::Platform& platform, Simulator& sim,
     const std::vector<std::pair<UserId, StoryTraits>>& submissions,
     Minutes spacing_minutes);
 
 /// Streaming counterpart of simulate_batch: submits and runs the same
 /// stories in the same order, but hands each finished run to `on_story`
 /// instead of accumulating a BatchResult — O(1) driver memory instead of
-/// O(stories) time series. RNG consumption is identical to simulate_batch,
-/// so both drivers produce bit-identical platforms for the same inputs.
+/// O(stories) time series. Per-story draws come from split(story_id)
+/// substreams (the Model RNG contract), so both drivers produce
+/// bit-identical platforms for the same inputs.
 /// `on_story` may persist and then drop the story's vote columns
 /// (Platform::release_votes); the simulator never revisits a finished story.
 void simulate_each(
-    platform::Platform& platform, VoteSimulator& sim,
+    platform::Platform& platform, Simulator& sim,
     const std::vector<std::pair<UserId, StoryTraits>>& submissions,
     Minutes spacing_minutes,
     const std::function<void(StoryId, StoryRun&&)>& on_story);

@@ -33,6 +33,8 @@ struct Meta {
   std::uint64_t story_count = 0;
   std::uint64_t interesting_threshold = 0;
   std::uint32_t promotion_threshold = 0;
+  bool bayes_enabled = false;  // v1 files read as disabled
+  std::uint32_t bayes_fit_at = 0;
   std::vector<std::uint32_t> cascade_cps;
   std::vector<std::uint32_t> influence_cps;
 };
@@ -52,6 +54,10 @@ Meta read_meta(const snapfmt::SectionFile& file) {
   m.story_count = r.pod<std::uint64_t>();
   m.interesting_threshold = r.pod<std::uint64_t>();
   m.promotion_threshold = r.pod<std::uint32_t>();
+  if (m.version >= 2) {
+    m.bayes_enabled = r.pod<std::uint32_t>() != 0;
+    m.bayes_fit_at = r.pod<std::uint32_t>();
+  }
   // Bound the list lengths before allocating: a corrupt count must fail
   // cleanly, not attempt a multi-gigabyte vector.
   const auto checked_count = [&](const char* what) {
@@ -92,6 +98,8 @@ void StreamEngine::save_checkpoint(const std::filesystem::path& path) const {
   meta.pod<std::uint64_t>(story_count);
   meta.pod<std::uint64_t>(params_.interesting_threshold);
   meta.pod<std::uint32_t>(params_.promotion_threshold);
+  meta.pod<std::uint32_t>(params_.bayes.enabled ? 1 : 0);
+  meta.pod<std::uint32_t>(params_.bayes.fit_at);
   meta.pod<std::uint32_t>(
       static_cast<std::uint32_t>(params_.cascade_checkpoints.size()));
   meta.column(params_.cascade_checkpoints);
@@ -117,6 +125,16 @@ void StreamEngine::save_checkpoint(const std::filesystem::path& path) const {
   state.column(promoted);
   state.column(cascade_rec_);
   state.column(influence_rec_);
+  if (params_.bayes.enabled) {
+    // Exposure accumulates below the fit point, so kill/resume
+    // bit-identity needs the accumulator; the estimate column spares a
+    // restored engine re-deriving fits that already fired.
+    state.column(bayes_exposure_);
+    std::vector<float> estimates(story_count, 0.0f);
+    for (std::uint64_t slot = 0; slot < story_count; ++slot)
+      estimates[slot] = progress_[slot].bayes_estimate;
+    state.column(estimates);
+  }
 
   snapfmt::write_section_file(path, sections);
   obs::record_event(obs::EventKind::kCheckpointSave, 0, events_applied_);
@@ -144,7 +162,9 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
       m.influence_cps != params_.influence_checkpoints ||
       m.interesting_threshold != params_.interesting_threshold ||
       m.promotion_threshold != params_.promotion_threshold ||
-      m.predictor_armed != predictor_armed_)
+      m.predictor_armed != predictor_armed_ ||
+      m.bayes_enabled != params_.bayes.enabled ||
+      (m.bayes_enabled && m.bayes_fit_at != params_.bayes.fit_at))
     throw std::runtime_error(ctx + "checkpoint engine config mismatch");
 
   const std::size_t story_count = progress_.size();
@@ -155,6 +175,8 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
   std::vector<double> promoted;
   std::vector<std::uint32_t> cascade_rec;
   std::vector<std::uint32_t> influence_rec;
+  std::vector<double> bayes_exposure;
+  std::vector<float> bayes_estimates;
   try {
     applied = r.column<std::uint64_t>(story_count);
     innetwork = r.column<std::uint32_t>(story_count);
@@ -163,6 +185,10 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
     cascade_rec = r.column<std::uint32_t>(story_count * m.cascade_cps.size());
     influence_rec =
         r.column<std::uint32_t>(story_count * m.influence_cps.size());
+    if (m.bayes_enabled) {
+      bayes_exposure = r.column<double>(story_count);
+      bayes_estimates = r.column<float>(story_count);
+    }
   } catch (const std::runtime_error& err) {
     throw std::runtime_error(ctx + err.what());
   }
@@ -181,7 +207,8 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
                                "checkpoint progress is not a stream prefix");
     if (innetwork[slot] > applied[slot])
       throw std::runtime_error(ctx + "checkpoint in-network count impossible");
-    if ((flags[slot] & ~(kHasPrediction | kPredictedYes | kPromoted)) != 0)
+    if ((flags[slot] & ~(kHasPrediction | kPredictedYes | kPromoted |
+                         kHasBayes | kBayesYes)) != 0)
       throw std::runtime_error(ctx + "checkpoint story flags invalid");
     const bool should_promote = params_.promotion_threshold != 0 &&
                                 applied[slot] >= params_.promotion_threshold;
@@ -196,6 +223,13 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
     if (((flags[slot] & kHasPrediction) != 0) != should_predict)
       throw std::runtime_error(ctx +
                                "checkpoint prediction flag inconsistent");
+    const bool should_bayes =
+        m.bayes_enabled &&
+        applied[slot] > static_cast<std::uint64_t>(m.bayes_fit_at);
+    if (((flags[slot] & kHasBayes) != 0) != should_bayes)
+      throw std::runtime_error(ctx + "checkpoint bayes flag inconsistent");
+    if (m.bayes_enabled && bayes_exposure[slot] < 0.0)
+      throw std::runtime_error(ctx + "checkpoint bayes exposure negative");
     for (std::size_t j = 0; j < m.cascade_cps.size(); ++j) {
       const bool reached =
           applied[slot] > static_cast<std::uint64_t>(m.cascade_cps[j]);
@@ -225,7 +259,10 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
     progress_[slot].innetwork = innetwork[slot];
     progress_[slot].flags = flags[slot];
     progress_[slot].promoted_time = promoted[slot];
+    progress_[slot].bayes_estimate =
+        m.bayes_enabled ? bayes_estimates[slot] : 0.0f;
   }
+  if (m.bayes_enabled) bayes_exposure_ = std::move(bayes_exposure);
   cascade_rec_ = std::move(cascade_rec);
   influence_rec_ = std::move(influence_rec);
   events_applied_ = m.events_applied;

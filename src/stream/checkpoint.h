@@ -15,16 +15,22 @@
 //     u64  total events        u64  events applied
 //     u64  story count         u64  interesting threshold
 //     u32  promotion threshold
+//     u32  bayes fit enabled (0/1)     [v2+; v1 reads as disabled]
+//     u32  bayes fit_at                [v2+]
 //     u32  cascade checkpoint count,   then that many u32 checkpoints
 //     u32  influence checkpoint count, then that many u32 checkpoints
 //
 //   STREAM_STATE (17) — per-story progress columns, story-slot order:
 //     u64[S]      votes applied
 //     u32[S]      running in-network count
-//     u8[S]       flags (prediction made / predicted yes / promoted)
+//     u8[S]       flags (prediction made / predicted yes / promoted /
+//                 bayes fit made / bayes yes)
 //     f64[S]      promotion time (valid when the promoted flag is set)
 //     u32[S*C]    recorded cascade values  (0xffffffff = not yet reached)
 //     u32[S*I]    recorded influence values (same sentinel)
+//     f64[S]      bayes watcher-exposure accumulator  [iff bayes enabled:
+//     f32[S]      bayes expected-final estimate        exposure grows below
+//                 the fit point, so kill/resume bit-identity needs it]
 //
 // Deliberately NOT serialized: visibility sets (rebuilt on demand by
 // replaying each story's applied prefix — bounded by the horizon) and
@@ -45,7 +51,10 @@
 
 namespace digg::stream {
 
-inline constexpr std::uint32_t kStreamCheckpointVersion = 1;
+// v2: online Bayes-fit hook — meta gains the bayes config, state gains the
+// exposure/estimate columns when the hook is enabled. v1 files restore into
+// bayes-disabled engines unchanged.
+inline constexpr std::uint32_t kStreamCheckpointVersion = 2;
 
 /// Cheap peek at a checkpoint's STREAM_META section (full container
 /// integrity is still verified). Lets tools report progress or pick the

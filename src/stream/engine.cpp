@@ -78,6 +78,15 @@ StreamEngine::StreamEngine(const EventStream& stream,
                      params_.predictor->feature_set() ==
                          core::FeatureSet::kPaper &&
                      v10_index_ != static_cast<std::size_t>(-1);
+  if (params_.bayes.enabled) {
+    // The fit classifies its first-k votes with the running in-network
+    // counter, which only ticks inside the cascade window — and fit_at+1
+    // <= max_cascade+1 <= horizon keeps the visibility set live through
+    // the fit, so no horizon extension is needed.
+    if (params_.bayes.fit_at < 1 || params_.bayes.fit_at > max_cascade_)
+      throw std::invalid_argument(
+          "bayes.fit_at must be in [1, last cascade checkpoint]");
+  }
 
   // Validate the stream against its own story columns: the merge order is
   // only well defined if every story's time column is non-decreasing, and
@@ -112,6 +121,7 @@ StreamEngine::StreamEngine(const EventStream& stream,
   influence_rec_.assign(story_count * params_.influence_checkpoints.size(),
                         kUnrecorded);
   pool_slot_of_.assign(story_count, kUnrecorded);
+  if (params_.bayes.enabled) bayes_exposure_.assign(story_count, 0.0);
 
   // Shard layout: story slot % kShardCount. The layout depends only on the
   // stream, so any thread count walks the same per-shard story sequences.
@@ -231,7 +241,28 @@ void StreamEngine::record_checkpoints(std::uint32_t slot, Progress& p,
       if (params_.predictor->predict(f)) p.flags |= kPredictedYes;
     }
   }
-  (void)now;
+  if (params_.bayes.enabled &&
+      p.applied == static_cast<std::uint64_t>(params_.bayes.fit_at) + 1) {
+    // Vote fit_at just landed: every sufficient statistic is final, so fit
+    // the rate model and integrate it forward — once per story, bounded by
+    // the integration step count, off the per-vote path.
+    BayesEvidence evidence;
+    evidence.in_network_votes = p.innetwork;
+    evidence.out_network_votes = params_.bayes.fit_at - p.innetwork;
+    evidence.exposure_watcher_minutes = bayes_exposure_[slot];
+    evidence.elapsed_minutes = now - stream_->stories[slot].times()[0];
+    evidence.audience = static_cast<double>(vis.influence());
+    evidence.votes = params_.bayes.fit_at + 1;
+    evidence.population = static_cast<double>(network_->node_count());
+    const BayesFit fit = fit_rates(params_.bayes, evidence);
+    const double expected =
+        expected_final_votes(params_.bayes, evidence, fit);
+    p.bayes_estimate = static_cast<float>(expected);
+    p.flags |= kHasBayes;
+    if (expected > static_cast<double>(params_.interesting_threshold))
+      p.flags |= kBayesYes;
+    obs::Registry::global().counter("stream.bayes_fits").inc();
+  }
 }
 
 void StreamEngine::apply_event(const VoteEvent& ev, Shard& shard) {
@@ -246,6 +277,16 @@ void StreamEngine::apply_event(const VoteEvent& ev, Shard& shard) {
     if (ev.vote_index >= 1 && ev.vote_index <= max_cascade_ &&
         vis.can_see(ev.voter))
       ++p.innetwork;
+    // Bayes sufficient statistic: watcher exposure over the inter-vote gap,
+    // with the influence the union had BEFORE this voter joins. One counter
+    // read and one multiply per below-fit vote — the O(1) discipline.
+    if (params_.bayes.enabled && ev.vote_index >= 1 &&
+        ev.vote_index <= params_.bayes.fit_at) {
+      const auto times = stream_->stories[ev.story_slot].times();
+      bayes_exposure_[ev.story_slot] +=
+          static_cast<double>(vis.influence()) *
+          (ev.time - times[ev.vote_index - 1]);
+    }
     vis.add_voter(ev.voter);
     p.applied = next;
     record_checkpoints(ev.story_slot, p, vis, ev.time);
@@ -412,6 +453,10 @@ StreamResult StreamEngine::result() {
     }
     if (p.flags & kHasPrediction)
       o.predicted_interesting = (p.flags & kPredictedYes) != 0;
+    if (p.flags & kHasBayes) {
+      o.bayes_interesting = (p.flags & kBayesYes) != 0;
+      o.bayes_expected_final = p.bayes_estimate;
+    }
     if (p.flags & kPromoted) o.promoted_time = p.promoted_time;
   }
   obs::Registry::global()
@@ -426,7 +471,8 @@ std::size_t StreamEngine::state_bytes() const {
   const std::size_t bytes = progress_.capacity() * sizeof(Progress) +
                             cascade_rec_.capacity() * sizeof(std::uint32_t) +
                             influence_rec_.capacity() * sizeof(std::uint32_t) +
-                            pool_slot_of_.capacity() * sizeof(std::uint32_t);
+                            pool_slot_of_.capacity() * sizeof(std::uint32_t) +
+                            bayes_exposure_.capacity() * sizeof(double);
   return bytes + vis_pool_bytes();
 }
 

@@ -66,6 +66,7 @@
 #include "src/core/features.h"
 #include "src/core/predictor.h"
 #include "src/digg/friends_interface.h"
+#include "src/stream/bayes.h"
 #include "src/stream/event.h"
 
 namespace digg::stream {
@@ -91,6 +92,14 @@ struct StreamParams {
   /// §5.2 decision, taken at vote 10 instead of after the fact. The
   /// predictor must outlive the engine.
   const core::InterestingnessPredictor* predictor = nullptr;
+  /// Online Bayesian rate-model fit (bayes.h): when enabled, the engine
+  /// accumulates watcher-exposure per vote below the fit point (O(1) per
+  /// vote — influence() is a counter read) and, the instant vote `fit_at`
+  /// lands, fits per-channel rates from the first-k timings and predicts
+  /// the final vote count — the model-based rival to the C4.5 hook above.
+  /// Requires fit_at >= 1 and fit_at <= the last cascade checkpoint (the
+  /// in-network classification window).
+  BayesFitParams bayes;
 };
 
 /// Everything the engine knows about one story. Checkpoint vectors align
@@ -108,6 +117,11 @@ struct StoryOutcome {
   /// Online §5.2 verdict at the v10 checkpoint (unset if the story never
   /// reached 10 votes, or no paper-feature predictor was supplied).
   std::optional<bool> predicted_interesting;
+  /// Online Bayesian verdict at the fit point (unset if the story never
+  /// reached bayes.fit_at votes, or the fit is disabled). The expected
+  /// final vote count backs the verdict and feeds calibration plots.
+  std::optional<bool> bayes_interesting;
+  double bayes_expected_final = 0.0;  // meaningful iff bayes_interesting set
   /// Arrival time of the promotion_threshold-th vote (unset if not reached).
   std::optional<platform::Minutes> promoted_time;
 };
@@ -209,12 +223,15 @@ class StreamEngine {
     std::uint64_t applied = 0;
     std::uint32_t innetwork = 0;  // running in-network count (to horizon)
     std::uint32_t fans1 = 0;
-    std::uint8_t flags = 0;  // kHasPrediction | kPredictedYes | kPromoted
+    std::uint8_t flags = 0;  // kHasPrediction | ... | kBayesYes
     platform::Minutes promoted_time = 0.0;
+    float bayes_estimate = 0.0f;  // expected final votes (kHasBayes set)
   };
   static constexpr std::uint8_t kHasPrediction = 1;
   static constexpr std::uint8_t kPredictedYes = 2;
   static constexpr std::uint8_t kPromoted = 4;
+  static constexpr std::uint8_t kHasBayes = 8;
+  static constexpr std::uint8_t kBayesYes = 16;
 
   void apply_event(const VoteEvent& ev, Shard& shard);
   /// The counting merge: starting from the per-story cursors in `cursor`
@@ -245,6 +262,9 @@ class StreamEngine {
   std::vector<std::uint32_t> cascade_rec_;   // slot * |cc| + j, kUnrecorded
   std::vector<std::uint32_t> influence_rec_; // slot * |ic| + j, kUnrecorded
   std::vector<std::uint32_t> pool_slot_of_;  // story slot -> pool slot
+  /// Per-story watcher-exposure accumulator (watcher-minutes over the
+  /// below-fit prefix); sized only when params_.bayes.enabled.
+  std::vector<double> bayes_exposure_;
 };
 
 }  // namespace digg::stream

@@ -15,6 +15,7 @@
 #include "src/core/experiment.h"
 #include "src/data/io.h"
 #include "src/data/synthetic.h"
+#include "src/dynamics/model.h"
 
 namespace digg::data {
 namespace {
@@ -476,6 +477,60 @@ TEST_F(SnapshotTest, ExperimentIdenticalAcrossCsvAndSnapshot) {
     EXPECT_EQ(ta.times(), tb.times());
     EXPECT_EQ(ta.values(), tb.values());
   }
+}
+
+// --- MODELINFO section ---------------------------------------------------
+
+TEST_F(SnapshotTest, ModelIdRoundTripsThroughBothLoaders) {
+  Corpus original = small_corpus(4);
+  original.model_id = dynamics::kStochasticModelId;
+  save_snapshot(original, snap());
+  EXPECT_EQ(load_snapshot(snap()).model_id, dynamics::kStochasticModelId);
+  EXPECT_EQ(load_snapshot_mmap(snap()).model_id,
+            dynamics::kStochasticModelId);
+}
+
+TEST_F(SnapshotTest, UnknownModelIdIsALoadError) {
+  // The id is validated against the registry at load time: analysing a
+  // corpus under the wrong generative assumptions must be loud, not a
+  // silent fallback.
+  Corpus original = small_corpus(4);
+  original.model_id = "model-from-the-future";
+  save_snapshot(original, snap());
+  const auto expect_rejected = [&](bool mmap) {
+    try {
+      (void)(mmap ? load_snapshot_mmap(snap()) : load_snapshot(snap()));
+      FAIL() << "expected unknown model id to be rejected";
+    } catch (const std::runtime_error& err) {
+      EXPECT_NE(std::string(err.what()).find("model-from-the-future"),
+                std::string::npos)
+          << err.what();
+    }
+  };
+  expect_rejected(false);
+  expect_rejected(true);
+}
+
+TEST_F(SnapshotTest, FilesWithoutModelInfoDefaultToLegacy) {
+  // v1 files predate the section entirely; v2 files written by older code
+  // simply lack it. Both mean "the original two-mechanism model".
+  const Corpus original = small_corpus(4);
+  save_snapshot(original, snap(), /*version=*/1);
+  EXPECT_EQ(load_snapshot(snap()).model_id, dynamics::kLegacyModelId);
+  EXPECT_EQ(load_snapshot_mmap(snap()).model_id, dynamics::kLegacyModelId);
+}
+
+TEST_F(SnapshotTest, GeneratedSnapshotsRecordTheGeneratingModel) {
+  SyntheticParams p;
+  p.user_count = 1500;
+  p.story_count = 40;
+  p.model_id = dynamics::kStochasticModelId;
+  p.stochastic.step = 4.0;
+  p.stochastic.horizon = platform::kMinutesPerDay;
+  stats::Rng rng(9);
+  (void)generate_corpus_to_snapshot(p, rng, snap());
+  EXPECT_EQ(load_snapshot_mmap(snap()).model_id,
+            dynamics::kStochasticModelId);
 }
 
 }  // namespace

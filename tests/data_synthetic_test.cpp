@@ -9,10 +9,14 @@
 #include <filesystem>
 #include <map>
 #include <numeric>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "src/data/corpus.h"
+#include "src/data/scenario.h"
 #include "src/data/snapshot.h"
+#include "src/dynamics/model.h"
 
 namespace digg::data {
 namespace {
@@ -295,6 +299,117 @@ TEST(GenerateCorpus, CalibratedAgainstZhuMarginals) {
   std::sort(story_votes.begin(), story_votes.end());
   EXPECT_GT(story_votes.back(),
             8.0 * story_votes[story_votes.size() / 2]);
+}
+
+// --- pluggable models ----------------------------------------------------
+
+// The eager/streamed bit-identity contract must hold for EVERY registered
+// model, not just the one the goldens pin — a model that draws outside its
+// split(story_id) substream would break here first.
+TEST(GenerateCorpusToSnapshot, BitIdenticalUnderEveryRegisteredModel) {
+  for (const std::string& model_id : dynamics::registered_model_ids()) {
+    SCOPED_TRACE("model " + model_id);
+    SyntheticParams params = small_params();
+    params.model_id = model_id;
+    params.stochastic.step = 4.0;  // keep the expensive model's runs fast
+    params.stochastic.horizon = 2.0 * platform::kMinutesPerDay;
+
+    stats::Rng rng_eager(11);
+    const SyntheticCorpus eager = generate_corpus(params, rng_eager);
+    EXPECT_EQ(eager.corpus.model_id, model_id);
+
+    const fs::path path =
+        fs::temp_directory_path() /
+        ("digg_streamed_model_" + std::to_string(::getpid()) + ".snap");
+    stats::Rng rng_stream(11);
+    const StreamedCorpusInfo info = generate_corpus_to_snapshot(
+        params, rng_stream, path,
+        /*chunk_target_bytes=*/std::size_t{1} << 16);
+    EXPECT_EQ(info.total_votes, eager.corpus.vote_store.total_votes());
+
+    const Corpus loaded = load_snapshot_mmap(path);
+    fs::remove(path);
+    EXPECT_EQ(loaded.model_id, model_id);
+
+    std::map<StoryId, const Story*> by_id;
+    for (const Story& s : eager.corpus.front_page) by_id[s.id] = &s;
+    for (const Story& s : eager.corpus.upcoming) by_id[s.id] = &s;
+    const auto check = [&](const Story& got) {
+      const auto it = by_id.find(got.id);
+      ASSERT_NE(it, by_id.end()) << "unknown story id " << got.id;
+      EXPECT_TRUE(same_votes(got, *it->second)) << "story " << got.id;
+    };
+    for (const Story& s : loaded.front_page) check(s);
+    for (const Story& s : loaded.upcoming) check(s);
+  }
+}
+
+TEST(GenerateCorpus, UnknownModelIdThrows) {
+  SyntheticParams p = small_params();
+  p.model_id = "no-such-model";
+  stats::Rng rng(1);
+  EXPECT_THROW((void)generate_corpus(p, rng), std::invalid_argument);
+}
+
+// --- scenario presets ----------------------------------------------------
+
+TEST(Scenarios, EveryNamedScenarioGeneratesAValidCorpus) {
+  const std::vector<std::string> names = scenario_names();
+  ASSERT_GE(names.size(), 5u);  // legacy + stochastic + 3 variants
+  std::set<std::string> models;
+  for (const std::string& name : names) {
+    SCOPED_TRACE("scenario " + name);
+    ScenarioSpec spec = make_scenario(name, 7);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_EQ(spec.seed, 7u);
+    downscale(spec, 3000, 60);
+    models.insert(spec.model_id());
+    stats::Rng rng(spec.seed);
+    const SyntheticCorpus syn = generate_corpus(spec.params, rng);
+    EXPECT_NO_THROW(validate(syn.corpus));
+    EXPECT_EQ(syn.corpus.model_id, spec.model_id());
+    EXPECT_EQ(syn.corpus.story_count(), 60u);
+  }
+  // The preset matrix must exercise every registered model.
+  for (const std::string& id : dynamics::registered_model_ids())
+    EXPECT_TRUE(models.count(id)) << id;
+}
+
+TEST(Scenarios, VariantsActuallyDiverge) {
+  // Same seed, different scenario params → different corpora. Guards
+  // against a preset silently collapsing into the default.
+  auto gen = [](const char* name) {
+    ScenarioSpec spec = make_scenario(name, 7);
+    downscale(spec, 3000, 60);
+    stats::Rng rng(spec.seed);
+    return generate_corpus(spec.params, rng);
+  };
+  const SyntheticCorpus stoch = gen("stochastic");
+  const SyntheticCorpus diversity = gen("stochastic-diversity");
+  const SyntheticCorpus flat = gen("stochastic-flat");
+  const SyntheticCorpus casual = gen("stochastic-casual");
+  const auto votes = [](const SyntheticCorpus& c) {
+    return c.corpus.vote_store.total_votes();
+  };
+  // Promotion-rule and activity-mix changes shift total votes; the flat
+  // network at least changes the graph.
+  EXPECT_NE(votes(stoch), votes(casual));
+  EXPECT_NE(stoch.corpus.network.edge_count(),
+            flat.corpus.network.edge_count());
+  EXPECT_TRUE(votes(stoch) != votes(diversity) ||
+              stoch.corpus.front_page.size() !=
+                  diversity.corpus.front_page.size());
+}
+
+TEST(Scenarios, UnknownNameThrowsListingKnownNames) {
+  try {
+    (void)make_scenario("not-a-scenario", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("not-a-scenario"), std::string::npos) << what;
+    EXPECT_NE(what.find("legacy"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

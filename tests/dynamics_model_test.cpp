@@ -1,0 +1,169 @@
+// The pluggable-model boundary: registry behaviour, generic parameter
+// access, and the determinism contract every Model implementation must
+// honour (per-story split(story_id) substreams — story runs must not
+// depend on RNG-consumption order).
+
+#include "src/dynamics/model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/dynamics/stochastic_model.h"
+#include "src/dynamics/vote_model.h"
+#include "src/graph/generators.h"
+
+namespace digg::dynamics {
+namespace {
+
+using platform::Platform;
+using platform::UserProfile;
+using platform::VoteCountPolicy;
+
+graph::Digraph make_network(std::uint64_t seed, std::size_t users) {
+  stats::Rng rng(seed);
+  graph::PreferentialAttachmentParams params;
+  params.node_count = users;
+  params.mean_out_degree = 4.0;
+  return graph::preferential_attachment(params, rng);
+}
+
+std::unique_ptr<Platform> make_platform(const graph::Digraph& network) {
+  return std::make_unique<Platform>(
+      network, std::vector<UserProfile>(network.node_count()),
+      std::make_unique<VoteCountPolicy>(43));
+}
+
+/// Shrinks a model's horizon/step so test runs stay fast, via the generic
+/// parameter interface (which is itself under test here).
+void speed_up(Model& model) {
+  ASSERT_TRUE(model.set_param("step", 4.0));
+  ASSERT_TRUE(model.set_param("horizon", platform::kMinutesPerDay));
+}
+
+TEST(ModelRegistry, BuiltinsAreRegistered) {
+  EXPECT_TRUE(model_registered(kLegacyModelId));
+  EXPECT_TRUE(model_registered(kStochasticModelId));
+  EXPECT_FALSE(model_registered("definitely-not-a-model"));
+
+  const std::vector<std::string> ids = registered_model_ids();
+  EXPECT_GE(ids.size(), 2u);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), kLegacyModelId), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), kStochasticModelId),
+            ids.end());
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(ModelRegistry, MakeModelRoundTripsIds) {
+  for (const std::string& id : registered_model_ids()) {
+    const std::unique_ptr<Model> model = make_model(id);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->id(), id);
+  }
+}
+
+TEST(ModelRegistry, UnknownIdThrowsListingKnownIds) {
+  try {
+    (void)make_model("no-such-model");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("no-such-model"), std::string::npos) << what;
+    // The error must name the valid choices — it doubles as CLI help.
+    EXPECT_NE(what.find(kLegacyModelId), std::string::npos) << what;
+    EXPECT_NE(what.find(kStochasticModelId), std::string::npos) << what;
+  }
+}
+
+TEST(ModelRegistry, RegisterRejectsDuplicateAndNull) {
+  // Re-registering a taken id keeps the existing prototype.
+  EXPECT_FALSE(register_model(std::make_unique<VoteModel>()));
+  EXPECT_THROW((void)register_model(nullptr), std::invalid_argument);
+}
+
+TEST(ModelParams, EveryModelExposesMutableParams) {
+  for (const std::string& id : registered_model_ids()) {
+    const std::unique_ptr<Model> model = make_model(id);
+    const std::vector<ModelParam> params = model->params();
+    ASSERT_FALSE(params.empty()) << id;
+    // Round-trip the first parameter through the by-name setter.
+    const ModelParam& first = params.front();
+    ASSERT_TRUE(model->set_param(first.name, first.value + 1.0)) << id;
+    EXPECT_EQ(model->params().front().value, first.value + 1.0) << id;
+    // Unknown names are rejected, not ignored.
+    EXPECT_FALSE(model->set_param("not_a_real_knob", 1.0)) << id;
+  }
+}
+
+TEST(ModelParams, CloneCarriesConfiguredValues) {
+  for (const std::string& id : registered_model_ids()) {
+    const std::unique_ptr<Model> model = make_model(id);
+    const std::string knob = model->params().front().name;
+    ASSERT_TRUE(model->set_param(knob, 123.5));
+    const std::unique_ptr<Model> copy = model->clone();
+    EXPECT_EQ(copy->id(), id);
+    EXPECT_EQ(copy->params().front().value, 123.5) << id;
+    // ...and the clone is detached from the original.
+    ASSERT_TRUE(copy->set_param(knob, 7.0));
+    EXPECT_EQ(model->params().front().value, 123.5) << id;
+  }
+}
+
+// The determinism contract: a story's votes depend only on (seed,
+// story_id, platform submissions), never on which other stories were
+// simulated first. Two platforms with identical submissions, one running
+// both stories and one running only the second, must produce bit-identical
+// votes for the shared story.
+TEST(ModelDeterminism, StoryRunsAreRngOrderIndependent) {
+  const graph::Digraph network = make_network(5, 2000);
+  for (const std::string& id : registered_model_ids()) {
+    const std::unique_ptr<Model> model = make_model(id);
+    speed_up(*model);
+
+    const auto submit_both = [](Platform& plat) {
+      const auto s0 = plat.submit(0, 0.8, 0.0);
+      const auto s1 = plat.submit(40, 0.6, 30.0);
+      return std::pair{s0, s1};
+    };
+
+    auto plat_a = make_platform(network);
+    const auto [a0, a1] = submit_both(*plat_a);
+    const auto sim_a = model->make_simulator(*plat_a, stats::Rng(99));
+    (void)sim_a->run_story(a0, {0.8, 0.5});
+    (void)sim_a->run_story(a1, {0.6, 0.4});
+
+    auto plat_b = make_platform(network);
+    const auto [b0, b1] = submit_both(*plat_b);
+    const auto sim_b = model->make_simulator(*plat_b, stats::Rng(99));
+    (void)sim_b->run_story(b1, {0.6, 0.4});  // story 0 never simulated
+
+    const platform::Story& a = plat_a->story(a1);
+    const platform::Story& b = plat_b->story(b1);
+    EXPECT_EQ(a.voters, b.voters) << id;
+    EXPECT_EQ(a.times, b.times) << id;
+    ASSERT_GE(b.vote_count(), 1u) << id;
+  }
+}
+
+// Same seed, same story → same run, across separately-built simulators.
+TEST(ModelDeterminism, SimulatorsAreReproducible) {
+  const graph::Digraph network = make_network(6, 2000);
+  for (const std::string& id : registered_model_ids()) {
+    const std::unique_ptr<Model> model = make_model(id);
+    speed_up(*model);
+    std::vector<platform::Minutes> times[2];
+    for (int rep = 0; rep < 2; ++rep) {
+      auto plat = make_platform(network);
+      const auto story = plat->submit(0, 0.7, 0.0);
+      const auto sim = model->make_simulator(*plat, stats::Rng(123));
+      (void)sim->run_story(story, {0.7, 0.6});
+      times[rep] = plat->story(story).times;
+    }
+    EXPECT_EQ(times[0], times[1]) << id;
+  }
+}
+
+}  // namespace
+}  // namespace digg::dynamics

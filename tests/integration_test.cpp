@@ -4,8 +4,10 @@
 // for the synthetic generator without touching analysis code.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
+#include <string>
 
 #include "src/core/experiment.h"
 #include "src/data/io.h"
@@ -24,7 +26,10 @@ class PipelineTest : public ::testing::Test {
     params.story_count = 250;  // default (calibrated) user count
     params.vote_model.step = 2.0;
     corpus_ = new data::SyntheticCorpus(data::generate_corpus(params, rng));
-    dir_ = fs::temp_directory_path() / "digg_integration_test";
+    // One directory per process: ctest runs each case as its own process in
+    // parallel, and a shared path races against a sibling's TearDownTestSuite.
+    dir_ = fs::temp_directory_path() /
+           ("digg_integration_test_" + std::to_string(::getpid()));
     fs::remove_all(dir_);
     data::save_corpus(corpus_->corpus, dir_);
     loaded_ = new data::Corpus(data::load_corpus(dir_));

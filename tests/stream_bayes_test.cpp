@@ -1,0 +1,276 @@
+// The online Bayes fit: the pure Gamma-Poisson arithmetic (bayes.h), the
+// engine's accumulation/fit hook, and checkpoint v2 (kill/resume carries
+// the exposure state bit-for-bit; config mismatches are refused).
+
+#include "src/stream/bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/features.h"
+#include "src/data/synthetic.h"
+#include "src/stream/checkpoint.h"
+#include "src/stream/engine.h"
+#include "src/stream/source.h"
+
+namespace digg::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- pure-arithmetic unit tests -----------------------------------------
+
+TEST(BayesFit, PosteriorMeansMatchConjugateFormulas) {
+  BayesFitParams p;
+  BayesEvidence e;
+  e.in_network_votes = 4;
+  e.out_network_votes = 6;
+  e.exposure_watcher_minutes = 8000.0;
+  e.elapsed_minutes = 600.0;
+  const BayesFit fit = fit_rates(p, e);
+  EXPECT_DOUBLE_EQ(fit.r_fan, (p.fan_prior_votes + 4.0) /
+                                  (p.fan_prior_exposure + 8000.0));
+  EXPECT_DOUBLE_EQ(fit.r_disc, (p.disc_prior_votes + 6.0) /
+                                   (p.disc_prior_minutes + 600.0));
+}
+
+TEST(BayesFit, NoEvidenceFallsBackToPrior) {
+  const BayesFitParams p;
+  const BayesFit fit = fit_rates(p, BayesEvidence{});
+  EXPECT_DOUBLE_EQ(fit.r_fan, p.fan_prior_votes / p.fan_prior_exposure);
+  EXPECT_DOUBLE_EQ(fit.r_disc, p.disc_prior_votes / p.disc_prior_minutes);
+}
+
+TEST(BayesFit, AudiencePerVoteIsCapped) {
+  BayesFitParams p;
+  BayesEvidence e;
+  e.votes = 2;
+  e.audience = 1e6;  // a mega-hub's fan union
+  const BayesFit fit = fit_rates(p, e);
+  EXPECT_EQ(fit.audience_per_vote, p.max_audience_per_vote);
+}
+
+TEST(BayesForward, PredictionNeverBelowObservedVotes) {
+  const BayesFitParams p;
+  BayesEvidence e;
+  e.votes = 11;
+  e.elapsed_minutes = 300.0;
+  const double n = expected_final_votes(p, e, fit_rates(p, e));
+  EXPECT_GE(n, 11.0);
+}
+
+TEST(BayesForward, HotterRatesPredictMoreVotes) {
+  const BayesFitParams p;
+  BayesEvidence e;
+  e.votes = 11;
+  e.elapsed_minutes = 120.0;
+  e.audience = 400.0;
+  BayesFit cold = fit_rates(p, e);
+  BayesFit hot = cold;
+  hot.r_fan *= 50.0;
+  hot.r_disc *= 50.0;
+  EXPECT_GT(expected_final_votes(p, e, hot),
+            expected_final_votes(p, e, cold));
+}
+
+TEST(BayesForward, PromotionThresholdZeroNeverPromotes) {
+  BayesFitParams p;
+  BayesEvidence e;
+  e.votes = 11;
+  e.elapsed_minutes = 120.0;
+  e.audience = 200.0;
+  BayesFit fit = fit_rates(p, e);
+  fit.r_disc = 0.4;  // enough discovery flow to cross 43 in the queue
+  const double promoted = expected_final_votes(p, e, fit);
+  p.promotion_threshold = 0;
+  const double never = expected_final_votes(p, e, fit);
+  // The front-page gain only fires in the promoting run.
+  EXPECT_GT(promoted, never);
+}
+
+// --- engine integration --------------------------------------------------
+
+const data::SyntheticCorpus& corpus() {
+  static const data::SyntheticCorpus c = [] {
+    stats::Rng rng(42);
+    data::SyntheticParams params;
+    params.user_count = 20000;
+    params.story_count = 250;
+    params.vote_model.step = 2.0;
+    return data::generate_corpus(params, rng);
+  }();
+  return c;
+}
+
+const EventStream& stream() {
+  static const EventStream s = build_event_stream(corpus().corpus);
+  return s;
+}
+
+StreamParams bayes_params() {
+  StreamParams p;
+  p.bayes.enabled = true;
+  return p;
+}
+
+TEST(StreamBayes, FitsFireOnceStoriesPassTheFitPoint) {
+  StreamEngine engine(stream(), corpus().corpus.network, bayes_params());
+  engine.run_all();
+  const StreamResult result = engine.result();
+  std::size_t fits = 0;
+  for (const StoryOutcome& o : result.stories) {
+    // The verdict exists exactly for stories that reached fit_at + 1 votes.
+    EXPECT_EQ(o.bayes_interesting.has_value(), o.final_votes >= 11u);
+    if (!o.bayes_interesting) continue;
+    ++fits;
+    EXPECT_GE(o.bayes_expected_final, 11.0);
+    EXPECT_EQ(*o.bayes_interesting,
+              o.bayes_expected_final >
+                  static_cast<double>(core::kInterestingnessThreshold));
+  }
+  ASSERT_GT(fits, 0u);
+}
+
+TEST(StreamBayes, DisabledEngineEmitsNoVerdicts) {
+  StreamEngine engine(stream(), corpus().corpus.network);
+  engine.run_all();
+  for (const StoryOutcome& o : engine.result().stories) {
+    EXPECT_FALSE(o.bayes_interesting.has_value());
+    EXPECT_EQ(o.bayes_expected_final, 0.0);
+  }
+}
+
+TEST(StreamBayes, EstimatesTrackFinalVotesDirectionally) {
+  // Not a calibration test — just that the fitted model orders a clearly
+  // hot story above a clearly cold one, on average. Compare the mean
+  // prediction of the top and bottom quartile of fitted stories by final
+  // votes.
+  StreamEngine engine(stream(), corpus().corpus.network, bayes_params());
+  engine.run_all();
+  std::vector<std::pair<std::size_t, double>> fitted;  // (final, predicted)
+  for (const StoryOutcome& o : engine.result().stories)
+    if (o.bayes_interesting)
+      fitted.emplace_back(o.final_votes, o.bayes_expected_final);
+  ASSERT_GE(fitted.size(), 20u);
+  std::sort(fitted.begin(), fitted.end());
+  const std::size_t q = fitted.size() / 4;
+  double lo = 0, hi = 0;
+  for (std::size_t i = 0; i < q; ++i) {
+    lo += fitted[i].second;
+    hi += fitted[fitted.size() - 1 - i].second;
+  }
+  EXPECT_GT(hi, lo);
+}
+
+TEST(StreamBayes, FitAtMustFitTheCascadeWindow) {
+  StreamParams p = bayes_params();
+  p.bayes.fit_at = 0;
+  EXPECT_THROW(StreamEngine(stream(), corpus().corpus.network, p),
+               std::invalid_argument);
+  p.bayes.fit_at = 21;  // last cascade checkpoint is 20
+  EXPECT_THROW(StreamEngine(stream(), corpus().corpus.network, p),
+               std::invalid_argument);
+}
+
+// --- checkpoint v2 -------------------------------------------------------
+
+class StreamBayesCkpt : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("digg_stream_bayes_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] fs::path file(const std::string& name) const {
+    return dir_ / name;
+  }
+
+ private:
+  fs::path dir_;
+};
+
+TEST_F(StreamBayesCkpt, KillResumeIsBitIdenticalAcrossTheFitPoint) {
+  // Cut mid-stream so plenty of stories are still accumulating exposure
+  // below fit_at: the resumed engine must carry that state, fit later, and
+  // land on exactly the uninterrupted result.
+  const auto& net = corpus().corpus.network;
+  StreamEngine reference(stream(), net, bayes_params());
+  reference.run_all();
+  const StreamResult expect = reference.result();
+
+  for (const double frac : {0.1, 0.5, 0.9}) {
+    StreamEngine first(stream(), net, bayes_params());
+    first.run_until(static_cast<std::uint64_t>(
+        static_cast<double>(stream().total_events()) * frac));
+    const fs::path ckpt = file("cut.ckpt");
+    first.save_checkpoint(ckpt);
+
+    StreamEngine resumed(stream(), net, bayes_params());
+    resumed.restore_checkpoint(ckpt);
+    resumed.run_all();
+    const StreamResult got = resumed.result();
+    ASSERT_EQ(got.stories.size(), expect.stories.size());
+    for (std::size_t i = 0; i < got.stories.size(); ++i) {
+      EXPECT_EQ(got.stories[i].bayes_interesting,
+                expect.stories[i].bayes_interesting);
+      EXPECT_EQ(got.stories[i].bayes_expected_final,
+                expect.stories[i].bayes_expected_final);
+      EXPECT_EQ(got.stories[i].final_votes, expect.stories[i].final_votes);
+    }
+  }
+}
+
+TEST_F(StreamBayesCkpt, ConfigMismatchIsRefusedBothWays) {
+  const auto& net = corpus().corpus.network;
+  const fs::path with = file("with.ckpt");
+  const fs::path without = file("without.ckpt");
+  {
+    StreamEngine e(stream(), net, bayes_params());
+    e.run_until(stream().total_events() / 2);
+    e.save_checkpoint(with);
+  }
+  {
+    StreamEngine e(stream(), net);
+    e.run_until(stream().total_events() / 2);
+    e.save_checkpoint(without);
+  }
+  {
+    StreamEngine plain(stream(), net);
+    EXPECT_THROW(plain.restore_checkpoint(with), std::runtime_error);
+  }
+  {
+    StreamEngine bayes(stream(), net, bayes_params());
+    EXPECT_THROW(bayes.restore_checkpoint(without), std::runtime_error);
+  }
+  {
+    StreamParams other = bayes_params();
+    other.bayes.fit_at = 6;
+    StreamEngine different(stream(), net, other);
+    EXPECT_THROW(different.restore_checkpoint(with), std::runtime_error);
+  }
+}
+
+TEST_F(StreamBayesCkpt, CheckpointReportsVersionTwo) {
+  const fs::path ckpt = file("v2.ckpt");
+  StreamEngine e(stream(), corpus().corpus.network, bayes_params());
+  e.run_until(1000);
+  e.save_checkpoint(ckpt);
+  const CheckpointInfo info = read_checkpoint_info(ckpt);
+  EXPECT_EQ(info.version, kStreamCheckpointVersion);
+  EXPECT_EQ(info.events_applied, 1000u);
+}
+
+}  // namespace
+}  // namespace digg::stream

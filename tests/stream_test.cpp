@@ -58,6 +58,8 @@ void expect_same_outcome(const StoryOutcome& a, const StoryOutcome& b) {
   EXPECT_EQ(a.final_votes, b.final_votes);
   EXPECT_EQ(a.interesting, b.interesting);
   EXPECT_EQ(a.predicted_interesting, b.predicted_interesting);
+  EXPECT_EQ(a.bayes_interesting, b.bayes_interesting);
+  EXPECT_EQ(a.bayes_expected_final, b.bayes_expected_final);
   EXPECT_EQ(a.promoted_time, b.promoted_time);
 }
 
@@ -514,6 +516,8 @@ TEST_F(StreamTest, RejectsForgedProgressColumns) {
   meta.pod<std::uint64_t>(stories);
   meta.pod<std::uint64_t>(core::kInterestingnessThreshold);
   meta.pod<std::uint32_t>(43);
+  meta.pod<std::uint32_t>(0);  // bayes fit disabled
+  meta.pod<std::uint32_t>(0);  // bayes fit_at (unread when disabled)
   meta.pod<std::uint32_t>(3);
   for (std::uint32_t cp : {6u, 10u, 20u}) meta.pod<std::uint32_t>(cp);
   meta.pod<std::uint32_t>(3);
