@@ -149,6 +149,8 @@ def self_test():
                                "x.bayes_fit_ns_per_vote": 40.0,
                                "x.ingest_story_us_p99": 120.0,
                                "x.bench_ipc": 2.0,
+                               "serve.ingest_votes_per_sec": 2.0e6,
+                               "serve.query_us_p99": 150.0,
                                "x.some_ratio": 0.5}},
     }
 
@@ -158,10 +160,12 @@ def self_test():
         gauges["x.bench_votes_per_sec"] *= scale_throughput
         gauges["x.scenario_gen_votes_per_sec"] *= scale_throughput
         gauges["x.bench_ipc"] *= scale_throughput
+        gauges["serve.ingest_votes_per_sec"] *= scale_throughput
         gauges["x.bench_replay_ms"] *= scale_latency
         gauges["x.union_ns_per_op"] *= scale_latency
         gauges["x.bayes_fit_ns_per_vote"] *= scale_latency
         gauges["x.ingest_story_us_p99"] *= scale_latency
+        gauges["serve.query_us_p99"] *= scale_latency
         return doc
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -170,7 +174,8 @@ def self_test():
             (tmp / sub).mkdir()
         (tmp / "baseline" / "BENCH_x.json").write_text(json.dumps(base))
         # 30% throughput/IPC drop AND 30% latency/ns-op/p99 growth: all
-        # seven gated gauges must trip.
+        # nine gated gauges (including the serve ingest/query pair) must
+        # trip.
         (tmp / "slow" / "BENCH_x.json").write_text(
             json.dumps(variant(0.7, 1.3))
         )
@@ -185,7 +190,7 @@ def self_test():
         (tmp / "nopmu" / "BENCH_x.json").write_text(json.dumps(nopmu))
 
         slow = compare_dirs(tmp / "baseline", tmp / "slow", 0.25)
-        assert len(slow) == 7, f"expected 7 failures, got {slow}"
+        assert len(slow) == 9, f"expected 9 failures, got {slow}"
         fine = compare_dirs(tmp / "baseline", tmp / "fine", 0.25)
         assert fine == [], f"expected clean pass, got {fine}"
         vanished_ipc = compare_dirs(tmp / "baseline", tmp / "nopmu", 0.25)

@@ -12,20 +12,27 @@
 #                         checkpoint save/restore latency)
 #   BENCH_visibility.json perf_visibility (hybrid-set fan-union and
 #                         membership ns/op, replay state bytes)
+#   BENCH_serve.json      perf_serve (sustained multi-client live ingest
+#                         over loopback TCP + online query tail latency;
+#                         gates serve.ingest_votes_per_sec and
+#                         serve.query_us_p99)
 #
 # Usage: scripts/bench_snapshot.sh [extra perf_micro args...]
 #   BUILD_DIR       build directory (default build-release)
 #   BENCH_MIN_TIME  --benchmark_min_time seconds (default 0.05; benchmark
 #                   1.7.x takes a bare float)
+#   SERVE_VOTES     perf_serve total vote volume (default 2000000; the
+#                   nightly perf job raises it)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-release}
 BENCH_MIN_TIME=${BENCH_MIN_TIME:-0.05}
+SERVE_VOTES=${SERVE_VOTES:-2000000}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target perf_micro --target perf_corpus_io \
-  --target perf_stream --target perf_visibility
+  --target perf_stream --target perf_visibility --target perf_serve
 
 "$BUILD_DIR/bench/perf_micro" \
   --json BENCH_parallel.json \
@@ -43,3 +50,6 @@ echo "wrote $(pwd)/BENCH_stream.json"
 
 "$BUILD_DIR/bench/perf_visibility" --json BENCH_visibility.json
 echo "wrote $(pwd)/BENCH_visibility.json"
+
+"$BUILD_DIR/bench/perf_serve" --json BENCH_serve.json --votes "$SERVE_VOTES"
+echo "wrote $(pwd)/BENCH_serve.json"

@@ -12,9 +12,18 @@
 #            downscaled via LARGE_USERS/LARGE_STORIES so the smoke stays
 #            minutes-cheap; the nightly perf job runs the full million)
 #   obs      Release build + the telemetry-exporter smoke: run perf_stream
-#            with DIGG_METRICS_PORT set and --serve-ms holding the process
-#            alive, curl the endpoint, and verify the Prometheus text
-#            exposition (TYPE lines, histogram buckets, ingest counter)
+#            with DIGG_METRICS_PORT=0 (ephemeral bind, port parsed from the
+#            DIGG_METRICS_PORT_BOUND= stdout line) and --serve-ms holding
+#            the process alive, curl the endpoint, and verify the
+#            Prometheus text exposition (TYPE lines, histogram buckets,
+#            ingest counter)
+#   serve    Release build + the ingest-server smoke: start serve_digg on
+#            an ephemeral port (parsed from DIGG_SERVE_PORT_BOUND=) with
+#            background checkpointing on, drive a few thousand votes over
+#            several connections with serve_load --smoke (which also
+#            verifies every reply against a local engine and demands v10
+#            predictions), SIGTERM the server, and assert a clean drain
+#            plus a restorable checkpoint (serve_digg --inspect)
 #   scenarios
 #            Release build + the scenario-engine smoke: run the fig7
 #            prediction-comparison bench in --smoke mode (downscaled
@@ -27,7 +36,7 @@
 # job via this script, so CI legs are reproducible locally with the same
 # command CI uses.
 #
-# Usage: scripts/ci.sh [release|asan|tsan|large|obs|scenarios|all] [ctest args...]
+# Usage: scripts/ci.sh [release|asan|tsan|large|obs|serve|scenarios|all] [ctest args...]
 #   RELEASE_DIR / ASAN_DIR / TSAN_DIR
 #                build dirs (default build-release, build-asan, build-tsan)
 #   JOBS         parallelism (default nproc)
@@ -45,18 +54,41 @@ ASAN_DIR=${ASAN_DIR:-build-asan}
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 WERROR=${WERROR:-OFF}
-TSAN_LABELS=${TSAN_LABELS:-'^(runtime_test|stream_test|obs_test|digg_hybrid_set_test)$'}
+TSAN_LABELS=${TSAN_LABELS:-'^(runtime_test|stream_test|obs_test|digg_hybrid_set_test|serve_test)$'}
 LARGE_USERS=${LARGE_USERS:-200000}
 LARGE_STORIES=${LARGE_STORIES:-200}
 
 MODE=all
 case "${1:-}" in
-  release|asan|tsan|large|obs|scenarios|all)
+  release|asan|tsan|large|obs|serve|scenarios|all)
     MODE=$1
     shift
     ;;
 esac
 CTEST_ARGS=("$@")
+
+# wait_for_line <pid> <log> <prefix>: polls <log> until a line starting with
+# <prefix> appears (echoes the remainder) or <pid> exits (fails). Both the
+# obs and serve smokes bind ephemeral ports and advertise them this way.
+wait_for_line() {
+  local pid=$1 log=$2 prefix=$3 value=""
+  for _ in $(seq 1 120); do
+    value=$(sed -n "s/^${prefix}//p" "$log" | head -n1)
+    if [[ -n $value ]]; then
+      echo "$value"
+      return 0
+    fi
+    kill -0 "$pid" 2>/dev/null || {
+      echo "smoke: process exited before printing ${prefix}" >&2
+      cat "$log" >&2
+      return 1
+    }
+    sleep 0.5
+  done
+  echo "smoke: timed out waiting for ${prefix}" >&2
+  cat "$log" >&2
+  return 1
+}
 
 # run_config <dir> <label> [cmake args...] [-- ctest args...]
 run_config() {
@@ -92,12 +124,14 @@ if [[ $MODE == obs || $MODE == all ]]; then
     -DCMAKE_BUILD_TYPE=Release
   cmake --build "$RELEASE_DIR" -j "$JOBS" --target perf_stream
   echo "== [exporter smoke] serve + scrape =="
-  OBS_PORT=$(( (RANDOM % 20000) + 20000 ))
-  DIGG_METRICS_PORT=$OBS_PORT "$RELEASE_DIR"/bench/perf_stream \
-    --serve-ms 60000 &
+  OBS_LOG=$(mktemp)
+  DIGG_METRICS_PORT=0 "$RELEASE_DIR"/bench/perf_stream \
+    --serve-ms 60000 >"$OBS_LOG" 2>&1 &
   OBS_PID=$!
   # shellcheck disable=SC2064  # expand $OBS_PID now, not at trap time
-  trap "kill $OBS_PID 2>/dev/null || true" EXIT
+  trap "kill $OBS_PID 2>/dev/null || true; rm -f $OBS_LOG" EXIT
+  # Ephemeral bind: the exporter prints the port it actually got.
+  OBS_PORT=$(wait_for_line "$OBS_PID" "$OBS_LOG" "DIGG_METRICS_PORT_BOUND=")
   # The exporter answers as soon as the corpus generates, well before the
   # replay populates histograms — keep scraping until the ingest counter
   # shows up, not merely until some exposition arrives.
@@ -123,7 +157,49 @@ if [[ $MODE == obs || $MODE == all ]]; then
       exit 1
     fi
   done
+  rm -f "$OBS_LOG"
   echo "exporter smoke: Prometheus exposition ok ($(wc -l <<<"$scrape") lines)"
+fi
+
+if [[ $MODE == serve || $MODE == all ]]; then
+  echo "== [serve smoke] configure + build ($RELEASE_DIR) =="
+  cmake -B "$RELEASE_DIR" -S . -DDIGG_WERROR="$WERROR" \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$RELEASE_DIR" -j "$JOBS" --target serve_digg serve_load
+  echo "== [serve smoke] ingest + query + drain + restore =="
+  SERVE_TMP=$(mktemp -d)
+  SERVE_LOG="$SERVE_TMP/serve.log"
+  SERVE_CKPT="$SERVE_TMP/serve.ckpt"
+  DIGG_CHECKPOINT_MS=500 "$RELEASE_DIR"/examples/serve_digg --smoke \
+    --checkpoint "$SERVE_CKPT" >"$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  # shellcheck disable=SC2064  # expand now, not at trap time
+  trap "kill $SERVE_PID 2>/dev/null || true; rm -rf $SERVE_TMP" EXIT
+  SERVE_PORT=$(wait_for_line "$SERVE_PID" "$SERVE_LOG" "DIGG_SERVE_PORT_BOUND=")
+  # Drive the corpus at the server over several connections; --smoke also
+  # verifies every state/prediction reply against a local engine.
+  "$RELEASE_DIR"/examples/serve_load --smoke --port "$SERVE_PORT"
+  # SIGTERM -> graceful drain -> final checkpoint, and the process exits 0.
+  kill -TERM "$SERVE_PID"
+  if ! wait "$SERVE_PID"; then
+    echo "serve smoke: serve_digg exited non-zero after SIGTERM" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  if ! grep -q '^drained: ' "$SERVE_LOG"; then
+    echo "serve smoke: no drain line in the server log" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  # The drain checkpoint must be complete and restorable.
+  "$RELEASE_DIR"/examples/serve_digg --inspect "$SERVE_CKPT" \
+    | grep -q '^checkpoint ok: ' || {
+      echo "serve smoke: drain checkpoint failed inspection" >&2
+      exit 1
+    }
+  trap - EXIT
+  rm -rf "$SERVE_TMP"
+  echo "serve smoke: ingest, verify, drain, and restore all green"
 fi
 
 if [[ $MODE == scenarios || $MODE == all ]]; then

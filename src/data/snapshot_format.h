@@ -42,6 +42,9 @@
 //    8 MODELINFO     generative model id       (snapshot.cpp)
 //   16 STREAM_META   stream checkpoint header  (src/stream/checkpoint.cpp)
 //   17 STREAM_STATE  stream per-story progress (src/stream/checkpoint.cpp)
+//   18 SERVE_STORIES live-ingest story identities + bounded vote prefixes
+//                    (src/stream/checkpoint.cpp; present in live-mode
+//                    checkpoints only)
 // Unknown types are ignored by readers (forward-compatible extensions);
 // claim a fresh id here before writing a new section kind. A type may
 // repeat (chunked sections); `find`/`open` return the first entry and
@@ -81,6 +84,7 @@ enum SectionType : std::uint32_t {
   kModelInfo = 8,
   kStreamMeta = 16,
   kStreamState = 17,
+  kServeStories = 18,
 };
 
 struct SectionEntry {

@@ -164,6 +164,10 @@ std::uint16_t start_exporter(std::uint16_t port, unsigned tick_ms) {
   (void)atexit_registered;
   log_info("obs", "metrics exporter listening",
            {{"port", std::to_string(bound_port)}});
+  // CI smokes bind port 0 (ephemeral) and parse this exact line to find the
+  // endpoint — keep the format in sync with scripts/ci.sh.
+  std::printf("DIGG_METRICS_PORT_BOUND=%u\n", bound_port);
+  std::fflush(stdout);
   return bound_port;
 }
 

@@ -1,0 +1,106 @@
+#pragma once
+// Minimal blocking client helpers for the serve protocol — shared by the
+// load driver (examples/serve_load.cpp), the ingest bench
+// (bench/perf_serve.cpp), and the e2e tests. Deliberately synchronous:
+// clients pre-encode frames and push them in large writes; the server side
+// owns all the non-blocking machinery.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/protocol.h"
+
+namespace digg::serve {
+
+/// Connects to 127.0.0.1:port with TCP_NODELAY; returns -1 on failure.
+inline int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Blocking full write; false when the peer dies first.
+inline bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const auto w = ::write(fd, data + off, n - off);
+    if (w <= 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Blocking-reads frames until `want` messages have arrived. Any kError
+/// frame or protocol violation fails the call with `error` set. Appends to
+/// `out` (so barrier-then-query phases can share one decoder).
+inline bool read_messages(int fd, FrameDecoder& decoder,
+                          std::vector<Message>& out, std::size_t want,
+                          std::string& error) {
+  char buf[64 << 10];
+  while (out.size() < want) {
+    bool progressed = false;
+    try {
+      Message msg;
+      while (out.size() < want && decoder.next(msg)) {
+        if (const auto* e = std::get_if<ErrorMsg>(&msg)) {
+          error = "server error code=" +
+                  std::to_string(static_cast<unsigned>(e->code)) +
+                  " detail=" + std::to_string(e->detail);
+          return false;
+        }
+        out.push_back(msg);
+        progressed = true;
+      }
+    } catch (const ProtocolError& e) {
+      error = e.what();
+      return false;
+    }
+    if (out.size() >= want || progressed) continue;
+    const auto n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      error = "connection closed mid-reply";
+      return false;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Sends a sync barrier and blocks for its reply. Events written before
+/// this call are guaranteed applied once it returns (protocol.h contract).
+inline bool sync_barrier(int fd, FrameDecoder& decoder, std::uint32_t token,
+                         std::string& error) {
+  std::vector<char> frame;
+  encode(SyncMsg{token}, frame);
+  if (!write_all(fd, frame.data(), frame.size())) {
+    error = "sync write failed";
+    return false;
+  }
+  std::vector<Message> replies;
+  if (!read_messages(fd, decoder, replies, 1, error)) return false;
+  const auto* r = std::get_if<SyncReplyMsg>(&replies[0]);
+  if (r == nullptr || r->token != token) {
+    error = "bad sync reply";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace digg::serve

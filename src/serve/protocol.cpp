@@ -1,0 +1,243 @@
+#include "src/serve/protocol.h"
+
+#include <cstring>
+
+namespace digg::serve {
+namespace {
+
+// Little-endian wire helpers. The repo only targets little-endian hosts
+// (the DIGGSNAP reader static_asserts as much), so these are memcpys that
+// the compiler folds into plain loads/stores.
+
+template <typename T>
+void put(std::vector<char>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = out.size();
+  out.resize(n + sizeof(T));
+  std::memcpy(out.data() + n, &v, sizeof(T));
+}
+
+class BodyReader {
+ public:
+  BodyReader(const char* data, std::size_t n) : data_(data), size_(n) {}
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size_ - off_ < sizeof(T))
+      throw ProtocolError("serve frame body truncated");
+    T v;
+    std::memcpy(&v, data_ + off_, sizeof(T));
+    off_ += sizeof(T);
+    return v;
+  }
+
+  void finish(const char* what) const {
+    if (off_ != size_)
+      throw ProtocolError(std::string("serve frame body oversized for ") +
+                          what);
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+struct Encoder {
+  std::vector<char>& out;
+  std::size_t len_at;  // offset of the u32 length placeholder
+
+  explicit Encoder(std::vector<char>& o, MsgType type) : out(o) {
+    len_at = out.size();
+    put<std::uint32_t>(out, 0);  // patched in the destructor
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(type));
+  }
+  ~Encoder() {
+    const auto body = static_cast<std::uint32_t>(out.size() - len_at - 4);
+    std::memcpy(out.data() + len_at, &body, sizeof(body));
+  }
+};
+
+}  // namespace
+
+void encode(const Message& msg, std::vector<char>& out) {
+  std::visit(
+      [&out](const auto& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, VoteMsg>) {
+          Encoder e(out, MsgType::kVote);
+          put(out, m.story_id);
+          put(out, m.voter);
+          put(out, m.time);
+        } else if constexpr (std::is_same_v<M, SubmitMsg>) {
+          Encoder e(out, MsgType::kSubmit);
+          put(out, m.story_id);
+          put(out, m.submitter);
+          put(out, m.time);
+        } else if constexpr (std::is_same_v<M, QueryStateMsg>) {
+          Encoder e(out, MsgType::kQueryState);
+          put(out, m.story_id);
+        } else if constexpr (std::is_same_v<M, QueryPredictMsg>) {
+          Encoder e(out, MsgType::kQueryPredict);
+          put(out, m.story_id);
+        } else if constexpr (std::is_same_v<M, SyncMsg>) {
+          Encoder e(out, MsgType::kSync);
+          put(out, m.token);
+        } else if constexpr (std::is_same_v<M, StateReplyMsg>) {
+          Encoder e(out, MsgType::kStateReply);
+          put(out, m.story_id);
+          put(out, m.found);
+          put(out, m.votes);
+          put(out, m.fans1);
+          put(out, static_cast<std::uint32_t>(m.cascade.size()));
+          for (const auto v : m.cascade) put(out, v);
+          put(out, m.promoted);
+          put(out, m.promoted_time);
+        } else if constexpr (std::is_same_v<M, PredictReplyMsg>) {
+          Encoder e(out, MsgType::kPredictReply);
+          put(out, m.story_id);
+          put(out, m.found);
+          put(out, m.has_c45);
+          put(out, m.c45_yes);
+          put(out, m.has_bayes);
+          put(out, m.bayes_yes);
+          put(out, m.bayes_expected_final);
+        } else if constexpr (std::is_same_v<M, SyncReplyMsg>) {
+          Encoder e(out, MsgType::kSyncReply);
+          put(out, m.token);
+        } else if constexpr (std::is_same_v<M, ErrorMsg>) {
+          Encoder e(out, MsgType::kError);
+          put(out, static_cast<std::uint8_t>(m.code));
+          put(out, m.detail);
+        }
+      },
+      msg);
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (poisoned_) throw ProtocolError("serve decoder poisoned");
+  // Compact the consumed prefix before growing; keeps the buffer bounded by
+  // one partial frame plus whatever the last read appended.
+  if (off_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool FrameDecoder::next(Message& out) {
+  if (poisoned_) throw ProtocolError("serve decoder poisoned");
+  if (buf_.size() - off_ < 4) return false;
+  std::uint32_t body_len;
+  std::memcpy(&body_len, buf_.data() + off_, sizeof(body_len));
+  if (body_len == 0 || body_len > kMaxFrameBytes) {
+    poisoned_ = true;
+    throw ProtocolError("serve frame length out of range: " +
+                        std::to_string(body_len));
+  }
+  if (buf_.size() - off_ < 4 + static_cast<std::size_t>(body_len))
+    return false;
+  const char* body = buf_.data() + off_ + 4;
+  // Consume the frame up front: a throw below must not leave the decoder
+  // pointing at the bad frame (it is poisoned anyway, but keep invariants).
+  off_ += 4 + static_cast<std::size_t>(body_len);
+
+  try {
+    BodyReader r(body + 1, body_len - 1);
+    switch (static_cast<MsgType>(static_cast<std::uint8_t>(body[0]))) {
+      case MsgType::kVote: {
+        VoteMsg m;
+        m.story_id = r.pod<std::uint32_t>();
+        m.voter = r.pod<std::uint32_t>();
+        m.time = r.pod<double>();
+        r.finish("vote");
+        out = m;
+        return true;
+      }
+      case MsgType::kSubmit: {
+        SubmitMsg m;
+        m.story_id = r.pod<std::uint32_t>();
+        m.submitter = r.pod<std::uint32_t>();
+        m.time = r.pod<double>();
+        r.finish("submit");
+        out = m;
+        return true;
+      }
+      case MsgType::kQueryState: {
+        QueryStateMsg m;
+        m.story_id = r.pod<std::uint32_t>();
+        r.finish("query_state");
+        out = m;
+        return true;
+      }
+      case MsgType::kQueryPredict: {
+        QueryPredictMsg m;
+        m.story_id = r.pod<std::uint32_t>();
+        r.finish("query_predict");
+        out = m;
+        return true;
+      }
+      case MsgType::kSync: {
+        SyncMsg m;
+        m.token = r.pod<std::uint32_t>();
+        r.finish("sync");
+        out = m;
+        return true;
+      }
+      case MsgType::kStateReply: {
+        StateReplyMsg m;
+        m.story_id = r.pod<std::uint32_t>();
+        m.found = r.pod<std::uint8_t>();
+        m.votes = r.pod<std::uint64_t>();
+        m.fans1 = r.pod<std::uint32_t>();
+        const auto count = r.pod<std::uint32_t>();
+        if (count > kMaxFrameBytes / sizeof(std::uint32_t))
+          throw ProtocolError("state reply cascade count out of range");
+        m.cascade.resize(count);
+        for (auto& v : m.cascade) v = r.pod<std::uint32_t>();
+        m.promoted = r.pod<std::uint8_t>();
+        m.promoted_time = r.pod<double>();
+        r.finish("state_reply");
+        out = m;
+        return true;
+      }
+      case MsgType::kPredictReply: {
+        PredictReplyMsg m;
+        m.story_id = r.pod<std::uint32_t>();
+        m.found = r.pod<std::uint8_t>();
+        m.has_c45 = r.pod<std::uint8_t>();
+        m.c45_yes = r.pod<std::uint8_t>();
+        m.has_bayes = r.pod<std::uint8_t>();
+        m.bayes_yes = r.pod<std::uint8_t>();
+        m.bayes_expected_final = r.pod<double>();
+        r.finish("predict_reply");
+        out = m;
+        return true;
+      }
+      case MsgType::kSyncReply: {
+        SyncReplyMsg m;
+        m.token = r.pod<std::uint32_t>();
+        r.finish("sync_reply");
+        out = m;
+        return true;
+      }
+      case MsgType::kError: {
+        ErrorMsg m;
+        m.code = static_cast<ErrorCode>(r.pod<std::uint8_t>());
+        m.detail = r.pod<std::uint32_t>();
+        r.finish("error");
+        out = m;
+        return true;
+      }
+    }
+    throw ProtocolError("unknown serve message type " +
+                        std::to_string(static_cast<unsigned>(
+                            static_cast<std::uint8_t>(body[0]))));
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+}  // namespace digg::serve

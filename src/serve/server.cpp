@@ -1,0 +1,718 @@
+#include "src/serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/runtime/parallel.h"
+#include "src/serve/protocol.h"
+
+namespace digg::serve {
+namespace {
+
+constexpr std::uint32_t kShards = stream::StreamEngine::kShardCount;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Story id -> slot, owned (and only touched) by the front-end thread.
+/// Dense direct-map for small ids — the common case, ids are often near-
+/// consecutive — with an unordered_map overflow for sparse ones.
+class IdMap {
+ public:
+  static constexpr std::uint32_t kDenseLimit = 1u << 22;
+
+  /// Returns the slot + 1, or 0 when absent (slots fit comfortably).
+  std::uint32_t lookup(std::uint32_t id) const {
+    if (id < dense_.size()) return dense_[id];
+    const auto it = overflow_.find(id);
+    return it == overflow_.end() ? 0 : it->second;
+  }
+
+  void insert(std::uint32_t id, std::uint32_t slot) {
+    if (id < kDenseLimit) {
+      if (id >= dense_.size()) dense_.resize(std::max<std::size_t>(id + 1, 1024), 0);
+      dense_[id] = slot + 1;
+    } else {
+      overflow_[id] = slot + 1;
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> dense_;
+  std::unordered_map<std::uint32_t, std::uint32_t> overflow_;
+};
+
+}  // namespace
+
+Server::Server(const graph::Digraph& network, ServeParams params)
+    : network_(&network),
+      params_(std::move(params)),
+      engine_(network, params_.stream) {
+  if (params_.checkpoint_ms > 0 && params_.checkpoint_path.empty())
+    throw std::invalid_argument(
+        "serve: checkpoint_ms set without a checkpoint_path");
+  submit_q_ = std::make_unique<MpscQueue<SubmitEntry>>(params_.ring_capacity);
+  vote_q_.reserve(kShards);
+  for (std::uint32_t s = 0; s < kShards; ++s)
+    vote_q_.push_back(
+        std::make_unique<MpscQueue<VoteEntry>>(params_.ring_capacity));
+}
+
+Server::~Server() {
+  if (running()) {
+    request_stop();
+    wait();
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::restore_checkpoint(const std::filesystem::path& path) {
+  if (started_)
+    throw std::logic_error("serve: restore_checkpoint after start");
+  engine_.restore_checkpoint(path);
+}
+
+std::uint16_t Server::start() {
+  if (started_) throw std::logic_error("serve: server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(params_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    throw std::runtime_error("serve: bind 127.0.0.1:" +
+                             std::to_string(params_.port) + " failed: " +
+                             std::strerror(errno));
+  if (::listen(listen_fd_, 128) < 0)
+    throw std::runtime_error("serve: listen() failed");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    throw std::runtime_error("serve: getsockname() failed");
+  port_ = ntohs(addr.sin_port);
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw std::runtime_error("serve: eventfd() failed");
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  frontend_ = std::thread([this] { frontend_main(); });
+  coordinator_ = std::thread([this] { coordinator_main(); });
+  writer_ = std::thread([this] { writer_main(); });
+
+  obs::log_info("serve", "listening",
+                {{"port", static_cast<unsigned>(port_)},
+                 {"determinism", params_.determinism},
+                 {"checkpoint_ms", params_.checkpoint_ms}});
+  return port_;
+}
+
+void Server::request_stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto r = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void Server::wait() {
+  if (frontend_.joinable()) frontend_.join();
+  if (coordinator_.joinable()) coordinator_.join();
+  if (writer_.joinable()) writer_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Front-end: epoll loop, frame decode, validation, ring hand-off.
+
+void Server::frontend_main() {
+  auto& registry = obs::Registry::global();
+  auto& conn_gauge = registry.gauge("serve.connections");
+  auto& votes_in = registry.counter("serve.votes");
+  auto& submits_in = registry.counter("serve.submits");
+  auto& backpressure = registry.counter("serve.backpressure");
+  auto& bad_frames = registry.counter("serve.bad_frames");
+
+  struct Conn {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::shared_ptr<Outbox> outbox = std::make_shared<Outbox>();
+    std::vector<char> wbuf;  // unsent reply bytes (partial writes)
+    std::size_t woff = 0;
+    bool want_write = false;
+  };
+  std::unordered_map<int, Conn> conns;
+
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) {
+    obs::log_error("serve", "epoll_create1 failed");
+    return;
+  }
+  auto ep_add = [&](int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev);
+  };
+  auto ep_mod = [&](int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(ep, EPOLL_CTL_MOD, fd, &ev);
+  };
+  ep_add(listen_fd_, EPOLLIN);
+  ep_add(wake_fd_, EPOLLIN);
+
+  // Rebuild the id map from restored engine state: a restored live engine
+  // already holds stories whose ids must keep resolving (and whose slots
+  // the next submit must not collide with).
+  IdMap ids;
+  std::uint32_t next_slot = engine_.story_count();
+  for (std::uint32_t slot = 0; slot < next_slot; ++slot)
+    ids.insert(engine_.query_story(slot).id, slot);
+
+  std::uint64_t next_seq = 0;
+  std::uint64_t votes_seen = 0;
+
+  auto close_conn = [&](int fd) {
+    ::epoll_ctl(ep, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns.erase(fd);
+    conn_gauge.set(static_cast<double>(conns.size()));
+  };
+
+  // Writes as much of conn's pending reply bytes as the socket accepts;
+  // arms EPOLLOUT for the remainder. Returns false when the socket died.
+  auto flush_conn = [&](Conn& c) -> bool {
+    {
+      std::lock_guard lock(c.outbox->m);
+      if (!c.outbox->buf.empty()) {
+        c.wbuf.insert(c.wbuf.end(), c.outbox->buf.begin(), c.outbox->buf.end());
+        c.outbox->buf.clear();
+      }
+    }
+    while (c.woff < c.wbuf.size()) {
+      const auto w =
+          ::write(c.fd, c.wbuf.data() + c.woff, c.wbuf.size() - c.woff);
+      if (w > 0) {
+        c.woff += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!c.want_write) {
+          c.want_write = true;
+          ep_mod(c.fd, EPOLLIN | EPOLLOUT);
+        }
+        return true;
+      }
+      return false;  // peer gone
+    }
+    c.wbuf.clear();
+    c.woff = 0;
+    if (c.want_write) {
+      c.want_write = false;
+      ep_mod(c.fd, EPOLLIN);
+    }
+    return true;
+  };
+
+  auto send_error = [&](Conn& c, ErrorCode code, std::uint32_t detail) {
+    encode(ErrorMsg{code, detail}, c.wbuf);
+    return flush_conn(c);
+  };
+
+  // Hands one decoded message to its queue. Returns false when the
+  // connection must close (protocol misuse).
+  auto handle = [&](Conn& c, const Message& msg) -> bool {
+    if (const auto* v = std::get_if<VoteMsg>(&msg)) {
+      const auto mapped = ids.lookup(v->story_id);
+      if (mapped == 0) return send_error(c, ErrorCode::kUnknownStory, v->story_id);
+      VoteEntry e{};
+      e.seq = next_seq++;
+      e.slot = mapped - 1;
+      e.voter = v->voter;
+      e.time = v->time;
+      e.stamp_ns = ((votes_seen++ & 0xff) == 0) ? now_ns() : 0;
+      auto& ring = *vote_q_[e.slot % kShards];
+      while (!ring.try_push(e)) {
+        backpressure.inc();
+        std::this_thread::yield();
+      }
+      votes_in.inc();
+      return true;
+    }
+    if (const auto* s = std::get_if<SubmitMsg>(&msg)) {
+      if (ids.lookup(s->story_id) != 0)
+        return send_error(c, ErrorCode::kDuplicateStory, s->story_id);
+      SubmitEntry e{};
+      e.seq = next_seq++;
+      e.slot = next_slot++;
+      e.id = s->story_id;
+      e.submitter = s->submitter;
+      e.time = s->time;
+      e.stamp_ns = 0;
+      ids.insert(s->story_id, e.slot);
+      while (!submit_q_->try_push(e)) {
+        backpressure.inc();
+        std::this_thread::yield();
+      }
+      submits_in.inc();
+      return true;
+    }
+    ControlItem item;
+    if (const auto* q = std::get_if<QueryStateMsg>(&msg)) {
+      const auto mapped = ids.lookup(q->story_id);
+      if (mapped == 0) return send_error(c, ErrorCode::kUnknownStory, q->story_id);
+      item.kind = ControlItem::Kind::kQueryState;
+      item.slot = mapped - 1;
+    } else if (const auto* q2 = std::get_if<QueryPredictMsg>(&msg)) {
+      const auto mapped = ids.lookup(q2->story_id);
+      if (mapped == 0)
+        return send_error(c, ErrorCode::kUnknownStory, q2->story_id);
+      item.kind = ControlItem::Kind::kQueryPredict;
+      item.slot = mapped - 1;
+    } else if (const auto* y = std::get_if<SyncMsg>(&msg)) {
+      item.kind = ControlItem::Kind::kSync;
+      item.token = y->token;
+    } else {
+      // A client sent a server->client message type: protocol misuse.
+      bad_frames.inc();
+      send_error(c, ErrorCode::kBadFrame, 0);
+      return false;
+    }
+    item.out = c.outbox;
+    {
+      std::lock_guard lock(control_mu_);
+      control_q_.push_back(std::move(item));
+    }
+    return true;
+  };
+
+  std::vector<char> rbuf(256 << 10);
+
+  // Reads everything currently available on the connection and dispatches
+  // the complete frames. Returns false when the connection closed (EOF,
+  // error, or protocol violation).
+  auto read_conn = [&](Conn& c) -> bool {
+    for (;;) {
+      const auto n = ::read(c.fd, rbuf.data(), rbuf.size());
+      if (n > 0) {
+        try {
+          c.decoder.feed(rbuf.data(), static_cast<std::size_t>(n));
+          Message msg;
+          while (c.decoder.next(msg))
+            if (!handle(c, msg)) return false;
+        } catch (const ProtocolError&) {
+          bad_frames.inc();
+          send_error(c, ErrorCode::kBadFrame, 0);
+          return false;
+        }
+        if (static_cast<std::size_t>(n) < rbuf.size()) return true;
+        continue;  // buffer filled exactly: more may be waiting
+      }
+      if (n == 0) return false;  // EOF
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+  };
+
+  auto accept_all = [&] {
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;
+      if (stop_.load(std::memory_order_acquire)) {
+        // Draining: refuse the session but tell the client why.
+        std::vector<char> frame;
+        encode(ErrorMsg{ErrorCode::kStopping, 0}, frame);
+        [[maybe_unused]] const auto w = ::write(fd, frame.data(), frame.size());
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Conn c;
+      c.fd = fd;
+      conns.emplace(fd, std::move(c));
+      ep_add(fd, EPOLLIN);
+      conn_gauge.set(static_cast<double>(conns.size()));
+    }
+  };
+
+  auto drain_wake = [&] {
+    std::uint64_t tmp;
+    while (::read(wake_fd_, &tmp, sizeof(tmp)) > 0) {
+    }
+  };
+
+  auto flush_all = [&] {
+    std::vector<int> dead;
+    for (auto& [fd, c] : conns)
+      if (!flush_conn(c)) dead.push_back(fd);
+    for (const int fd : dead) close_conn(fd);
+  };
+
+  std::array<epoll_event, 64> evs;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(ep, evs.data(), static_cast<int>(evs.size()),
+                               100);
+    std::vector<int> dead;
+    for (int i = 0; i < n; ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_all();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        drain_wake();
+        continue;
+      }
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      bool alive = true;
+      if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+        // Half-closed peers may still have bytes queued: read them first.
+        alive = read_conn(it->second) && false;
+      } else {
+        if (evs[i].events & EPOLLIN) alive = read_conn(it->second);
+        if (alive && (evs[i].events & EPOLLOUT)) alive = flush_conn(it->second);
+      }
+      if (!alive) dead.push_back(fd);
+    }
+    for (const int fd : dead) close_conn(fd);
+    flush_all();
+  }
+
+  // Drain phase 1: one final read pass so every byte clients managed to
+  // send before the stop is decoded and enqueued.
+  {
+    std::vector<int> dead;
+    for (auto& [fd, c] : conns)
+      if (!read_conn(c)) dead.push_back(fd);
+    for (const int fd : dead) close_conn(fd);
+  }
+  ingest_done_.store(true, std::memory_order_release);
+
+  // Drain phase 2: keep flushing replies until the coordinator has applied
+  // everything and answered every pending query/sync.
+  while (!coordinator_done_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(ep, evs.data(), static_cast<int>(evs.size()),
+                               20);
+    for (int i = 0; i < n; ++i)
+      if (evs[i].data.fd == wake_fd_) drain_wake();
+    flush_all();
+  }
+  flush_all();
+
+  for (auto& [fd, c] : conns) ::close(fd);
+  conns.clear();
+  conn_gauge.set(0.0);
+  ::close(ep);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  obs::log_info("serve", "front-end drained");
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator: the single consumer / engine mutator.
+
+void Server::coordinator_main() {
+  auto& registry = obs::Registry::global();
+  auto& ingest_us = registry.histogram("serve.ingest_us");
+  auto& depth_gauge = registry.gauge("serve.queue_depth");
+
+  constexpr std::size_t kBatch = 512;
+  std::vector<SubmitEntry> submits;
+  std::array<std::vector<VoteEntry>, kShards> shard_pending;
+
+  // Determinism mode: the strict global order is reconstructed from the
+  // front-end's sequence numbers; any gap (an event claimed but popped from
+  // another ring in a later cycle) defers the tail to the next cycle.
+  struct SeqEvent {
+    std::uint64_t seq = 0;
+    bool is_submit = false;
+    SubmitEntry submit{};
+    VoteEntry vote{};
+  };
+  std::vector<SeqEvent> seq_pending;
+  std::uint64_t next_seq = 0;
+
+  std::vector<ControlItem> carried;  // popped last cycle, answered this one
+  std::vector<ControlItem> fresh;
+
+  auto last_ckpt = std::chrono::steady_clock::now();
+
+  auto wake_frontend = [this] {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto r = ::write(wake_fd_, &one, sizeof(one));
+  };
+
+  for (;;) {
+    // --- Pop everything currently queued. -------------------------------
+    submits.clear();
+    {
+      SubmitEntry buf[kBatch];
+      for (;;) {
+        const auto n = submit_q_->pop_batch(buf, kBatch);
+        submits.insert(submits.end(), buf, buf + n);
+        if (n < kBatch) break;
+      }
+    }
+    std::size_t popped_votes = 0;
+    {
+      VoteEntry buf[kBatch];
+      for (std::uint32_t s = 0; s < kShards; ++s) {
+        for (;;) {
+          const auto n = vote_q_[s]->pop_batch(buf, kBatch);
+          shard_pending[s].insert(shard_pending[s].end(), buf, buf + n);
+          popped_votes += n;
+          if (n < kBatch) break;
+        }
+      }
+    }
+    fresh.clear();
+    {
+      std::lock_guard lock(control_mu_);
+      fresh.insert(fresh.end(), control_q_.begin(), control_q_.end());
+      control_q_.clear();
+    }
+
+    // --- Apply. ----------------------------------------------------------
+    std::uint64_t applied = 0;
+    if (params_.determinism) {
+      for (const auto& e : submits)
+        seq_pending.push_back({e.seq, true, e, {}});
+      for (auto& pending : shard_pending) {
+        for (const auto& v : pending)
+          seq_pending.push_back({v.seq, false, {}, v});
+        pending.clear();
+      }
+      std::sort(seq_pending.begin(), seq_pending.end(),
+                [](const SeqEvent& a, const SeqEvent& b) {
+                  return a.seq < b.seq;
+                });
+      std::size_t i = 0;
+      while (i < seq_pending.size() && seq_pending[i].seq == next_seq) {
+        const auto& e = seq_pending[i];
+        if (e.is_submit) {
+          engine_.live_submit(e.submit.id, e.submit.submitter, e.submit.time);
+        } else {
+          engine_.live_vote(e.vote.slot, e.vote.voter, e.vote.time);
+          if (e.vote.stamp_ns != 0)
+            ingest_us.observe(
+                static_cast<double>(now_ns() - e.vote.stamp_ns) / 1e3);
+        }
+        ++next_seq;
+        ++i;
+        ++applied;
+      }
+      seq_pending.erase(seq_pending.begin(),
+                        seq_pending.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      // Submits first, serially, in ring order — which is slot-assignment
+      // order, so the engine's slots match the front-end's.
+      for (const auto& e : submits) {
+        engine_.live_submit(e.id, e.submitter, e.time);
+        ++applied;
+      }
+      // Votes per shard in FIFO order, shards in parallel (live_vote's
+      // shard-exclusivity contract). A vote whose submit has not been
+      // applied yet (slot beyond the current story table) stays pending —
+      // its submit is at most one cycle behind.
+      std::array<std::uint64_t, kShards> done{};
+      const std::uint32_t known = engine_.story_count();
+      runtime::parallel_for(
+          kShards,
+          [&](std::size_t s) {
+            auto& pending = shard_pending[s];
+            if (pending.empty()) return;
+            std::size_t kept = 0;
+            for (const auto& e : pending) {
+              if (e.slot >= known) {
+                pending[kept++] = e;
+                continue;
+              }
+              engine_.live_vote(e.slot, e.voter, e.time);
+              if (e.stamp_ns != 0)
+                ingest_us.observe(
+                    static_cast<double>(now_ns() - e.stamp_ns) / 1e3);
+              ++done[s];
+            }
+            pending.resize(kept);
+          },
+          {.grain = 1});
+      for (const auto d : done) applied += d;
+    }
+    if (applied > 0) engine_.note_events_applied(applied);
+
+    // --- Answer controls popped LAST cycle (see protocol.h barrier). -----
+    for (const auto& item : carried) answer(item);
+    const bool answered = !carried.empty();
+    carried = std::move(fresh);
+    fresh.clear();
+    if (answered) wake_frontend();
+
+    {
+      std::size_t depth = submit_q_->size_approx();
+      for (const auto& q : vote_q_) depth += q->size_approx();
+      depth_gauge.set(static_cast<double>(depth));
+    }
+
+    // --- Periodic checkpoint hand-off. -----------------------------------
+    if (params_.checkpoint_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_ckpt >= std::chrono::milliseconds(params_.checkpoint_ms)) {
+        last_ckpt = now;
+        auto sections = engine_.checkpoint_sections();
+        {
+          std::lock_guard lock(ckpt_mu_);
+          ckpt_pending_ = std::move(sections);  // latest wins
+        }
+        ckpt_cv_.notify_one();
+      }
+    }
+
+    const bool idle =
+        submits.empty() && popped_votes == 0 && !answered && carried.empty();
+
+    if (ingest_done_.load(std::memory_order_acquire)) {
+      const bool votes_drained =
+          std::all_of(shard_pending.begin(), shard_pending.end(),
+                      [](const auto& v) { return v.empty(); });
+      if (idle && votes_drained && seq_pending.empty()) break;
+      continue;  // drain as fast as possible
+    }
+    if (idle)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  // Final synchronous checkpoint: the durable artifact of a graceful drain.
+  if (!params_.checkpoint_path.empty()) {
+    try {
+      write_checkpoint_file(engine_.checkpoint_sections());
+    } catch (const std::exception& e) {
+      obs::log_error("serve", "final checkpoint failed", {{"error", e.what()}});
+    }
+  }
+  {
+    std::lock_guard lock(ckpt_mu_);
+    ckpt_exit_ = true;
+  }
+  ckpt_cv_.notify_all();
+  coordinator_done_.store(true, std::memory_order_release);
+  wake_frontend();
+  obs::log_info("serve", "coordinator drained",
+                {{"events", engine_.events_applied()},
+                 {"stories", engine_.story_count()}});
+}
+
+void Server::answer(const ControlItem& item) {
+  auto& registry = obs::Registry::global();
+  auto& query_us = registry.histogram("serve.query_us");
+
+  std::vector<char> frame;
+  switch (item.kind) {
+    case ControlItem::Kind::kSync:
+      encode(SyncReplyMsg{item.token}, frame);
+      break;
+    case ControlItem::Kind::kQueryState: {
+      const auto t0 = now_ns();
+      StateReplyMsg reply;
+      if (item.slot < engine_.story_count()) {
+        auto outcome = engine_.query_story(item.slot);
+        reply.story_id = outcome.id;
+        reply.found = 1;
+        reply.votes = outcome.final_votes;
+        reply.fans1 = static_cast<std::uint32_t>(outcome.fans1);
+        reply.cascade.reserve(outcome.cascade.size());
+        for (const auto c : outcome.cascade)
+          reply.cascade.push_back(static_cast<std::uint32_t>(c));
+        reply.promoted = outcome.promoted_time.has_value() ? 1 : 0;
+        reply.promoted_time = outcome.promoted_time.value_or(0.0);
+      }
+      query_us.observe(static_cast<double>(now_ns() - t0) / 1e3);
+      encode(reply, frame);
+      break;
+    }
+    case ControlItem::Kind::kQueryPredict: {
+      const auto t0 = now_ns();
+      PredictReplyMsg reply;
+      if (item.slot < engine_.story_count()) {
+        auto outcome = engine_.query_story(item.slot);
+        reply.story_id = outcome.id;
+        reply.found = 1;
+        reply.has_c45 = outcome.predicted_interesting.has_value() ? 1 : 0;
+        reply.c45_yes = outcome.predicted_interesting.value_or(false) ? 1 : 0;
+        reply.has_bayes = outcome.bayes_interesting.has_value() ? 1 : 0;
+        reply.bayes_yes = outcome.bayes_interesting.value_or(false) ? 1 : 0;
+        reply.bayes_expected_final = outcome.bayes_expected_final;
+      }
+      query_us.observe(static_cast<double>(now_ns() - t0) / 1e3);
+      encode(reply, frame);
+      break;
+    }
+  }
+  std::lock_guard lock(item.out->m);
+  item.out->buf.insert(item.out->buf.end(), frame.begin(), frame.end());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint writer.
+
+void Server::write_checkpoint_file(
+    std::vector<data::snapfmt::Section> sections) {
+  auto tmp = params_.checkpoint_path;
+  tmp += ".tmp";
+  data::snapfmt::write_section_file(tmp, sections);
+  std::filesystem::rename(tmp, params_.checkpoint_path);
+  obs::Registry::global().counter("serve.checkpoints").inc();
+}
+
+void Server::writer_main() {
+  std::unique_lock lock(ckpt_mu_);
+  for (;;) {
+    ckpt_cv_.wait(lock,
+                  [this] { return ckpt_pending_.has_value() || ckpt_exit_; });
+    if (ckpt_pending_.has_value()) {
+      auto sections = std::move(*ckpt_pending_);
+      ckpt_pending_.reset();
+      lock.unlock();
+      try {
+        write_checkpoint_file(std::move(sections));
+      } catch (const std::exception& e) {
+        obs::log_error("serve", "background checkpoint failed",
+                       {{"error", e.what()}});
+      }
+      lock.lock();
+      continue;  // a newer checkpoint may have landed while writing
+    }
+    if (ckpt_exit_) return;
+  }
+}
+
+}  // namespace digg::serve

@@ -1,0 +1,200 @@
+#pragma once
+// The live vote-ingest server: a long-lived service wrapping a live-mode
+// StreamEngine (stream/engine.h) behind the loopback binary protocol
+// (protocol.h). Three threads:
+//
+//   front-end (epoll)  — accepts connections on 127.0.0.1, decodes frames,
+//     validates story ids (it owns the id->slot map, so lookups are
+//     lock-free), stamps each accepted event with a global sequence number
+//     and hands it off: submits onto one dedicated ring (its FIFO order IS
+//     slot-assignment order), votes onto one lock-free MPSC ring per engine
+//     shard (mpsc_queue.h), queries/syncs onto a small mutex-guarded deque.
+//     Replies travel back through per-connection outboxes; an eventfd wakes
+//     the front-end to flush them.
+//
+//   coordinator        — the single ring consumer and the ONLY engine
+//     mutator. Each drain cycle pops submits (applied serially: slot order
+//     is push order), pops every vote ring, and applies votes. Throughput
+//     mode applies each shard's FIFO batch via parallel_for — sound because
+//     live_vote is shard-exclusive and cross-story order within a shard
+//     does not affect per-story state; only cross-shard interleaving is
+//     relaxed. Determinism mode instead applies strictly in sequence-number
+//     order (deferring past any gap), so a run's engine state — and its
+//     checkpoints — are bit-identical to any other arrival-equivalent run.
+//     Queries and syncs popped in cycle k are answered at the end of cycle
+//     k+1: every event enqueued before the control item was enqueued is in
+//     its ring before cycle k+1's pops begin, so the reply reflects all of
+//     them (the protocol.h barrier contract).
+//
+//   checkpoint writer  — when checkpoint_ms is set, the coordinator
+//     serializes engine state between applies (checkpoint_sections(), pure
+//     in-memory) and hands the sections here; the writer does the disk I/O
+//     (tmp + rename, so the file on disk is always a complete checkpoint)
+//     off the hot path. Latest-wins: a slow disk drops intermediate
+//     checkpoints instead of stalling ingest.
+//
+// Graceful drain (request_stop, SIGTERM-safe): the front-end performs one
+// final read pass so every byte a client sent before the stop is decoded
+// and enqueued, the coordinator drains all queues and answers every pending
+// control item, writes a final synchronous checkpoint, and only then do the
+// connections close — proven by the kill/resume e2e test, which restores
+// the drain checkpoint and matches an uninterrupted run bit for bit.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/data/snapshot_format.h"
+#include "src/graph/digraph.h"
+#include "src/serve/mpsc_queue.h"
+#include "src/stream/engine.h"
+
+namespace digg::serve {
+
+struct ServeParams {
+  /// Engine configuration (checkpoints, predictor hooks, vis budget).
+  stream::StreamParams stream;
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (start() returns it).
+  std::uint16_t port = 0;
+  /// Determinism mode: apply events in strict global sequence order, so
+  /// engine state and checkpoints are reproducible bit for bit. Throughput
+  /// mode (default) relaxes ONLY cross-shard interleaving — per-story
+  /// outcomes are identical either way; the bits of a mid-stream checkpoint
+  /// may differ in event-global counters' interleaving history.
+  bool determinism = false;
+  /// Background checkpoint cadence in milliseconds; 0 disables periodic
+  /// checkpoints (the drain checkpoint still happens when a path is set).
+  std::uint32_t checkpoint_ms = 0;
+  /// Checkpoint target; required when checkpoint_ms > 0. Written atomically
+  /// (tmp + rename). Also the final drain checkpoint's destination.
+  std::filesystem::path checkpoint_path;
+  /// Per-ring capacity (rounded up to a power of two). A full ring makes
+  /// the front-end yield-retry (counted in serve.backpressure).
+  std::size_t ring_capacity = 1 << 13;
+};
+
+/// See the file comment for the thread architecture. Lifecycle:
+/// construct -> [restore_checkpoint] -> start -> ... -> request_stop ->
+/// wait. engine() is safe before start() and after wait() — never while
+/// the server is running.
+class Server {
+ public:
+  /// The network must outlive the server. Throws std::invalid_argument on
+  /// inconsistent params (checkpoint cadence without a path).
+  Server(const graph::Digraph& network, ServeParams params);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Restores a drain/periodic checkpoint into the (fresh) engine before
+  /// serving. Pre-start only; throws std::logic_error once running.
+  void restore_checkpoint(const std::filesystem::path& path);
+
+  /// Binds, spawns the threads, returns the bound port. Throws
+  /// std::runtime_error on socket failures, std::logic_error if restarted.
+  std::uint16_t start();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Initiates graceful drain. Async-signal-safe (an atomic store plus an
+  /// eventfd write) — callable straight from a SIGTERM handler.
+  void request_stop() noexcept;
+
+  /// Joins the threads (drain must have been requested; wait() does not
+  /// itself stop the server). Idempotent.
+  void wait();
+
+  /// The underlying live engine — inspect results after wait() (or seed
+  /// state before start()). Not synchronized with a running server.
+  [[nodiscard]] stream::StreamEngine& engine() noexcept { return engine_; }
+
+  [[nodiscard]] const ServeParams& params() const noexcept { return params_; }
+
+ private:
+  // Ring payloads (trivially copyable by MpscQueue contract). stamp_ns is
+  // nonzero on sampled events only (every 256th) and feeds serve.ingest_us.
+  struct VoteEntry {
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t voter;
+    double time;
+    std::uint64_t stamp_ns;
+  };
+  struct SubmitEntry {
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t id;
+    std::uint32_t submitter;
+    double time;
+    std::uint64_t stamp_ns;
+  };
+
+  /// Per-connection reply buffer: the coordinator appends encoded replies
+  /// under the mutex and rings the eventfd; the front-end swaps the bytes
+  /// out and writes them to the socket. shared_ptr because a control item
+  /// can outlive its connection (the flush just goes nowhere then).
+  struct Outbox {
+    std::mutex m;
+    std::vector<char> buf;
+  };
+
+  struct ControlItem {
+    enum class Kind : std::uint8_t { kQueryState, kQueryPredict, kSync };
+    Kind kind = Kind::kSync;
+    std::uint32_t slot = 0;   // queries: resolved by the front-end
+    std::uint32_t token = 0;  // syncs
+    std::shared_ptr<Outbox> out;
+  };
+
+  void frontend_main();
+  void coordinator_main();
+  void writer_main();
+
+  void answer(const ControlItem& item);
+  void write_checkpoint_file(std::vector<data::snapfmt::Section> sections);
+
+  const graph::Digraph* network_;
+  ServeParams params_;
+  stream::StreamEngine engine_;
+
+  std::unique_ptr<MpscQueue<SubmitEntry>> submit_q_;
+  std::vector<std::unique_ptr<MpscQueue<VoteEntry>>> vote_q_;  // per shard
+  std::mutex control_mu_;
+  std::deque<ControlItem> control_q_;
+
+  // Drain handshake: stop_ -> front-end final read pass -> ingest_done_ ->
+  // coordinator drains and answers -> coordinator_done_ -> front-end final
+  // flush, connections close.
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> ingest_done_{false};
+  std::atomic<bool> coordinator_done_{false};
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: coordinator replies + stop requests
+  std::uint16_t port_ = 0;
+
+  // Checkpoint hand-off (latest wins).
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  std::optional<std::vector<data::snapfmt::Section>> ckpt_pending_;
+  bool ckpt_exit_ = false;
+
+  std::thread frontend_;
+  std::thread coordinator_;
+  std::thread writer_;
+};
+
+}  // namespace digg::serve

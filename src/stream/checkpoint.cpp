@@ -35,6 +35,7 @@ struct Meta {
   std::uint32_t promotion_threshold = 0;
   bool bayes_enabled = false;  // v1 files read as disabled
   std::uint32_t bayes_fit_at = 0;
+  bool live = false;  // v1/v2 files read as replay checkpoints
   std::vector<std::uint32_t> cascade_cps;
   std::vector<std::uint32_t> influence_cps;
 };
@@ -58,6 +59,7 @@ Meta read_meta(const snapfmt::SectionFile& file) {
     m.bayes_enabled = r.pod<std::uint32_t>() != 0;
     m.bayes_fit_at = r.pod<std::uint32_t>();
   }
+  if (m.version >= 3) m.live = r.pod<std::uint32_t>() != 0;
   // Bound the list lengths before allocating: a corrupt count must fail
   // cleanly, not attempt a multi-gigabyte vector.
   const auto checked_count = [&](const char* what) {
@@ -77,16 +79,13 @@ Meta read_meta(const snapfmt::SectionFile& file) {
 CheckpointInfo read_checkpoint_info(const std::filesystem::path& path) {
   const snapfmt::SectionFile file = snapfmt::read_section_file(path);
   const Meta m = read_meta(file);
-  return {m.version, m.fingerprint, m.total_events, m.events_applied,
-          m.story_count};
+  return {m.version,        m.fingerprint, m.total_events,
+          m.events_applied, m.story_count, m.live};
 }
 
-void StreamEngine::save_checkpoint(const std::filesystem::path& path) const {
-  obs::Span span("stream_checkpoint_save", "stream");
-  const auto t0 = std::chrono::steady_clock::now();
-
+std::vector<snapfmt::Section> StreamEngine::checkpoint_sections() const {
   const std::uint64_t story_count = progress_.size();
-  snapfmt::Section sections[2];
+  std::vector<snapfmt::Section> sections(live() ? 3 : 2);
 
   sections[0].type = snapfmt::kStreamMeta;
   snapfmt::ByteBuffer& meta = sections[0].body;
@@ -100,6 +99,7 @@ void StreamEngine::save_checkpoint(const std::filesystem::path& path) const {
   meta.pod<std::uint32_t>(params_.promotion_threshold);
   meta.pod<std::uint32_t>(params_.bayes.enabled ? 1 : 0);
   meta.pod<std::uint32_t>(params_.bayes.fit_at);
+  meta.pod<std::uint32_t>(live() ? 1 : 0);
   meta.pod<std::uint32_t>(
       static_cast<std::uint32_t>(params_.cascade_checkpoints.size()));
   meta.column(params_.cascade_checkpoints);
@@ -136,6 +136,36 @@ void StreamEngine::save_checkpoint(const std::filesystem::path& path) const {
     state.column(estimates);
   }
 
+  if (live()) {
+    sections[2].type = snapfmt::kServeStories;
+    snapfmt::ByteBuffer& live_body = sections[2].body;
+    std::vector<std::uint32_t> ids(story_count), submitters(story_count),
+        prefix_len(story_count);
+    std::vector<double> last_time(story_count);
+    for (std::uint64_t slot = 0; slot < story_count; ++slot) {
+      const LiveStory& ls = live_stories_[slot];
+      ids[slot] = ls.id;
+      submitters[slot] = ls.submitter;
+      prefix_len[slot] = static_cast<std::uint32_t>(ls.prefix_voters.size());
+      last_time[slot] = ls.last_time;
+    }
+    live_body.column(ids);
+    live_body.column(submitters);
+    live_body.column(prefix_len);
+    live_body.pad8();
+    live_body.column(last_time);
+    for (const LiveStory& ls : live_stories_) live_body.column(ls.prefix_voters);
+    live_body.pad8();
+    for (const LiveStory& ls : live_stories_) live_body.column(ls.prefix_times);
+  }
+
+  return sections;
+}
+
+void StreamEngine::save_checkpoint(const std::filesystem::path& path) const {
+  obs::Span span("stream_checkpoint_save", "stream");
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<snapfmt::Section> sections = checkpoint_sections();
   snapfmt::write_section_file(path, sections);
   obs::record_event(obs::EventKind::kCheckpointSave, 0, events_applied_);
   obs::Registry::global()
@@ -152,10 +182,19 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
   const Meta m = read_meta(file);
 
   // Refuse anything that is not this exact stream + engine configuration.
+  if (m.live != live())
+    throw std::runtime_error(ctx + "checkpoint engine mode mismatch");
   if (m.fingerprint != fingerprint_)
     throw std::runtime_error(ctx + "checkpoint stream fingerprint mismatch");
-  if (m.story_count != progress_.size() || m.total_events != total_events())
+  if (!m.live &&
+      (m.story_count != progress_.size() || m.total_events != total_events()))
     throw std::runtime_error(ctx + "checkpoint stream shape mismatch");
+  // A live restore rebuilds the whole story table; requiring a fresh engine
+  // keeps the commit step below all-or-nothing simple (the serve layer
+  // restores into a just-constructed engine anyway).
+  if (m.live && story_count() != 0)
+    throw std::runtime_error(ctx +
+                             "live checkpoint restore needs a fresh engine");
   if (m.events_applied > m.total_events)
     throw std::runtime_error(ctx + "checkpoint events-applied out of range");
   if (m.cascade_cps != params_.cascade_checkpoints ||
@@ -167,7 +206,8 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
       (m.bayes_enabled && m.bayes_fit_at != params_.bayes.fit_at))
     throw std::runtime_error(ctx + "checkpoint engine config mismatch");
 
-  const std::size_t story_count = progress_.size();
+  const std::size_t story_count =
+      m.live ? static_cast<std::size_t>(m.story_count) : progress_.size();
   snapfmt::ByteReader r = file.open(snapfmt::kStreamState);
   std::vector<std::uint64_t> applied;
   std::vector<std::uint32_t> innetwork;
@@ -177,6 +217,9 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
   std::vector<std::uint32_t> influence_rec;
   std::vector<double> bayes_exposure;
   std::vector<float> bayes_estimates;
+  std::vector<std::uint32_t> live_ids, live_submitters, live_prefix_len;
+  std::vector<double> live_last_time, live_times_flat;
+  std::vector<std::uint32_t> live_voters_flat;
   try {
     applied = r.column<std::uint64_t>(story_count);
     innetwork = r.column<std::uint32_t>(story_count);
@@ -189,6 +232,23 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
       bayes_exposure = r.column<double>(story_count);
       bayes_estimates = r.column<float>(story_count);
     }
+    if (m.live) {
+      snapfmt::ByteReader lr = file.open(snapfmt::kServeStories);
+      live_ids = lr.column<std::uint32_t>(story_count);
+      live_submitters = lr.column<std::uint32_t>(story_count);
+      live_prefix_len = lr.column<std::uint32_t>(story_count);
+      std::uint64_t total_prefix = 0;
+      for (const std::uint32_t n : live_prefix_len) {
+        if (n > horizon_)
+          throw std::runtime_error("checkpoint live prefix exceeds horizon");
+        total_prefix += n;
+      }
+      lr.align8();
+      live_last_time = lr.column<double>(story_count);
+      live_voters_flat = lr.column<std::uint32_t>(total_prefix);
+      lr.align8();
+      live_times_flat = lr.column<double>(total_prefix);
+    }
   } catch (const std::runtime_error& err) {
     throw std::runtime_error(ctx + err.what());
   }
@@ -196,15 +256,38 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
   // Per-story consistency: the applied column must describe exactly the
   // first events-applied events of the stream, and every derived field must
   // agree with that prefix. This catches checkpoints that passed the
-  // container checksum but describe an impossible engine state. The
-  // expected prefix is recomputed with the same counting merge run_until
-  // uses, from zeroed cursors.
-  const std::vector<std::uint64_t> expect = merge_prefix_counts(
-      std::vector<std::uint64_t>(story_count, 0), m.events_applied);
-  for (std::size_t slot = 0; slot < story_count; ++slot) {
-    if (applied[slot] != expect[slot])
+  // container checksum but describe an impossible engine state. Replay mode
+  // recomputes the expected prefix with the same counting merge run_until
+  // uses, from zeroed cursors; live mode has no stream to merge, so the
+  // check degrades to the per-story sum matching the global counter (plus
+  // the prefix-shape checks below).
+  std::vector<std::uint64_t> expect;
+  if (m.live) {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t a : applied) sum += a;
+    if (sum != m.events_applied)
       throw std::runtime_error(ctx +
                                "checkpoint progress is not a stream prefix");
+  } else {
+    expect = merge_prefix_counts(std::vector<std::uint64_t>(story_count, 0),
+                                 m.events_applied);
+  }
+  for (std::size_t slot = 0; slot < story_count; ++slot) {
+    if (!m.live && applied[slot] != expect[slot])
+      throw std::runtime_error(ctx +
+                               "checkpoint progress is not a stream prefix");
+    if (m.live) {
+      if (live_submitters[slot] >= network_->node_count())
+        throw std::runtime_error(ctx +
+                                 "checkpoint live submitter out of range");
+      const std::uint64_t want_prefix =
+          std::min<std::uint64_t>(applied[slot], horizon_);
+      if (live_prefix_len[slot] != want_prefix)
+        throw std::runtime_error(ctx +
+                                 "checkpoint live prefix length mismatch");
+      if (applied[slot] == 0)
+        throw std::runtime_error(ctx + "checkpoint live story has no votes");
+    }
     if (innetwork[slot] > applied[slot])
       throw std::runtime_error(ctx + "checkpoint in-network count impossible");
     if ((flags[slot] & ~(kHasPrediction | kPredictedYes | kPromoted |
@@ -250,10 +333,60 @@ void StreamEngine::restore_checkpoint(const std::filesystem::path& path) {
     }
   }
 
+  // Live prefix columns: the bounded prefixes must themselves be valid
+  // replay material — voters in graph range, times non-decreasing, vote 0
+  // the submitter's own digg, and the per-story watermark at or past the
+  // buffered tail. An LRU rebuild replays exactly these columns, so a
+  // corrupt prefix would otherwise surface as undefined visibility state.
+  if (m.live) {
+    std::size_t off = 0;
+    for (std::size_t slot = 0; slot < story_count; ++slot) {
+      const std::uint32_t n = live_prefix_len[slot];
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (live_voters_flat[off + i] >= network_->node_count())
+          throw std::runtime_error(ctx + "checkpoint live voter out of range");
+        if (i > 0 && live_times_flat[off + i] < live_times_flat[off + i - 1])
+          throw std::runtime_error(ctx +
+                                   "checkpoint live prefix times unsorted");
+      }
+      if (n > 0) {
+        if (live_voters_flat[off] != live_submitters[slot])
+          throw std::runtime_error(
+              ctx + "checkpoint live vote 0 is not the submitter");
+        if (live_last_time[slot] < live_times_flat[off + n - 1])
+          throw std::runtime_error(
+              ctx + "checkpoint live time watermark behind prefix");
+      }
+      off += n;
+    }
+  }
+
   // Commit. Visibility pools are dropped — they rebuild lazily from the
   // restored prefixes, so no stale derived state can survive a restore;
   // replay cursors need no recompute because the per-story progress IS the
-  // cursor state the counting merge resumes from.
+  // cursor state the counting merge resumes from. Live mode builds the
+  // story table itself (the engine was verified fresh above).
+  if (m.live) {
+    progress_.resize(story_count);
+    pool_slot_of_.assign(story_count, kUnrecorded);
+    live_stories_.resize(story_count);
+    std::size_t off = 0;
+    for (std::size_t slot = 0; slot < story_count; ++slot) {
+      LiveStory& ls = live_stories_[slot];
+      ls.id = live_ids[slot];
+      ls.submitter = live_submitters[slot];
+      ls.last_time = live_last_time[slot];
+      const std::uint32_t n = live_prefix_len[slot];
+      ls.prefix_voters.assign(live_voters_flat.begin() + off,
+                              live_voters_flat.begin() + off + n);
+      ls.prefix_times.assign(live_times_flat.begin() + off,
+                             live_times_flat.begin() + off + n);
+      off += n;
+      // fans1 is derivable, so it is re-derived, not trusted from disk.
+      progress_[slot].fans1 =
+          static_cast<std::uint32_t>(network_->fan_count(ls.submitter));
+    }
+  }
   for (std::size_t slot = 0; slot < story_count; ++slot) {
     progress_[slot].applied = applied[slot];
     progress_[slot].innetwork = innetwork[slot];

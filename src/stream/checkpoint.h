@@ -11,12 +11,14 @@
 //   STREAM_META (16) — everything needed to refuse a mismatched restore:
 //     u32  checkpoint version (kStreamCheckpointVersion)
 //     u32  predictor armed (0/1 — online-prediction hook active)
-//     u64  stream fingerprint (stories, vote columns, graph shape)
+//     u64  stream fingerprint (stories, vote columns, graph shape; live
+//          engines fingerprint the graph shape + a live tag)
 //     u64  total events        u64  events applied
 //     u64  story count         u64  interesting threshold
 //     u32  promotion threshold
 //     u32  bayes fit enabled (0/1)     [v2+; v1 reads as disabled]
 //     u32  bayes fit_at                [v2+]
+//     u32  live mode (0/1)             [v3+; older reads as replay]
 //     u32  cascade checkpoint count,   then that many u32 checkpoints
 //     u32  influence checkpoint count, then that many u32 checkpoints
 //
@@ -31,6 +33,16 @@
 //     f64[S]      bayes watcher-exposure accumulator  [iff bayes enabled:
 //     f32[S]      bayes expected-final estimate        exposure grows below
 //                 the fit point, so kill/resume bit-identity needs it]
+//
+//   SERVE_STORIES (18) — live-mode checkpoints only (v3+). A live engine
+//   has no replay stream to re-derive story identity or rebuild prefixes
+//   from, so the checkpoint carries them (still O(stories * horizon), not
+//   O(votes) — the prefixes are bounded):
+//     u32[S]      story ids          u32[S]  submitters
+//     u32[S]      prefix length (min(applied, horizon))
+//     pad to 8    f64[S]  latest vote time per story (ordering watermark)
+//     u32[sum]    concatenated prefix voter columns
+//     pad to 8    f64[sum] concatenated prefix time columns
 //
 // Deliberately NOT serialized: visibility sets (rebuilt on demand by
 // replaying each story's applied prefix — bounded by the horizon) and
@@ -54,7 +66,10 @@ namespace digg::stream {
 // v2: online Bayes-fit hook — meta gains the bayes config, state gains the
 // exposure/estimate columns when the hook is enabled. v1 files restore into
 // bayes-disabled engines unchanged.
-inline constexpr std::uint32_t kStreamCheckpointVersion = 2;
+// v3: live-ingest mode — meta gains the live flag, live checkpoints gain
+// the SERVE_STORIES section. v1/v2 files restore as replay checkpoints
+// unchanged.
+inline constexpr std::uint32_t kStreamCheckpointVersion = 3;
 
 /// Cheap peek at a checkpoint's STREAM_META section (full container
 /// integrity is still verified). Lets tools report progress or pick the
@@ -65,6 +80,7 @@ struct CheckpointInfo {
   std::uint64_t total_events = 0;
   std::uint64_t events_applied = 0;
   std::uint64_t story_count = 0;
+  bool live = false;  // live-ingest checkpoint (v3+)
 };
 
 [[nodiscard]] CheckpointInfo read_checkpoint_info(

@@ -31,6 +31,7 @@ std::uint64_t stream_fingerprint(const EventStream& stream,
   const std::uint64_t shape[3] = {network.node_count(), network.edge_count(),
                                   stream.stories.size()};
   h = mix(h, shape, sizeof(shape));
+  // (live-mode engines fingerprint the network shape alone — see below)
   for (const platform::StoryView& s : stream.stories) {
     const std::uint64_t meta[3] = {s.id, s.submitter, s.vote_count()};
     h = mix(h, meta, sizeof(meta));
@@ -39,6 +40,17 @@ std::uint64_t stream_fingerprint(const EventStream& stream,
     h = mix(h, voters.data(), voters.size_bytes());
     h = mix(h, times.data(), times.size_bytes());
   }
+  return h;
+}
+
+// A live engine has no stream at construction: cover the graph shape plus a
+// mode tag (so a live checkpoint never restores into a replay engine whose
+// stream happens to hash equal — it cannot, but the tag makes it structural).
+std::uint64_t live_fingerprint(const graph::Digraph& network) {
+  std::uint64_t h = 14695981039346656037ull;
+  const std::uint64_t shape[3] = {network.node_count(), network.edge_count(),
+                                  0x11fe5e42ull};  // arbitrary live-mode tag
+  h = mix(h, shape, sizeof(shape));
   return h;
 }
 
@@ -53,15 +65,9 @@ void require_ascending(const std::vector<std::uint32_t>& cps,
 
 }  // namespace
 
-StreamEngine::StreamEngine(const EventStream& stream,
-                           const graph::Digraph& network, StreamParams params)
-    : stream_(&stream), network_(&network), params_(std::move(params)) {
-  obs::Span span("stream_engine_init", "stream");
+void StreamEngine::init_config() {
   require_ascending(params_.cascade_checkpoints, "cascade");
   require_ascending(params_.influence_checkpoints, "influence");
-  const std::size_t story_count = stream_->stories.size();
-  if (story_count >= kUnrecorded)
-    throw std::invalid_argument("too many stories for the stream engine");
 
   // The horizon: once a story has this many votes, every checkpoint value
   // has been recorded and its visibility state can retire.
@@ -87,6 +93,35 @@ StreamEngine::StreamEngine(const EventStream& stream,
       throw std::invalid_argument(
           "bayes.fit_at must be in [1, last cascade checkpoint]");
   }
+
+  // Shard layout: story slot % kShardCount. The layout depends only on the
+  // stream, so any thread count walks the same per-shard story sequences.
+  shards_.resize(kShardCount);
+
+  // Visibility-pool budget: each shard gets its share of the byte budget
+  // and accounts the real resident bytes of its hybrid sets against it —
+  // no per-set size estimate, because hybrid sets cost what they hold.
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, params_.vis_budget_bytes / kShardCount);
+  for (std::uint32_t s = 0; s < kShardCount; ++s)
+    shards_[s].pool.budget = per_shard;
+}
+
+StreamEngine::StreamEngine(const graph::Digraph& network, StreamParams params)
+    : stream_(nullptr), network_(&network), params_(std::move(params)) {
+  obs::Span span("stream_engine_init", "stream");
+  init_config();
+  fingerprint_ = live_fingerprint(network);
+}
+
+StreamEngine::StreamEngine(const EventStream& stream,
+                           const graph::Digraph& network, StreamParams params)
+    : stream_(&stream), network_(&network), params_(std::move(params)) {
+  obs::Span span("stream_engine_init", "stream");
+  init_config();
+  const std::size_t story_count = stream_->stories.size();
+  if (story_count >= kUnrecorded)
+    throw std::invalid_argument("too many stories for the stream engine");
 
   // Validate the stream against its own story columns: the merge order is
   // only well defined if every story's time column is non-decreasing, and
@@ -122,18 +157,59 @@ StreamEngine::StreamEngine(const EventStream& stream,
                         kUnrecorded);
   pool_slot_of_.assign(story_count, kUnrecorded);
   if (params_.bayes.enabled) bayes_exposure_.assign(story_count, 0.0);
+}
 
-  // Shard layout: story slot % kShardCount. The layout depends only on the
-  // stream, so any thread count walks the same per-shard story sequences.
-  shards_.resize(kShardCount);
+std::uint32_t StreamEngine::live_submit(platform::StoryId id,
+                                        platform::UserId submitter,
+                                        platform::Minutes time) {
+  if (!live())
+    throw std::logic_error("live_submit on a replay-mode stream engine");
+  if (submitter >= network_->node_count())
+    throw std::invalid_argument("live story submitter out of graph range");
+  if (live_stories_.size() + 1 >= kUnrecorded)
+    throw std::invalid_argument("too many stories for the stream engine");
+  const auto slot = static_cast<std::uint32_t>(live_stories_.size());
+  LiveStory ls;
+  ls.id = id;
+  ls.submitter = submitter;
+  live_stories_.push_back(std::move(ls));
+  Progress p;
+  p.fans1 = static_cast<std::uint32_t>(network_->fan_count(submitter));
+  progress_.push_back(p);
+  cascade_rec_.insert(cascade_rec_.end(), params_.cascade_checkpoints.size(),
+                      kUnrecorded);
+  influence_rec_.insert(influence_rec_.end(),
+                        params_.influence_checkpoints.size(), kUnrecorded);
+  pool_slot_of_.push_back(kUnrecorded);
+  if (params_.bayes.enabled) bayes_exposure_.push_back(0.0);
+  // Vote 0 is the submitter's own digg — the same convention every corpus
+  // column and the batch pipeline use (types.h: voters.front()==submitter).
+  live_vote(slot, submitter, time);
+  return slot;
+}
 
-  // Visibility-pool budget: each shard gets its share of the byte budget
-  // and accounts the real resident bytes of its hybrid sets against it —
-  // no per-set size estimate, because hybrid sets cost what they hold.
-  const std::size_t per_shard =
-      std::max<std::size_t>(1, params_.vis_budget_bytes / kShardCount);
-  for (std::uint32_t s = 0; s < kShardCount; ++s)
-    shards_[s].pool.budget = per_shard;
+void StreamEngine::live_vote(std::uint32_t slot, platform::UserId voter,
+                             platform::Minutes time) {
+  if (!live())
+    throw std::logic_error("live_vote on a replay-mode stream engine");
+  if (slot >= live_stories_.size())
+    throw std::invalid_argument("live vote for an unknown story slot");
+  if (voter >= network_->node_count())
+    throw std::invalid_argument("live voter out of graph range");
+  LiveStory& ls = live_stories_[slot];
+  Progress& p = progress_[slot];
+  if (p.applied > 0 && time < ls.last_time)
+    throw std::invalid_argument("live vote times must be non-decreasing");
+  const auto k = static_cast<std::uint32_t>(p.applied);
+  if (k < horizon_) {
+    // Grow the bounded prefix BEFORE applying: apply_event's rebuild path
+    // replays strictly fewer than `applied` votes and its Bayes gap reads
+    // index k-1, both satisfied once this vote is buffered.
+    ls.prefix_voters.push_back(voter);
+    ls.prefix_times.push_back(time);
+  }
+  ls.last_time = time;
+  apply_event({time, slot, k, voter}, shards_[slot % kShardCount]);
 }
 
 platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
@@ -194,7 +270,9 @@ platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
   // horizon, so a miss costs at most ~20 add_voter calls.
   sl.set.rebind(*network_);
   const std::uint64_t applied = progress_[slot].applied;
-  const auto voters = stream_->stories[slot].voters();
+  // `applied` < horizon whenever a set is (re)built, so the live-mode
+  // bounded prefix always covers the replayed range.
+  const auto voters = voters_prefix(slot);
   for (std::uint64_t k = 0; k < applied; ++k) sl.set.add_voter(voters[k]);
   sl.bytes = sl.set.size_bytes();
   pool.bytes += sl.bytes;
@@ -233,8 +311,8 @@ void StreamEngine::record_checkpoints(std::uint32_t slot, Progress& p,
       // The §5.2 decision, taken online the instant vote 10 lands: the
       // paper features (v10, fans1) are both final at this point.
       core::StoryFeatures f;
-      f.story = stream_->stories[slot].id;
-      f.submitter = stream_->stories[slot].submitter;
+      f.story = story_id(slot);
+      f.submitter = story_submitter(slot);
       f.v10 = p.innetwork;
       f.fans1 = p.fans1;
       p.flags |= kHasPrediction;
@@ -250,7 +328,7 @@ void StreamEngine::record_checkpoints(std::uint32_t slot, Progress& p,
     evidence.in_network_votes = p.innetwork;
     evidence.out_network_votes = params_.bayes.fit_at - p.innetwork;
     evidence.exposure_watcher_minutes = bayes_exposure_[slot];
-    evidence.elapsed_minutes = now - stream_->stories[slot].times()[0];
+    evidence.elapsed_minutes = now - early_vote_time(slot, 0);
     evidence.audience = static_cast<double>(vis.influence());
     evidence.votes = params_.bayes.fit_at + 1;
     evidence.population = static_cast<double>(network_->node_count());
@@ -282,10 +360,9 @@ void StreamEngine::apply_event(const VoteEvent& ev, Shard& shard) {
     // read and one multiply per below-fit vote — the O(1) discipline.
     if (params_.bayes.enabled && ev.vote_index >= 1 &&
         ev.vote_index <= params_.bayes.fit_at) {
-      const auto times = stream_->stories[ev.story_slot].times();
       bayes_exposure_[ev.story_slot] +=
           static_cast<double>(vis.influence()) *
-          (ev.time - times[ev.vote_index - 1]);
+          (ev.time - early_vote_time(ev.story_slot, ev.vote_index - 1));
     }
     vis.add_voter(ev.voter);
     p.applied = next;
@@ -351,6 +428,9 @@ std::vector<std::uint64_t> StreamEngine::merge_prefix_counts(
 }
 
 void StreamEngine::run_until(std::uint64_t event_limit) {
+  if (live())
+    throw std::logic_error(
+        "run_until on a live-mode stream engine (use live_vote)");
   event_limit = std::min<std::uint64_t>(event_limit, total_events());
   if (event_limit <= events_applied_) return;
   obs::Span span("stream_run", "stream");
@@ -416,49 +496,54 @@ void StreamEngine::run_until(std::uint64_t event_limit) {
       static_cast<double>(vis_pool_bytes()));
 }
 
+StoryOutcome StreamEngine::query_story(std::uint32_t slot) {
+  if (slot >= progress_.size())
+    throw std::invalid_argument("query for an unknown story slot");
+  const auto& cc = params_.cascade_checkpoints;
+  const auto& ic = params_.influence_checkpoints;
+  const Progress& p = progress_[slot];
+  StoryOutcome o;
+  o.id = story_id(slot);
+  o.submitter = story_submitter(slot);
+  o.fans1 = p.fans1;
+  o.final_votes = p.applied;
+  o.interesting = p.applied > params_.interesting_threshold;
+  // Unreached checkpoints saturate over the votes seen so far, matching
+  // the batch profiles. An unrecorded cascade checkpoint's count is just
+  // the running counter (all applied votes are inside its window); an
+  // unrecorded influence checkpoint needs the live set, rebuilt on demand.
+  o.cascade.resize(cc.size());
+  for (std::size_t j = 0; j < cc.size(); ++j) {
+    const std::uint32_t rec = cascade_rec_[slot * cc.size() + j];
+    o.cascade[j] = rec != kUnrecorded ? rec : p.innetwork;
+  }
+  o.influence.resize(ic.size());
+  for (std::size_t j = 0; j < ic.size(); ++j) {
+    const std::uint32_t rec = influence_rec_[slot * ic.size() + j];
+    o.influence[j] =
+        rec != kUnrecorded
+            ? rec
+            : acquire_vis(shards_[slot % kShardCount], slot).influence();
+  }
+  if (p.flags & kHasPrediction)
+    o.predicted_interesting = (p.flags & kPredictedYes) != 0;
+  if (p.flags & kHasBayes) {
+    o.bayes_interesting = (p.flags & kBayesYes) != 0;
+    o.bayes_expected_final = p.bayes_estimate;
+  }
+  if (p.flags & kPromoted) o.promoted_time = p.promoted_time;
+  return o;
+}
+
 StreamResult StreamEngine::result() {
   obs::Span span("stream_result", "stream");
   const auto query_start = std::chrono::steady_clock::now();
   obs::record_event(obs::EventKind::kQuery, 0, events_applied_);
-  const auto& cc = params_.cascade_checkpoints;
-  const auto& ic = params_.influence_checkpoints;
   StreamResult out;
   out.events_applied = events_applied_;
-  out.stories.resize(stream_->stories.size());
-  for (std::uint32_t slot = 0; slot < out.stories.size(); ++slot) {
-    const platform::StoryView& sv = stream_->stories[slot];
-    const Progress& p = progress_[slot];
-    StoryOutcome& o = out.stories[slot];
-    o.id = sv.id;
-    o.submitter = sv.submitter;
-    o.fans1 = p.fans1;
-    o.final_votes = p.applied;
-    o.interesting = p.applied > params_.interesting_threshold;
-    // Unreached checkpoints saturate over the votes seen so far, matching
-    // the batch profiles. An unrecorded cascade checkpoint's count is just
-    // the running counter (all applied votes are inside its window); an
-    // unrecorded influence checkpoint needs the live set, rebuilt on demand.
-    o.cascade.resize(cc.size());
-    for (std::size_t j = 0; j < cc.size(); ++j) {
-      const std::uint32_t rec = cascade_rec_[slot * cc.size() + j];
-      o.cascade[j] = rec != kUnrecorded ? rec : p.innetwork;
-    }
-    o.influence.resize(ic.size());
-    for (std::size_t j = 0; j < ic.size(); ++j) {
-      const std::uint32_t rec = influence_rec_[slot * ic.size() + j];
-      o.influence[j] =
-          rec != kUnrecorded
-              ? rec
-              : acquire_vis(shards_[slot % kShardCount], slot).influence();
-    }
-    if (p.flags & kHasPrediction)
-      o.predicted_interesting = (p.flags & kPredictedYes) != 0;
-    if (p.flags & kHasBayes) {
-      o.bayes_interesting = (p.flags & kBayesYes) != 0;
-      o.bayes_expected_final = p.bayes_estimate;
-    }
-    if (p.flags & kPromoted) o.promoted_time = p.promoted_time;
-  }
+  out.stories.reserve(progress_.size());
+  for (std::uint32_t slot = 0; slot < progress_.size(); ++slot)
+    out.stories.push_back(query_story(slot));
   obs::Registry::global()
       .histogram("stream.query_us")
       .observe(std::chrono::duration<double, std::micro>(
@@ -468,11 +553,15 @@ StreamResult StreamEngine::result() {
 }
 
 std::size_t StreamEngine::state_bytes() const {
-  const std::size_t bytes = progress_.capacity() * sizeof(Progress) +
-                            cascade_rec_.capacity() * sizeof(std::uint32_t) +
-                            influence_rec_.capacity() * sizeof(std::uint32_t) +
-                            pool_slot_of_.capacity() * sizeof(std::uint32_t) +
-                            bayes_exposure_.capacity() * sizeof(double);
+  std::size_t bytes = progress_.capacity() * sizeof(Progress) +
+                      cascade_rec_.capacity() * sizeof(std::uint32_t) +
+                      influence_rec_.capacity() * sizeof(std::uint32_t) +
+                      pool_slot_of_.capacity() * sizeof(std::uint32_t) +
+                      bayes_exposure_.capacity() * sizeof(double) +
+                      live_stories_.capacity() * sizeof(LiveStory);
+  for (const LiveStory& ls : live_stories_)
+    bytes += ls.prefix_voters.capacity() * sizeof(platform::UserId) +
+             ls.prefix_times.capacity() * sizeof(platform::Minutes);
   return bytes + vis_pool_bytes();
 }
 

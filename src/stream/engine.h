@@ -56,6 +56,15 @@
 // section mechanism (data/snapshot_format.h) — see checkpoint.h. A restored
 // engine resumes mid-stream and reaches a final state bit-identical to an
 // uninterrupted run.
+//
+// Live mode (src/serve): constructed over a network alone, the engine has
+// no EventStream — stories arrive through live_submit and votes through
+// live_vote, in arrival order. Per-story state is identical to replay mode;
+// the only extra cost is a bounded prefix buffer per story (the first
+// `horizon` voters and times), which is exactly what LRU rebuilds and the
+// Bayes exposure statistic need — votes past the horizon keep the bare
+// counter-bump cost. Checkpoints carry the prefix buffers in an extra
+// section so a restored live engine resumes with full rebuild capability.
 
 #include <cstdint>
 #include <filesystem>
@@ -65,6 +74,7 @@
 
 #include "src/core/features.h"
 #include "src/core/predictor.h"
+#include "src/data/snapshot_format.h"
 #include "src/digg/friends_interface.h"
 #include "src/stream/bayes.h"
 #include "src/stream/event.h"
@@ -147,17 +157,50 @@ class StreamEngine {
   StreamEngine(const EventStream& stream, const graph::Digraph& network,
                StreamParams params = {});
 
+  /// Live-ingest mode: an engine over `network` with no replay stream.
+  /// Starts empty; stories and votes arrive through live_submit/live_vote
+  /// (the src/serve ingest path). run_until/run_all are unavailable.
+  explicit StreamEngine(const graph::Digraph& network,
+                        StreamParams params = {});
+
+  [[nodiscard]] bool live() const noexcept { return stream_ == nullptr; }
+  /// Stories known so far (replay: the stream's story table; live: stories
+  /// submitted so far). Story slots are always [0, story_count()).
+  [[nodiscard]] std::uint32_t story_count() const noexcept {
+    return static_cast<std::uint32_t>(progress_.size());
+  }
+
+  /// Registers a live story and applies the submitter's own digg (vote 0)
+  /// at `time`; returns the story's slot. Live mode only; single caller at
+  /// a time (the serve coordinator). Throws std::invalid_argument for a
+  /// submitter outside the graph.
+  std::uint32_t live_submit(platform::StoryId id, platform::UserId submitter,
+                            platform::Minutes time);
+  /// Applies one live vote. Vote times within a story must be
+  /// non-decreasing (the serve front-end's per-story arrival order). Safe
+  /// to call concurrently for stories in DIFFERENT shards (slot %
+  /// kShardCount) — the serve drain cycle's parallelism contract; two
+  /// concurrent calls into one shard race on its visibility pool.
+  void live_vote(std::uint32_t slot, platform::UserId voter,
+                 platform::Minutes time);
+  /// Folds a drained batch into events_applied(). live_vote deliberately
+  /// never touches the global counter (so shards can apply in parallel);
+  /// the single drain coordinator calls this once per batch instead.
+  void note_events_applied(std::uint64_t n) noexcept { events_applied_ += n; }
+
   /// Applies every event with ordinal < event_limit that has not been
   /// applied yet. Monotonic: a limit at or below events_applied() is a
-  /// no-op (the stream cannot rewind).
+  /// no-op (the stream cannot rewind). Replay mode only.
   void run_until(std::uint64_t event_limit);
-  void run_all() { run_until(stream_->total_events()); }
+  void run_all() { run_until(total_events()); }
 
   [[nodiscard]] std::uint64_t events_applied() const noexcept {
     return events_applied_;
   }
+  /// Replay: the stream's cached event total. Live: events applied so far
+  /// (the stream has no end).
   [[nodiscard]] std::uint64_t total_events() const noexcept {
-    return stream_->total_events();
+    return stream_ ? stream_->total_events() : events_applied_;
   }
 
   /// Snapshot of every story's state as of events_applied(). Callable
@@ -166,8 +209,20 @@ class StreamEngine {
   /// checkpoints may rebuild evicted visibility sets to read them.
   [[nodiscard]] StreamResult result();
 
+  /// One story's outcome as of the votes applied so far — the online query
+  /// path (result() is this, over every slot). Same rebuild caveat as
+  /// result(); not safe concurrently with live_vote on the same shard.
+  /// Throws std::invalid_argument for an unknown slot.
+  [[nodiscard]] StoryOutcome query_story(std::uint32_t slot);
+
   /// Serializes engine progress as a DIGGSNAP checkpoint at `path`.
   void save_checkpoint(const std::filesystem::path& path) const;
+  /// The checkpoint payload as in-memory sections (save_checkpoint is this
+  /// plus write_section_file). Lets the serve layer serialize on the
+  /// coordinator thread and hand the bytes to a background writer so disk
+  /// latency never blocks ingest.
+  [[nodiscard]] std::vector<data::snapfmt::Section> checkpoint_sections()
+      const;
   /// Replaces engine progress with a checkpoint written by save_checkpoint
   /// against the SAME stream and params. Verifies container integrity, the
   /// stream fingerprint, config equality, and per-story prefix consistency;
@@ -176,6 +231,9 @@ class StreamEngine {
 
   /// FNV-1a fingerprint of the stream (stories, vote columns) and network
   /// shape; checkpoints embed it so a restore against different data fails.
+  /// Live engines have no stream at construction, so their fingerprint
+  /// covers the network shape alone (plus a live-mode tag) — a live
+  /// checkpoint still refuses to restore over a different graph.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
     return fingerprint_;
   }
@@ -233,6 +291,41 @@ class StreamEngine {
   static constexpr std::uint8_t kHasBayes = 8;
   static constexpr std::uint8_t kBayesYes = 16;
 
+  /// One live-mode story: identity plus the bounded vote prefix. Only the
+  /// first `horizon` voters/times are kept — exactly what LRU rebuilds
+  /// (acquire_vis replays `applied` < horizon votes) and the Bayes exposure
+  /// gap (indices below fit_at <= horizon-1) can ever read — so live
+  /// per-story memory is O(horizon), not O(votes).
+  struct LiveStory {
+    platform::StoryId id = 0;
+    platform::UserId submitter = 0;
+    platform::Minutes last_time = 0.0;  // latest vote time (order check)
+    std::vector<platform::UserId> prefix_voters;
+    std::vector<platform::Minutes> prefix_times;
+  };
+
+  /// Mode-splitting accessors: replay mode reads the stream's columns, live
+  /// mode the bounded prefix buffers. Every consumer indexes below the
+  /// horizon, which both modes can serve.
+  [[nodiscard]] platform::StoryId story_id(std::uint32_t slot) const {
+    return stream_ ? stream_->stories[slot].id : live_stories_[slot].id;
+  }
+  [[nodiscard]] platform::UserId story_submitter(std::uint32_t slot) const {
+    return stream_ ? stream_->stories[slot].submitter
+                   : live_stories_[slot].submitter;
+  }
+  [[nodiscard]] platform::Minutes early_vote_time(std::uint32_t slot,
+                                                  std::size_t k) const {
+    return stream_ ? stream_->stories[slot].times()[k]
+                   : live_stories_[slot].prefix_times[k];
+  }
+  [[nodiscard]] std::span<const platform::UserId> voters_prefix(
+      std::uint32_t slot) const {
+    return stream_ ? stream_->stories[slot].voters()
+                   : std::span<const platform::UserId>(
+                         live_stories_[slot].prefix_voters);
+  }
+
   void apply_event(const VoteEvent& ev, Shard& shard);
   /// The counting merge: starting from the per-story cursors in `cursor`
   /// (which must describe an exact global prefix), advances them through
@@ -247,7 +340,11 @@ class StreamEngine {
                           const platform::VisibilitySet& vis,
                           platform::Minutes now);
 
-  const EventStream* stream_;
+  /// Shared tail of both constructors: checkpoint validation, horizon,
+  /// prediction arming, shard/pool layout.
+  void init_config();
+
+  const EventStream* stream_;  // nullptr in live mode
   const graph::Digraph* network_;
   StreamParams params_;
   std::uint64_t horizon_ = 0;       // total votes after which state retires
@@ -265,6 +362,7 @@ class StreamEngine {
   /// Per-story watcher-exposure accumulator (watcher-minutes over the
   /// below-fit prefix); sized only when params_.bayes.enabled.
   std::vector<double> bayes_exposure_;
+  std::vector<LiveStory> live_stories_;  // live mode only, by slot
 };
 
 }  // namespace digg::stream

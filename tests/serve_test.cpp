@@ -1,0 +1,686 @@
+#include "src/serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/features.h"
+#include "src/core/predictor.h"
+#include "src/data/synthetic.h"
+#include "src/runtime/parallel.h"
+#include "src/serve/client.h"
+#include "src/serve/mpsc_queue.h"
+#include "src/serve/protocol.h"
+#include "src/stream/checkpoint.h"
+#include "src/stream/engine.h"
+#include "src/stream/source.h"
+
+namespace digg::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixture data: a corpus small enough to generate in well under a
+// second but large enough that stories cross the v10/v20 checkpoints and
+// both label classes appear on the front page.
+
+const data::SyntheticCorpus& test_corpus() {
+  static const data::SyntheticCorpus c = [] {
+    stats::Rng rng(42);
+    data::SyntheticParams params;
+    params.user_count = 20000;
+    params.story_count = 200;
+    params.vote_model.step = 2.0;
+    return data::generate_corpus(params, rng);
+  }();
+  return c;
+}
+
+const core::InterestingnessPredictor& test_predictor() {
+  static const core::InterestingnessPredictor p = [] {
+    const data::Corpus& corpus = test_corpus().corpus;
+    return core::InterestingnessPredictor::train(
+        core::extract_features(corpus.front_page, corpus.network));
+  }();
+  return p;
+}
+
+stream::StreamParams test_stream_params() {
+  stream::StreamParams sp;
+  sp.predictor = &test_predictor();
+  sp.bayes.enabled = true;
+  return sp;
+}
+
+/// The test load: (story, events-to-send) pairs in a fixed story-major
+/// order, capped per story so the suite stays fast.
+struct LoadItem {
+  const data::Story* story;
+  std::size_t events;
+};
+
+std::vector<LoadItem> test_load(std::size_t max_stories,
+                                std::size_t max_votes) {
+  const data::Corpus& corpus = test_corpus().corpus;
+  std::vector<LoadItem> load;
+  for (const auto* list : {&corpus.upcoming, &corpus.front_page}) {
+    for (const data::Story& s : *list) {
+      if (load.size() >= max_stories) break;
+      const std::size_t events = std::min(s.vote_count(), max_votes);
+      if (events > 0) load.push_back({&s, events});
+    }
+  }
+  return load;
+}
+
+void encode_load(const std::vector<LoadItem>& load, std::size_t begin_event,
+                 std::size_t end_event, std::vector<char>& out) {
+  // Events are numbered story-major: story 0's submit+votes, then story
+  // 1's, ... — slicing [begin, end) lets kill/resume tests cut mid-story.
+  std::size_t n = 0;
+  for (const LoadItem& l : load) {
+    const data::Story& s = *l.story;
+    for (std::size_t k = 0; k < l.events; ++k, ++n) {
+      if (n < begin_event || n >= end_event) continue;
+      if (k == 0)
+        encode(SubmitMsg{s.id, s.voters()[0], s.times()[0]}, out);
+      else
+        encode(VoteMsg{s.id, s.voters()[k], s.times()[k]}, out);
+    }
+  }
+}
+
+std::size_t total_events(const std::vector<LoadItem>& load) {
+  std::size_t n = 0;
+  for (const LoadItem& l : load) n += l.events;
+  return n;
+}
+
+/// A single-threaded live engine fed the same load — the oracle every
+/// server reply is compared against.
+stream::StreamEngine make_oracle(const std::vector<LoadItem>& load) {
+  stream::StreamEngine oracle(test_corpus().corpus.network,
+                              test_stream_params());
+  for (const LoadItem& l : load) {
+    const data::Story& s = *l.story;
+    const auto slot = oracle.live_submit(s.id, s.voters()[0], s.times()[0]);
+    for (std::size_t k = 1; k < l.events; ++k)
+      oracle.live_vote(slot, s.voters()[k], s.times()[k]);
+    oracle.note_events_applied(l.events);
+  }
+  return oracle;
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("digg_serve_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Protocol: round-trips.
+
+TEST(ServeProtocolTest, RoundTripsEveryMessageType) {
+  std::vector<Message> msgs = {
+      VoteMsg{7, 1234, 56.5},
+      SubmitMsg{8, 99, 1.25},
+      QueryStateMsg{42},
+      QueryPredictMsg{43},
+      SyncMsg{0xdeadbeef},
+      StateReplyMsg{7, 1, 1000, 55, {3, 9, 17}, 1, 321.75},
+      PredictReplyMsg{7, 1, 1, 1, 0, 1, 812.5},
+      SyncReplyMsg{0xdeadbeef},
+      ErrorMsg{ErrorCode::kUnknownStory, 42},
+  };
+  std::vector<char> wire;
+  for (const Message& m : msgs) encode(m, wire);
+
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  std::vector<Message> out;
+  Message m;
+  while (decoder.next(m)) out.push_back(m);
+  ASSERT_EQ(out.size(), msgs.size());
+
+  EXPECT_EQ(std::get<VoteMsg>(out[0]).story_id, 7u);
+  EXPECT_EQ(std::get<VoteMsg>(out[0]).voter, 1234u);
+  EXPECT_EQ(std::get<VoteMsg>(out[0]).time, 56.5);
+  EXPECT_EQ(std::get<SubmitMsg>(out[1]).submitter, 99u);
+  EXPECT_EQ(std::get<QueryStateMsg>(out[2]).story_id, 42u);
+  EXPECT_EQ(std::get<QueryPredictMsg>(out[3]).story_id, 43u);
+  EXPECT_EQ(std::get<SyncMsg>(out[4]).token, 0xdeadbeefu);
+  const auto& state = std::get<StateReplyMsg>(out[5]);
+  EXPECT_EQ(state.votes, 1000u);
+  EXPECT_EQ(state.fans1, 55u);
+  EXPECT_EQ(state.cascade, (std::vector<std::uint32_t>{3, 9, 17}));
+  EXPECT_EQ(state.promoted, 1);
+  EXPECT_EQ(state.promoted_time, 321.75);
+  const auto& predict = std::get<PredictReplyMsg>(out[6]);
+  EXPECT_EQ(predict.has_c45, 1);
+  EXPECT_EQ(predict.c45_yes, 1);
+  EXPECT_EQ(predict.bayes_expected_final, 812.5);
+  EXPECT_EQ(std::get<SyncReplyMsg>(out[7]).token, 0xdeadbeefu);
+  EXPECT_EQ(std::get<ErrorMsg>(out[8]).code, ErrorCode::kUnknownStory);
+}
+
+TEST(ServeProtocolTest, DecodesAcrossArbitraryFeedBoundaries) {
+  std::vector<char> wire;
+  for (int i = 0; i < 50; ++i)
+    encode(VoteMsg{static_cast<std::uint32_t>(i), 7, 0.5 * i}, wire);
+  FrameDecoder decoder;
+  std::size_t decoded = 0;
+  Message m;
+  for (std::size_t i = 0; i < wire.size(); ++i) {  // one byte at a time
+    decoder.feed(wire.data() + i, 1);
+    while (decoder.next(m)) {
+      EXPECT_EQ(std::get<VoteMsg>(m).story_id, decoded);
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, 50u);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: the malformed-frame table the ASan leg runs — truncated,
+// oversized, and garbage inputs must throw ProtocolError, never crash or
+// over-read (this drives the exact decoder the server's read path uses).
+
+TEST(ServeProtocolTest, MalformedFramesThrowWithoutCrashing) {
+  struct Case {
+    const char* name;
+    std::vector<char> bytes;
+  };
+  auto frame = [](std::uint32_t len, const std::vector<char>& body) {
+    std::vector<char> out(4 + body.size());
+    std::memcpy(out.data(), &len, sizeof(len));
+    std::copy(body.begin(), body.end(), out.begin() + 4);
+    return out;
+  };
+  const std::vector<Case> cases = {
+      {"zero length", frame(0, {})},
+      {"length beyond cap", frame(kMaxFrameBytes + 1, {1})},
+      {"length 0xffffffff", frame(0xffffffffu, {1})},
+      {"unknown type 0", frame(1, {0})},
+      {"unknown type 42", frame(1, {42})},
+      {"unknown type 255", frame(1, {'\xff'})},
+      {"vote body truncated", frame(5, {1, 7, 0, 0, 0})},
+      {"vote body oversized", frame(18, {1, 7, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                                         0, 0, 0, 0, 0, 9})},
+      {"submit body empty", frame(1, {2})},
+      {"sync body truncated", frame(3, {5, 1, 2})},
+      {"state reply huge cascade count",
+       frame(22, {16, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0,
+                  '\xff', '\xff', '\xff', '\xff'})},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    FrameDecoder decoder;
+    decoder.feed(c.bytes.data(), c.bytes.size());
+    Message m;
+    EXPECT_THROW(
+        {
+          while (decoder.next(m)) {
+          }
+        },
+        ProtocolError);
+    // Poisoned: every further use throws too.
+    EXPECT_THROW((void)decoder.next(m), ProtocolError);
+    EXPECT_THROW(decoder.feed(c.bytes.data(), 1), ProtocolError);
+  }
+}
+
+TEST(ServeProtocolTest, GarbageStreamsNeverCrashTheDecoder) {
+  // Deterministic pseudo-random buffers: every one either decodes into
+  // messages or throws ProtocolError — nothing else may happen.
+  std::uint64_t state = 0x2545f4914f6cdd1dull;
+  auto next_byte = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<char>(state & 0xff);
+  };
+  std::size_t threw = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<char> garbage(64 + (round * 7) % 512);
+    for (char& b : garbage) b = next_byte();
+    FrameDecoder decoder;
+    Message m;
+    try {
+      decoder.feed(garbage.data(), garbage.size());
+      while (decoder.next(m)) {
+      }
+    } catch (const ProtocolError&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0u);  // random 4-byte lengths are overwhelmingly invalid
+}
+
+// ---------------------------------------------------------------------------
+// MPSC ring queue.
+
+TEST(MpscQueueTest, SingleThreadFifoAndFullBehavior) {
+  MpscQueue<int> q(4);  // rounds to 4
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_THROW(MpscQueue<int>(0), std::invalid_argument);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full: never blocks, never overwrites
+  int out[8];
+  EXPECT_EQ(q.pop_batch(out, 8), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(q.pop_batch(out, 8), 0u);
+  // Wraps across laps.
+  for (int lap = 0; lap < 3; ++lap) {
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.try_push(lap * 10 + i));
+    EXPECT_EQ(q.pop_batch(out, 8), 3u);
+    EXPECT_EQ(out[0], lap * 10);
+    EXPECT_EQ(out[2], lap * 10 + 2);
+  }
+}
+
+TEST(MpscQueueTest, MultiProducerDeliversEverythingOncePerProducerFifo) {
+  // The TSan target: racing producers against the single consumer proves
+  // the acquire/release publication protocol (a missing fence shows up as
+  // a data race on the cell value; a lost CAS shows up as a dropped or
+  // duplicated item).
+  constexpr int kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 20000;
+  MpscQueue<std::uint64_t> q(1024);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t item =
+            (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!q.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint32_t> next_expected(kProducers, 0);
+  std::uint64_t received = 0;
+  std::uint64_t buf[256];
+  while (received < static_cast<std::uint64_t>(kProducers) * kPerProducer) {
+    const auto n = q.pop_batch(buf, 256);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto p = static_cast<int>(buf[i] >> 32);
+      const auto seq = static_cast<std::uint32_t>(buf[i]);
+      ASSERT_LT(p, kProducers);
+      ASSERT_EQ(seq, next_expected[p]) << "per-producer FIFO violated";
+      ++next_expected[p];
+    }
+    received += n;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.pop_batch(buf, 256), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Live engine: equality with replay mode, and the shard-parallel contract.
+
+TEST(ServeLiveEngineTest, LiveIngestMatchesReplayOutcomes) {
+  const data::Corpus& corpus = test_corpus().corpus;
+  const stream::EventStream es = stream::build_event_stream(corpus);
+
+  stream::StreamEngine replay(es, corpus.network, test_stream_params());
+  replay.run_all();
+  stream::StreamResult expect = replay.result();
+
+  stream::StreamEngine live(corpus.network, test_stream_params());
+  for (const auto& story : es.stories) {
+    const auto slot =
+        live.live_submit(story.id, story.submitter, story.times()[0]);
+    for (std::size_t k = 1; k < story.voters().size(); ++k)
+      live.live_vote(slot, story.voters()[k], story.times()[k]);
+    live.note_events_applied(story.voters().size());
+  }
+  stream::StreamResult got = live.result();
+
+  ASSERT_EQ(got.stories.size(), expect.stories.size());
+  EXPECT_EQ(got.events_applied, expect.events_applied);
+  for (std::size_t i = 0; i < got.stories.size(); ++i) {
+    SCOPED_TRACE("story slot " + std::to_string(i));
+    const auto& a = got.stories[i];
+    const auto& b = expect.stories[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.cascade, b.cascade);
+    EXPECT_EQ(a.influence, b.influence);
+    EXPECT_EQ(a.fans1, b.fans1);
+    EXPECT_EQ(a.final_votes, b.final_votes);
+    EXPECT_EQ(a.interesting, b.interesting);
+    EXPECT_EQ(a.predicted_interesting, b.predicted_interesting);
+    EXPECT_EQ(a.bayes_interesting, b.bayes_interesting);
+    EXPECT_EQ(a.bayes_expected_final, b.bayes_expected_final);
+    EXPECT_EQ(a.promoted_time, b.promoted_time);
+  }
+}
+
+TEST(ServeLiveEngineTest, ShardParallelApplyMatchesSerial) {
+  // The coordinator's throughput mode: submits serial, then each shard's
+  // vote list applied via parallel_for — live_vote's shard-exclusivity
+  // contract under the real thread pool (the TSan leg races it).
+  const auto load = test_load(80, 60);
+
+  stream::StreamEngine serial = make_oracle(load);
+
+  stream::StreamEngine parallel(test_corpus().corpus.network,
+                                test_stream_params());
+  struct PendingVote {
+    std::uint32_t slot;
+    platform::UserId voter;
+    platform::Minutes time;
+  };
+  constexpr auto kShards = stream::StreamEngine::kShardCount;
+  std::vector<std::vector<PendingVote>> by_shard(kShards);
+  std::uint64_t events = 0;
+  for (const LoadItem& l : load) {
+    const data::Story& s = *l.story;
+    const auto slot =
+        parallel.live_submit(s.id, s.voters()[0], s.times()[0]);
+    for (std::size_t k = 1; k < l.events; ++k)
+      by_shard[slot % kShards].push_back(
+          {slot, s.voters()[k], s.times()[k]});
+    events += l.events;
+  }
+  runtime::parallel_for(
+      kShards,
+      [&](std::size_t shard) {
+        for (const PendingVote& v : by_shard[shard])
+          parallel.live_vote(v.slot, v.voter, v.time);
+      },
+      {.grain = 1});
+  parallel.note_events_applied(events);
+
+  stream::StreamResult a = parallel.result();
+  stream::StreamResult b = serial.result();
+  ASSERT_EQ(a.stories.size(), b.stories.size());
+  for (std::size_t i = 0; i < a.stories.size(); ++i) {
+    SCOPED_TRACE("story slot " + std::to_string(i));
+    EXPECT_EQ(a.stories[i].cascade, b.stories[i].cascade);
+    EXPECT_EQ(a.stories[i].influence, b.stories[i].influence);
+    EXPECT_EQ(a.stories[i].final_votes, b.stories[i].final_votes);
+    EXPECT_EQ(a.stories[i].predicted_interesting,
+              b.stories[i].predicted_interesting);
+    EXPECT_EQ(a.stories[i].bayes_expected_final,
+              b.stories[i].bayes_expected_final);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server: construction-time validation.
+
+TEST(ServeParamsTest, CheckpointCadenceRequiresPath) {
+  ServeParams params;
+  params.checkpoint_ms = 100;  // no checkpoint_path
+  EXPECT_THROW(Server(test_corpus().corpus.network, params),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Server: end-to-end over real sockets.
+
+ServeParams test_serve_params() {
+  ServeParams params;
+  params.stream = test_stream_params();
+  return params;
+}
+
+/// Sends `wire` followed by a sync barrier, returns the connection fd (or
+/// asserts). Keeps the decoder for subsequent queries.
+int drive_events(std::uint16_t port, const std::vector<char>& wire,
+                 FrameDecoder& decoder) {
+  const int fd = connect_loopback(port);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return -1;
+  std::string error;
+  EXPECT_TRUE(write_all(fd, wire.data(), wire.size()));
+  EXPECT_TRUE(sync_barrier(fd, decoder, 1, error)) << error;
+  return fd;
+}
+
+TEST_F(ServeTest, EndToEndMatchesOracleAndDrainsEverything) {
+  const auto load = test_load(60, 50);
+  std::vector<char> wire;
+  encode_load(load, 0, total_events(load), wire);
+
+  Server server(test_corpus().corpus.network, test_serve_params());
+  const auto port = server.start();
+  ASSERT_GT(port, 0);
+  EXPECT_TRUE(server.running());
+
+  FrameDecoder decoder;
+  const int fd = drive_events(port, wire, decoder);
+  ASSERT_GE(fd, 0);
+
+  // Query every story through the socket and compare against the oracle.
+  std::vector<char> queries;
+  for (const LoadItem& l : load) {
+    encode(QueryStateMsg{l.story->id}, queries);
+    encode(QueryPredictMsg{l.story->id}, queries);
+  }
+  ASSERT_TRUE(write_all(fd, queries.data(), queries.size()));
+  std::vector<Message> replies;
+  std::string error;
+  ASSERT_TRUE(read_messages(fd, decoder, replies, load.size() * 2, error))
+      << error;
+  ::close(fd);
+
+  stream::StreamEngine oracle = make_oracle(load);
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    SCOPED_TRACE("story index " + std::to_string(i));
+    const auto expect = oracle.query_story(static_cast<std::uint32_t>(i));
+    const auto& state = std::get<StateReplyMsg>(replies[i * 2]);
+    const auto& predict = std::get<PredictReplyMsg>(replies[i * 2 + 1]);
+    EXPECT_EQ(state.found, 1);
+    EXPECT_EQ(state.story_id, expect.id);
+    EXPECT_EQ(state.votes, expect.final_votes);
+    EXPECT_EQ(state.fans1, expect.fans1);
+    ASSERT_EQ(state.cascade.size(), expect.cascade.size());
+    for (std::size_t k = 0; k < state.cascade.size(); ++k)
+      EXPECT_EQ(state.cascade[k], expect.cascade[k]);
+    EXPECT_EQ(state.promoted, expect.promoted_time.has_value() ? 1 : 0);
+    EXPECT_EQ(state.promoted_time, expect.promoted_time.value_or(0.0));
+    EXPECT_EQ(predict.found, 1);
+    EXPECT_EQ(predict.has_c45,
+              expect.predicted_interesting.has_value() ? 1 : 0);
+    EXPECT_EQ(predict.c45_yes,
+              expect.predicted_interesting.value_or(false) ? 1 : 0);
+    EXPECT_EQ(predict.has_bayes,
+              expect.bayes_interesting.has_value() ? 1 : 0);
+    EXPECT_EQ(predict.bayes_yes,
+              expect.bayes_interesting.value_or(false) ? 1 : 0);
+    EXPECT_EQ(predict.bayes_expected_final, expect.bayes_expected_final);
+  }
+
+  // Graceful drain applied every accepted event.
+  server.request_stop();
+  server.wait();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.engine().events_applied(), total_events(load));
+  EXPECT_EQ(server.engine().story_count(), load.size());
+}
+
+TEST_F(ServeTest, RejectsUnknownStoriesAndDuplicateSubmits) {
+  Server server(test_corpus().corpus.network, test_serve_params());
+  const auto port = server.start();
+
+  {
+    // Vote for a story never submitted -> kUnknownStory.
+    const int fd = connect_loopback(port);
+    ASSERT_GE(fd, 0);
+    std::vector<char> wire;
+    encode(VoteMsg{424242, 1, 1.0}, wire);
+    ASSERT_TRUE(write_all(fd, wire.data(), wire.size()));
+    FrameDecoder decoder;
+    std::vector<Message> replies;
+    std::string error;
+    EXPECT_FALSE(read_messages(fd, decoder, replies, 1, error));
+    EXPECT_NE(error.find("code=1"), std::string::npos) << error;
+    ::close(fd);
+  }
+  {
+    // Submitting the same story twice -> kDuplicateStory.
+    const int fd = connect_loopback(port);
+    ASSERT_GE(fd, 0);
+    std::vector<char> wire;
+    encode(SubmitMsg{7, 11, 1.0}, wire);
+    encode(SubmitMsg{7, 12, 2.0}, wire);
+    ASSERT_TRUE(write_all(fd, wire.data(), wire.size()));
+    FrameDecoder decoder;
+    std::vector<Message> replies;
+    std::string error;
+    EXPECT_FALSE(read_messages(fd, decoder, replies, 1, error));
+    EXPECT_NE(error.find("code=2"), std::string::npos) << error;
+    ::close(fd);
+  }
+  {
+    // A malformed frame -> kBadFrame, then the server closes the socket.
+    const int fd = connect_loopback(port);
+    ASSERT_GE(fd, 0);
+    const std::uint32_t bad_len = 0xfffffff0u;
+    ASSERT_TRUE(write_all(fd, reinterpret_cast<const char*>(&bad_len), 4));
+    FrameDecoder decoder;
+    std::vector<Message> replies;
+    std::string error;
+    EXPECT_FALSE(read_messages(fd, decoder, replies, 1, error));
+    EXPECT_NE(error.find("code=3"), std::string::npos) << error;
+    ::close(fd);
+  }
+
+  server.request_stop();
+  server.wait();
+}
+
+TEST_F(ServeTest, RestoreAfterStartThrows) {
+  Server server(test_corpus().corpus.network, test_serve_params());
+  server.start();
+  EXPECT_THROW(server.restore_checkpoint(dir_ / "nope.ckpt"),
+               std::logic_error);
+  server.request_stop();
+  server.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Kill/resume: a drain checkpoint restored into a fresh server must end in
+// a state bit-identical to an uninterrupted run (determinism mode).
+
+TEST_F(ServeTest, KillResumeCheckpointBitIdenticalToUninterrupted) {
+  const auto load = test_load(40, 40);
+  const std::size_t events = total_events(load);
+  const std::size_t cut = events / 2;  // cuts mid-story on purpose
+
+  auto run_server = [&](const std::filesystem::path& ckpt,
+                        const std::filesystem::path& restore,
+                        std::size_t begin_event, std::size_t end_event) {
+    ServeParams params = test_serve_params();
+    params.determinism = true;
+    params.checkpoint_path = ckpt;
+    Server server(test_corpus().corpus.network, params);
+    if (!restore.empty()) server.restore_checkpoint(restore);
+    const auto port = server.start();
+    std::vector<char> wire;
+    encode_load(load, begin_event, end_event, wire);
+    FrameDecoder decoder;
+    const int fd = drive_events(port, wire, decoder);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    server.request_stop();
+    server.wait();
+    EXPECT_EQ(server.engine().events_applied(), end_event);
+  };
+
+  const auto ckpt_half = dir_ / "half.ckpt";
+  const auto ckpt_resumed = dir_ / "resumed.ckpt";
+  const auto ckpt_straight = dir_ / "straight.ckpt";
+
+  run_server(ckpt_half, {}, 0, cut);              // killed at the cut
+  run_server(ckpt_resumed, ckpt_half, cut, events);  // restored, finished
+  run_server(ckpt_straight, {}, 0, events);       // never interrupted
+
+  const std::string resumed = read_file(ckpt_resumed);
+  const std::string straight = read_file(ckpt_straight);
+  ASSERT_FALSE(resumed.empty());
+  EXPECT_EQ(resumed, straight) << "drain checkpoints diverged";
+
+  // And the checkpoint is genuinely restorable.
+  ServeParams params = test_serve_params();
+  Server probe(test_corpus().corpus.network, params);
+  probe.restore_checkpoint(ckpt_resumed);
+  EXPECT_EQ(probe.engine().events_applied(), events);
+}
+
+// ---------------------------------------------------------------------------
+// Periodic background checkpoints: written off the hot path, atomically
+// replace each other, and restore while the server keeps serving.
+
+TEST_F(ServeTest, PeriodicCheckpointIsRestorableMidServe) {
+  const auto load = test_load(50, 40);
+  const auto ckpt = dir_ / "periodic.ckpt";
+  ServeParams params = test_serve_params();
+  params.checkpoint_ms = 20;
+  params.checkpoint_path = ckpt;
+  Server server(test_corpus().corpus.network, params);
+  const auto port = server.start();
+
+  std::vector<char> wire;
+  encode_load(load, 0, total_events(load), wire);
+  FrameDecoder decoder;
+  const int fd = drive_events(port, wire, decoder);
+  ASSERT_GE(fd, 0);
+
+  // Wait for a background checkpoint to land (cadence 20ms; generous cap).
+  bool restored = false;
+  for (int attempt = 0; attempt < 200 && !restored; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (!std::filesystem::exists(ckpt)) continue;
+    try {
+      Server probe(test_corpus().corpus.network, test_serve_params());
+      probe.restore_checkpoint(ckpt);
+      EXPECT_GT(probe.engine().story_count(), 0u);
+      restored = true;
+    } catch (const std::exception&) {
+      // A checkpoint from before the sync barrier can be mid-cadence; the
+      // next attempt sees a newer file.
+    }
+  }
+  EXPECT_TRUE(restored) << "no restorable background checkpoint appeared";
+
+  ::close(fd);
+  server.request_stop();
+  server.wait();
+  EXPECT_EQ(server.engine().events_applied(), total_events(load));
+}
+
+}  // namespace
+}  // namespace digg::serve

@@ -518,6 +518,7 @@ TEST_F(StreamTest, RejectsForgedProgressColumns) {
   meta.pod<std::uint32_t>(43);
   meta.pod<std::uint32_t>(0);  // bayes fit disabled
   meta.pod<std::uint32_t>(0);  // bayes fit_at (unread when disabled)
+  meta.pod<std::uint32_t>(0);  // replay mode (not a live checkpoint)
   meta.pod<std::uint32_t>(3);
   for (std::uint32_t cp : {6u, 10u, 20u}) meta.pod<std::uint32_t>(cp);
   meta.pod<std::uint32_t>(3);
