@@ -33,6 +33,7 @@ struct CliOptions {
   std::uint64_t seed = 42;
   std::string scenario = "legacy";
   std::string json_path;
+  bool smoke = false;  // downscale the scenario corpus (CI smokes)
 };
 
 struct Context {
@@ -83,8 +84,12 @@ inline void write_report_at_exit() {
 
 [[noreturn]] inline void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [seed] [--scenario <name>] [--json <path>]\n",
+               "usage: %s [seed] [--scenario <name>] [--json <path>] "
+               "[--smoke]\n",
                argv0);
+  std::fprintf(stderr,
+               "  --smoke downsizes the corpus (20k users / 200 stories) "
+               "for CI smokes\n");
   std::fprintf(stderr, "  seed must be a decimal unsigned 64-bit integer\n");
   std::fprintf(stderr, "  scenarios:");
   for (const std::string& n : data::scenario_names())
@@ -107,6 +112,8 @@ inline CliOptions parse_cli(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--scenario") == 0) {
       if (i + 1 >= argc) detail::usage(argv[0]);
       opts.scenario = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      opts.smoke = true;
     } else if (!parse_seed_strict(argv[i], opts.seed)) {
       std::fprintf(stderr, "%s: bad argument '%s'\n", argv[0], argv[i]);
       detail::usage(argv[0]);
@@ -141,6 +148,9 @@ inline Context make_context(const CliOptions& opts, const char* title) {
     std::fprintf(stderr, "error: %s\n", err.what());
     std::exit(2);
   }
+  // CI smokes (scripts/ci.sh) shrink every scenario the same way; figure
+  // shapes survive the downscale, wall time drops to seconds.
+  if (opts.smoke) data::downscale(spec, 20000, 200);
   stats::Rng rng(spec.seed);
   data::SyntheticCorpus synthetic = data::generate_corpus(spec.params, rng);
   std::printf(

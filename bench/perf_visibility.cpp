@@ -10,15 +10,24 @@
 //   - replay:     full streaming-engine ingest (the end-to-end consumer of
 //                 the sets), with the engine's resident state bytes.
 //
+// The union workload is additionally split by representation mode —
+// union_array_ns_per_op times each story's sorted-array prefix (every
+// union before the set promotes) and union_bitmap_ns_per_op the bitmap
+// remainder — because the two modes hit entirely different kernels
+// (src/simd set_diff vs bitmap_missing/bitmap_set) and a win in one must
+// not be masked by samples from the other.
+//
 // With --json <path> the gauges below land in the BENCH_visibility.json
 // perf-trajectory format; scripts/bench_check.py gates union_ns_per_op,
-// contains_ns_per_op (lower is better) and replay_votes_per_sec (higher).
+// union_array_ns_per_op, union_bitmap_ns_per_op, contains_ns_per_op
+// (lower is better) and replay_votes_per_sec (higher).
 
 #include <chrono>
 #include <cstdio>
 
 #include "bench/common.h"
 #include "src/digg/hybrid_set.h"
+#include "src/simd/dispatch.h"
 #include "src/stream/engine.h"
 #include "src/stream/source.h"
 
@@ -62,6 +71,55 @@ int main(int argc, char** argv) {
   });
   const double union_ns = union_total_ns / static_cast<double>(unions);
 
+  // --- per-mode unions: the array prefix vs the bitmap remainder --------
+  // Each story's replay is two timed phases split at promotion: unions
+  // issued while the set is still a sorted array, then the rest. The
+  // phase an op lands in is decided by the mode at call entry (the union
+  // that triggers promotion is array work), and op counts are identical
+  // across reps, so best-of-reps per phase is sound.
+  std::size_t array_unions = 0;
+  std::size_t bitmap_unions = 0;
+  double array_total_ns = 1e300;
+  double bitmap_total_ns = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    double a_ns = 0.0;
+    double b_ns = 0.0;
+    std::size_t a_ops = 0;
+    std::size_t b_ops = 0;
+    for (const platform::StoryView& story : corpus.front_page) {
+      set.reset(net.node_count());
+      const auto voters = story.voters();
+      std::size_t i = 0;
+      auto t0 = std::chrono::steady_clock::now();
+      while (i < voters.size() && !set.is_bitmap()) {
+        if (voters[i] < net.node_count()) {
+          set.union_span(net.fans(voters[i]));
+          ++a_ops;
+        }
+        ++i;
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      for (; i < voters.size(); ++i) {
+        if (voters[i] < net.node_count()) {
+          set.union_span(net.fans(voters[i]));
+          ++b_ops;
+        }
+      }
+      const auto t2 = std::chrono::steady_clock::now();
+      a_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+      b_ns += std::chrono::duration<double, std::nano>(t2 - t1).count();
+    }
+    if (a_ns < array_total_ns) array_total_ns = a_ns;
+    if (b_ns < bitmap_total_ns) bitmap_total_ns = b_ns;
+    array_unions = a_ops;
+    bitmap_unions = b_ops;
+  }
+  const double union_array_ns =
+      array_unions ? array_total_ns / static_cast<double>(array_unions) : 0.0;
+  const double union_bitmap_ns =
+      bitmap_unions ? bitmap_total_ns / static_cast<double>(bitmap_unions)
+                    : 0.0;
+
   // --- membership: gallop probes, uniform over the universe -------------
   constexpr std::size_t kProbes = 1u << 20;
   std::vector<std::uint32_t> keys(kProbes);
@@ -88,9 +146,14 @@ int main(int argc, char** argv) {
   });
   const double votes_per_sec = votes / (replay_ns / 1e9);
 
-  std::printf("fan-span unions: %zu over %zu stories\n", unions,
-              corpus.front_page.size());
+  std::printf("fan-span unions: %zu over %zu stories (simd=%s)\n", unions,
+              corpus.front_page.size(),
+              simd::level_name(simd::active_level()));
   std::printf("union (add_voter kernel):  %8.1f ns/op\n", union_ns);
+  std::printf("union (array mode):        %8.1f ns/op  (%zu ops)\n",
+              union_array_ns, array_unions);
+  std::printf("union (bitmap mode):       %8.1f ns/op  (%zu ops)\n",
+              union_bitmap_ns, bitmap_unions);
   std::printf("membership (%zu probes, %zu hits): %8.1f ns/op\n",
               static_cast<std::size_t>(kProbes), hits, contains_ns);
   std::printf("stream replay:             %8.2f ms  (%.0f votes/s)\n",
@@ -99,6 +162,8 @@ int main(int argc, char** argv) {
 
   auto& reg = obs::Registry::global();
   reg.gauge("visibility.union_ns_per_op").set(union_ns);
+  reg.gauge("visibility.union_array_ns_per_op").set(union_array_ns);
+  reg.gauge("visibility.union_bitmap_ns_per_op").set(union_bitmap_ns);
   reg.gauge("visibility.contains_ns_per_op").set(contains_ns);
   reg.gauge("visibility.replay_votes_per_sec").set(votes_per_sec);
   reg.gauge("visibility.state_bytes").set(static_cast<double>(state_bytes));

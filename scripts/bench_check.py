@@ -146,6 +146,8 @@ def self_test():
                                "x.scenario_gen_votes_per_sec": 5000.0,
                                "x.bench_replay_ms": 50.0,
                                "x.union_ns_per_op": 80.0,
+                               "x.union_array_ns_per_op": 900.0,
+                               "x.union_bitmap_ns_per_op": 60.0,
                                "x.bayes_fit_ns_per_vote": 40.0,
                                "x.ingest_story_us_p99": 120.0,
                                "x.bench_ipc": 2.0,
@@ -163,6 +165,8 @@ def self_test():
         gauges["serve.ingest_votes_per_sec"] *= scale_throughput
         gauges["x.bench_replay_ms"] *= scale_latency
         gauges["x.union_ns_per_op"] *= scale_latency
+        gauges["x.union_array_ns_per_op"] *= scale_latency
+        gauges["x.union_bitmap_ns_per_op"] *= scale_latency
         gauges["x.bayes_fit_ns_per_vote"] *= scale_latency
         gauges["x.ingest_story_us_p99"] *= scale_latency
         gauges["serve.query_us_p99"] *= scale_latency
@@ -174,8 +178,8 @@ def self_test():
             (tmp / sub).mkdir()
         (tmp / "baseline" / "BENCH_x.json").write_text(json.dumps(base))
         # 30% throughput/IPC drop AND 30% latency/ns-op/p99 growth: all
-        # nine gated gauges (including the serve ingest/query pair) must
-        # trip.
+        # eleven gated gauges (including the serve ingest/query pair and
+        # the per-mode union splits) must trip.
         (tmp / "slow" / "BENCH_x.json").write_text(
             json.dumps(variant(0.7, 1.3))
         )
@@ -190,7 +194,7 @@ def self_test():
         (tmp / "nopmu" / "BENCH_x.json").write_text(json.dumps(nopmu))
 
         slow = compare_dirs(tmp / "baseline", tmp / "slow", 0.25)
-        assert len(slow) == 9, f"expected 9 failures, got {slow}"
+        assert len(slow) == 11, f"expected 11 failures, got {slow}"
         fine = compare_dirs(tmp / "baseline", tmp / "fine", 0.25)
         assert fine == [], f"expected clean pass, got {fine}"
         vanished_ipc = compare_dirs(tmp / "baseline", tmp / "nopmu", 0.25)

@@ -9,6 +9,7 @@
 
 #include "src/core/features.h"
 #include "src/ml/c45.h"
+#include "src/ml/flat_tree.h"
 #include "src/ml/validation.h"
 
 namespace digg::core {
@@ -29,6 +30,14 @@ class InterestingnessPredictor {
   [[nodiscard]] bool predict(const StoryFeatures& f) const;
   [[nodiscard]] double predict_proba(const StoryFeatures& f) const;
 
+  /// Batched §5.2 decisions: out[i] = predict(sample[i]) for n stories in
+  /// one call. Goes through the compiled branch-free evaluator
+  /// (ml::FlatTree — the paper's feature sets are all numeric, so the tree
+  /// always compiles; a nominal-split tree would fall back to the pointer
+  /// walk). Bit-identical to n single predict() calls.
+  void predict_batch(const StoryFeatures* sample, std::size_t n,
+                     std::uint8_t* out) const;
+
   /// The trained tree (Fig. 5 shape).
   [[nodiscard]] const ml::DecisionTree& tree() const noexcept { return tree_; }
   [[nodiscard]] FeatureSet feature_set() const noexcept { return features_; }
@@ -44,6 +53,7 @@ class InterestingnessPredictor {
 
  private:
   ml::DecisionTree tree_;
+  ml::FlatTree flat_;  // compiled at train time; invalid => pointer walk
   FeatureSet features_ = FeatureSet::kPaper;
 };
 

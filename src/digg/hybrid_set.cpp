@@ -120,8 +120,10 @@ void HybridSet::flush() {
 void HybridSet::promote() {
   flush();
   words_.assign((universe_ + 63) / 64, 0ull);
-  for (const std::uint32_t id : main_) words_[id >> 6] |= 1ull << (id & 63);
-  bit_count_ = main_.size();
+  // main_ is sorted and unique, so the word-run union kernel sets every
+  // bit exactly once and its newly-set count is the cardinality.
+  bit_count_ =
+      simd::kernels().bitmap_set_u32(words_.data(), main_.data(), main_.size());
   bitmap_ = true;
   main_.clear();
   tail_.clear();
@@ -159,6 +161,7 @@ void HybridSet::shed() noexcept {
   std::vector<std::uint32_t>().swap(tail_);
   std::vector<std::uint32_t>().swap(dead_);
   std::vector<std::uint32_t>().swap(scratch_);
+  std::vector<std::uint32_t>().swap(scratch_pos_);
   std::vector<std::uint64_t>().swap(words_);
   bit_count_ = 0;
   bitmap_ = false;

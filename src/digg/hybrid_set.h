@@ -12,9 +12,10 @@
 //     inserts/erases O(log n + kStageCap) amortized instead of an O(n)
 //     memmove each, and is folded into `main_` (flush) before any bulk op.
 //     Membership is a galloping binary search; bulk union with a sorted span
-//     (a CSR fan list) is a gallop-intersect to find the genuinely new ids
-//     followed by one backward in-place merge — a set already saturated with
-//     the span costs only the lookups, no rewrite.
+//     (a CSR fan list) is a set-difference candidate pass (SIMD-dispatched,
+//     src/simd — vectorized block compare for dense segments, galloping for
+//     skewed size ratios) followed by one backward in-place merge — a set
+//     already saturated with the span costs only the lookups, no rewrite.
 //   - BITMAP mode: a word-packed bitmap of universe bits plus a size
 //     counter. Entered once size() crosses promote_threshold(universe) — the
 //     point where the sorted array would outweigh the bitmap
@@ -34,8 +35,11 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
+
+#include "src/simd/dispatch.h"
 
 namespace digg::platform {
 
@@ -98,7 +102,7 @@ class HybridSet {
   /// Resident heap bytes across both representations (LRU byte accounting).
   [[nodiscard]] std::size_t size_bytes() const noexcept {
     return (main_.capacity() + tail_.capacity() + dead_.capacity() +
-            scratch_.capacity()) *
+            scratch_.capacity() + scratch_pos_.capacity()) *
                sizeof(std::uint32_t) +
            words_.capacity() * sizeof(std::uint64_t);
   }
@@ -121,8 +125,9 @@ class HybridSet {
   std::vector<std::uint32_t> main_;     // sorted, unique
   std::vector<std::uint32_t> tail_;     // pending inserts, not in main_
   std::vector<std::uint32_t> dead_;     // pending erases, subset of main_
-  std::vector<std::uint32_t> scratch_;  // flush/union merge area
-  std::vector<std::uint64_t> words_;    // bitmap-mode storage
+  std::vector<std::uint32_t> scratch_;      // flush/union merge area
+  std::vector<std::uint32_t> scratch_pos_;  // union candidates' main_ LBs
+  std::vector<std::uint64_t> words_;        // bitmap-mode storage
   std::size_t bit_count_ = 0;           // bitmap-mode cardinality
 };
 
@@ -179,27 +184,44 @@ void HybridSet::union_span(std::span<const std::uint32_t> ids, Accept&& accept,
   if (!ids.empty() && ids.back() >= universe_)
     grow_universe(static_cast<std::size_t>(ids.back()) + 1);
 
+  // Both modes run the same two-phase shape: a SIMD candidate pass finds
+  // the span ids not already present (in span order — the kernel contract),
+  // then a scalar pass runs accept/on_new over the candidates and commits
+  // the survivors. Splitting membership from the callbacks is unobservable
+  // because accept/on_new may not touch this set, and it is what lets the
+  // membership side vectorize at all.
+  const simd::KernelTable& kt = simd::kernels();
+
   if (bitmap_) {
-    for (const std::uint32_t id : ids) {
-      std::uint64_t& word = words_[id >> 6];
-      const std::uint64_t bit = 1ull << (id & 63);
-      if ((word & bit) == 0 && accept(id)) {
-        word |= bit;
-        ++bit_count_;
-        on_new(id);
-      }
+    scratch_.resize(ids.size() + simd::kPackSlack);
+    const std::size_t n_cand = kt.bitmap_missing_u32(
+        words_.data(), ids.data(), ids.size(), scratch_.data());
+    std::size_t n_acc = 0;
+    for (std::size_t i = 0; i < n_cand; ++i) {
+      const std::uint32_t id = scratch_[i];
+      if (!accept(id)) continue;
+      scratch_[n_acc++] = id;  // compact in place; reads stay ahead of writes
+      on_new(id);
     }
+    bit_count_ += kt.bitmap_set_u32(words_.data(), scratch_.data(), n_acc);
     return;
   }
 
-  // Array mode. Canonicalize, then gallop-intersect the span against main_
-  // to stage only the genuinely new ids: a saturated set pays the lookups
-  // and never rewrites.
+  // Array mode. Canonicalize, then set-subtract the span against main_ to
+  // stage only the genuinely new ids: a saturated set pays the lookups and
+  // never rewrites. The kernel also reports each candidate's lower bound
+  // in main_ (it walks there to answer membership anyway), which the
+  // commit below consumes.
   flush();
-  std::size_t pos = 0;
-  for (const std::uint32_t id : ids) {
-    if (detail::gallop_contains(main_, id, pos)) continue;
+  scratch_.resize(ids.size() + simd::kPackSlack);
+  scratch_pos_.resize(ids.size() + simd::kPackSlack);
+  const std::size_t n_cand =
+      kt.set_diff_u32(ids.data(), ids.size(), main_.data(), main_.size(),
+                      scratch_.data(), scratch_pos_.data());
+  for (std::size_t i = 0; i < n_cand; ++i) {
+    const std::uint32_t id = scratch_[i];
     if (!accept(id)) continue;
+    scratch_pos_[tail_.size()] = scratch_pos_[i];  // compact alongside tail_
     tail_.push_back(id);
     on_new(id);
   }
@@ -208,18 +230,26 @@ void HybridSet::union_span(std::span<const std::uint32_t> ids, Accept&& accept,
     promote();
     return;
   }
-  // Backward in-place merge of the staged run (already sorted: collected in
-  // span order). Only the suffix of main_ past the first insertion point
-  // moves — the branch-light fan-union hot path.
-  std::size_t i = main_.size();
-  std::size_t j = tail_.size();
-  main_.resize(i + j);
-  std::size_t k = main_.size();
-  while (j > 0) {
-    if (i > 0 && main_[i - 1] > tail_[j - 1])
-      main_[--k] = main_[--i];
-    else
-      main_[--k] = tail_[--j];
+  // Backward in-place block merge of the staged run (already sorted:
+  // collected in span order). A branchy element-at-a-time merge costs a
+  // compare and an unpredictable branch per main_ element; instead slide
+  // the block between consecutive insertion points right in one memmove
+  // each — every element still moves at most once and only past the first
+  // insertion point, but at memcpy speed. The insertion points come from
+  // the candidate pass above, so the merge does no searching at all; this
+  // loop is where the array-mode union actually spends its time once the
+  // membership pass is vectorized.
+  const std::size_t old_n = main_.size();
+  const std::size_t add_n = tail_.size();
+  main_.resize(old_n + add_n);
+  std::size_t src_end = old_n;  // main_[0, src_end) not yet placed
+  for (std::size_t t = add_n; t > 0; --t) {
+    const std::size_t lo = scratch_pos_[t - 1];
+    if (src_end > lo)
+      std::memmove(main_.data() + lo + t, main_.data() + lo,
+                   (src_end - lo) * sizeof(std::uint32_t));
+    main_[lo + t - 1] = tail_[t - 1];
+    src_end = lo;
   }
   tail_.clear();
 }

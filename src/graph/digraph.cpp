@@ -1,7 +1,6 @@
 #include "src/graph/digraph.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <string>
 
@@ -9,24 +8,26 @@ namespace digg::graph {
 
 namespace {
 
-// Debug post-condition of build()/from_parts(): every adjacency row is
-// strictly increasing (sorted + deduplicated). The hybrid visibility sets
-// (src/digg/hybrid_set.h) merge fans()/friends() spans linearly and would
-// silently drop elements on unsorted input, so the invariant is asserted at
-// the single place rows are materialised instead of defended per consumer.
-[[maybe_unused]] void debug_assert_rows_sorted(
-    std::span<const std::size_t> offsets, std::span<const NodeId> ids) {
-#ifndef NDEBUG
+// Post-condition of build(): every adjacency row is strictly increasing
+// (sorted + deduplicated). The hybrid visibility sets (src/digg/hybrid_set.h)
+// consume fans()/friends() spans through HybridSet::union_span, whose SIMD
+// merge kernels assume strictly-increasing input and would silently drop or
+// misplace elements otherwise — union_span itself only asserts in debug
+// builds. So the invariant is enforced unconditionally at the single place
+// rows are materialised (one predictable O(E) scan over columns build() just
+// wrote, ~free next to the counting sort) instead of defended per consumer.
+// from_parts/from_views reach the same guarantee through check_csr below.
+void check_rows_sorted(std::span<const std::size_t> offsets,
+                       std::span<const NodeId> ids, const char* what) {
   for (std::size_t u = 0; u + 1 < offsets.size(); ++u) {
     for (std::size_t i = offsets[u] + 1; i < offsets[u + 1]; ++i) {
-      assert(ids[i - 1] < ids[i] &&
-             "Digraph: adjacency row not strictly increasing");
+      if (ids[i - 1] >= ids[i])
+        throw std::logic_error(
+            std::string("Digraph::build: ") + what + " row " +
+            std::to_string(u) +
+            " not strictly increasing (would corrupt union_span)");
     }
   }
-#else
-  (void)offsets;
-  (void)ids;
-#endif
 }
 
 }  // namespace
@@ -205,10 +206,11 @@ Digraph DigraphBuilder::build() const {
   }
   g.bind_owned();
   // Edges were sorted by (u, v), so each out-row is already sorted by target;
-  // in-rows are filled in (u, v) order, hence sorted by source. Debug builds
-  // verify both directions — arbitrary insertion order must normalize here.
-  debug_assert_rows_sorted(g.out_offsets_, g.out_targets_);
-  debug_assert_rows_sorted(g.in_offsets_, g.in_sources_);
+  // in-rows are filled in (u, v) order, hence sorted by source. Both
+  // directions are verified unconditionally — arbitrary insertion order must
+  // normalize here, in release builds too (see check_rows_sorted).
+  check_rows_sorted(g.out_offsets_, g.out_targets_, "out");
+  check_rows_sorted(g.in_offsets_, g.in_sources_, "in");
   return g;
 }
 

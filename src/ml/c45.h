@@ -77,6 +77,7 @@ class DecisionTree {
                    std::string& out) const;
 
   friend class C45Builder;
+  friend class FlatTree;  // flat_tree.h: batched branch-free evaluation
 };
 
 /// Shannon entropy (bits) of a class-count vector; 0 for empty counts.

@@ -1,0 +1,63 @@
+#include "src/ml/flat_tree.h"
+
+#include <limits>
+
+#include "src/simd/dispatch.h"
+
+namespace digg::ml {
+
+FlatTree::FlatTree(const DecisionTree& tree) {
+  const auto& nodes = tree.nodes_;
+  if (nodes.empty()) return;
+  for (const auto& n : nodes) {
+    if (n.leaf) continue;
+    if (tree.attributes_[n.attribute].kind != AttributeKind::kNumeric ||
+        n.children.size() != 2)
+      return;  // nominal multiway split: not compilable, valid() == false
+  }
+  const std::size_t count = nodes.size();
+  attr_.resize(count);
+  thresh_.resize(count);
+  left_.resize(count);
+  right_.resize(count);
+  miss_.resize(count);
+  klass_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& n = nodes[i];
+    const auto self = static_cast<std::int32_t>(i);
+    klass_[i] = static_cast<std::int32_t>(n.klass);
+    if (n.leaf) {
+      // Self-loop with an always-true compare: a settled row idles here
+      // for the remaining descent steps.
+      attr_[i] = 0;
+      thresh_[i] = std::numeric_limits<double>::infinity();
+      left_[i] = right_[i] = miss_[i] = self;
+    } else {
+      attr_[i] = static_cast<std::int32_t>(n.attribute);
+      thresh_[i] = n.threshold;
+      left_[i] = static_cast<std::int32_t>(n.children[0]);
+      right_[i] = static_cast<std::int32_t>(n.children[1]);
+      miss_[i] = static_cast<std::int32_t>(n.children[n.majority_child]);
+    }
+  }
+  depth_ = tree.depth();
+}
+
+void FlatTree::predict_classes(const double* rows, std::size_t n_rows,
+                               std::size_t stride,
+                               std::int32_t* out_klass) const {
+  simd::FlatTreeView view;
+  view.attr = attr_.data();
+  view.thresh = thresh_.data();
+  view.left = left_.data();
+  view.right = right_.data();
+  view.miss = miss_.data();
+  view.node_count = attr_.size();
+  view.depth = depth_;
+  // The kernel writes leaf indices; map to classes in place.
+  simd::kernels().c45_leaves(view, rows, n_rows, stride, out_klass);
+  for (std::size_t i = 0; i < n_rows; ++i)
+    out_klass[i] = klass_[static_cast<std::size_t>(out_klass[i])];
+}
+
+}  // namespace digg::ml

@@ -1,0 +1,222 @@
+// SSE4.2 kernels — the middle rung of the dispatch ladder for x86 hosts
+// without AVX2. Only set_diff_u32 is vectorized here (4-lane block compare
+// with PSHUFB left-packing): the bitmap and tree kernels lean on gathers
+// that SSE lacks, so the table points those at the scalar references —
+// which is exactly the dispatch contract, a table entry is "best available
+// implementation at this level", not "must differ from scalar". Compiled
+// with -msse4.2 -mpopcnt (CMakeLists.txt).
+
+#include "src/simd/kernels.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+namespace digg::simd {
+namespace {
+
+// 16-entry PSHUFB left-pack table: row m moves the 4-byte lanes whose bit
+// is set in m to the front (padding lanes repeat lane 0; never stored past
+// the survivor count).
+struct PackTable {
+  alignas(16) std::uint8_t shuf[16][16];
+};
+
+constexpr PackTable make_pack_table() {
+  PackTable t{};
+  for (int m = 0; m < 16; ++m) {
+    int k = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if (((m >> lane) & 1) == 0) continue;
+      for (int b = 0; b < 4; ++b)
+        t.shuf[m][k * 4 + b] = static_cast<std::uint8_t>(lane * 4 + b);
+      ++k;
+    }
+    for (; k < 4; ++k)
+      for (int b = 0; b < 4; ++b)
+        t.shuf[m][k * 4 + b] = static_cast<std::uint8_t>(b);
+  }
+  return t;
+}
+
+constexpr PackTable kPack = make_pack_table();
+
+/// Lane mask: for each lane of `a`, all-ones iff the value occurs anywhere
+/// in `b` (4x4 all-pairs equality via 3 lane rotations).
+inline __m128i match4(__m128i a, __m128i b) {
+  __m128i found = _mm_cmpeq_epi32(a, b);
+  b = _mm_shuffle_epi32(b, _MM_SHUFFLE(0, 3, 2, 1));
+  found = _mm_or_si128(found, _mm_cmpeq_epi32(a, b));
+  b = _mm_shuffle_epi32(b, _MM_SHUFFLE(0, 3, 2, 1));
+  found = _mm_or_si128(found, _mm_cmpeq_epi32(a, b));
+  b = _mm_shuffle_epi32(b, _MM_SHUFFLE(0, 3, 2, 1));
+  return _mm_or_si128(found, _mm_cmpeq_epi32(a, b));
+}
+
+inline std::size_t pack_store(__m128i v, int mask, std::uint32_t* out) {
+  const __m128i shuf =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kPack.shuf[mask]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm_shuffle_epi8(v, shuf));
+  return static_cast<std::size_t>(
+      __builtin_popcount(static_cast<unsigned>(mask)));
+}
+
+/// 4-lane version of the AVX2 bounded forward sweep (see kernels_avx2.cpp's
+/// avx2_set_diff_skew): one monotone main cursor, per-key 4-lane sweeps up
+/// to a block budget, gallop from the cursor past it.
+std::size_t sse_set_diff_skew(const std::uint32_t* span, std::size_t span_n,
+                              const std::uint32_t* main, std::size_t main_n,
+                              std::uint32_t* out, std::uint32_t* out_pos) {
+  constexpr std::size_t kScanBudget = 16;  // blocks (64 elements) per key
+  std::size_t k = 0;
+  std::size_t p = 0;  // lower bound of the previous key; never retreats
+  for (std::size_t i = 0; i < span_n; ++i) {
+    const std::uint32_t key = span[i];
+    const __m128i vkey = _mm_set1_epi32(static_cast<int>(key));
+    bool present = false;
+    for (std::size_t steps = 0;; ++steps) {
+      if (p + 4 > main_n) {
+        while (p < main_n && main[p] < key) ++p;
+        present = p < main_n && main[p] == key;
+        break;
+      }
+      if (steps == kScanBudget) {
+        present = detail::gallop_contains_ptr(main, main_n, key, p);
+        break;
+      }
+      const __m128i blk =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(main + p));
+      // Unsigned lane-wise blk >= key via max: max(blk, key) == blk.
+      const __m128i ge = _mm_cmpeq_epi32(_mm_max_epu32(blk, vkey), blk);
+      const int m = _mm_movemask_ps(_mm_castsi128_ps(ge));
+      if (m != 0) {
+        p += static_cast<std::size_t>(__builtin_ctz(static_cast<unsigned>(m)));
+        present = main[p] == key;
+        break;
+      }
+      p += 4;
+    }
+    if (!present) {
+      out[k] = key;
+      out_pos[k] = static_cast<std::uint32_t>(p);  // sweep stopped at the LB
+      ++k;
+    }
+  }
+  return k;
+}
+
+std::size_t sse_set_diff_u32(const std::uint32_t* span, std::size_t span_n,
+                             const std::uint32_t* main, std::size_t main_n,
+                             std::uint32_t* out, std::uint32_t* out_pos) {
+  if (main_n == 0) {
+    std::memcpy(out, span, span_n * sizeof(std::uint32_t));
+    std::memset(out_pos, 0, span_n * sizeof(std::uint32_t));
+    return span_n;
+  }
+  // Same skew heuristic as the AVX2 kernel (see kernels_avx2.cpp).
+  if (span_n < 8 || main_n / span_n >= 32)
+    return sse_set_diff_skew(span, span_n, main, main_n, out, out_pos);
+
+  std::size_t k = 0;
+  std::size_t j = 0;  // main cursor, advances in whole 4-lane blocks
+  std::size_t i = 0;
+  for (; i + 4 <= span_n; i += 4) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(span + i));
+    const std::uint32_t a_max = span[i + 3];
+    __m128i found = _mm_setzero_si128();
+    while (j + 4 <= main_n && main[j + 3] < a_max) {
+      found = _mm_or_si128(
+          found,
+          match4(a, _mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(main + j))));
+      j += 4;
+    }
+    int present;
+    if (j + 4 <= main_n) {
+      found = _mm_or_si128(
+          found,
+          match4(a, _mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(main + j))));
+      present = _mm_movemask_ps(_mm_castsi128_ps(found));
+    } else {
+      present = _mm_movemask_ps(_mm_castsi128_ps(found));
+      for (int lane = 0; lane < 4; ++lane) {
+        if ((present >> lane) & 1) continue;
+        const std::uint32_t key = span[i + static_cast<std::size_t>(lane)];
+        for (std::size_t t = j; t < main_n && main[t] <= key; ++t) {
+          if (main[t] == key) {
+            present |= 1 << lane;
+            break;
+          }
+        }
+      }
+    }
+    k += pack_store(a, ~present & 0xf, out + k);
+  }
+  std::size_t pos = j;
+  for (; i < span_n; ++i) {
+    if (!detail::gallop_contains_ptr(main, main_n, span[i], pos))
+      out[k++] = span[i];
+  }
+  // Insertion points for the block-compare candidates (see kernels_avx2.cpp).
+  std::size_t q = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    detail::gallop_contains_ptr(main, main_n, out[c], q);
+    out_pos[c] = static_cast<std::uint32_t>(q);
+  }
+  return k;
+}
+
+std::size_t sse_bitmap_set_u32(std::uint64_t* words, const std::uint32_t* ids,
+                               std::size_t n) {
+  // Scalar word-run merge recompiled with -mpopcnt (see kernels_avx2.cpp's
+  // note on the scatter side).
+  std::size_t newly = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint32_t w = ids[i] >> 6;
+    std::uint64_t mask = 0;
+    do {
+      mask |= 1ull << (ids[i] & 63);
+      ++i;
+    } while (i < n && (ids[i] >> 6) == w);
+    const std::uint64_t old = words[w];
+    words[w] = old | mask;
+    newly += static_cast<std::size_t>(_mm_popcnt_u64(mask & ~old));
+  }
+  return newly;
+}
+
+}  // namespace
+
+const KernelTable kSseTable = {
+    "sse4.2",
+    &sse_set_diff_u32,
+    &detail::scalar_bitmap_missing_u32,
+    &sse_bitmap_set_u32,
+    &detail::scalar_c45_leaves,
+};
+const bool kSseCompiled = true;
+
+}  // namespace digg::simd
+
+#else  // non-x86 or SSE4.2 flags missing: table of scalar fallbacks.
+
+namespace digg::simd {
+
+const KernelTable kSseTable = {
+    "sse-unavailable",
+    &detail::scalar_set_diff_u32,
+    &detail::scalar_bitmap_missing_u32,
+    &detail::scalar_bitmap_set_u32,
+    &detail::scalar_c45_leaves,
+};
+const bool kSseCompiled = false;
+
+}  // namespace digg::simd
+
+#endif

@@ -209,7 +209,11 @@ void StreamEngine::live_vote(std::uint32_t slot, platform::UserId voter,
     ls.prefix_times.push_back(time);
   }
   ls.last_time = time;
-  apply_event({time, slot, k, voter}, shards_[slot % kShardCount]);
+  Shard& shard = shards_[slot % kShardCount];
+  apply_event({time, slot, k, voter}, shard);
+  // Live queries may follow immediately (query-after-vote is the serve
+  // reply contract), so the prediction batch is this one vote.
+  flush_predictions(shard);
 }
 
 platform::VisibilitySet& StreamEngine::acquire_vis(Shard& shard,
@@ -294,7 +298,7 @@ void StreamEngine::release_vis(Shard& shard, std::uint32_t slot) {
 
 void StreamEngine::record_checkpoints(std::uint32_t slot, Progress& p,
                                       const platform::VisibilitySet& vis,
-                                      platform::Minutes now) {
+                                      platform::Minutes now, Shard& shard) {
   const auto& ic = params_.influence_checkpoints;
   for (std::size_t j = 0; j < ic.size(); ++j)
     if (ic[j] == p.applied) {
@@ -308,15 +312,10 @@ void StreamEngine::record_checkpoints(std::uint32_t slot, Progress& p,
     if (static_cast<std::uint64_t>(cc[j]) + 1 != p.applied) continue;
     cascade_rec_[slot * cc.size() + j] = p.innetwork;
     if (j == v10_index_ && predictor_armed_) {
-      // The §5.2 decision, taken online the instant vote 10 lands: the
-      // paper features (v10, fans1) are both final at this point.
-      core::StoryFeatures f;
-      f.story = story_id(slot);
-      f.submitter = story_submitter(slot);
-      f.v10 = p.innetwork;
-      f.fans1 = p.fans1;
-      p.flags |= kHasPrediction;
-      if (params_.predictor->predict(f)) p.flags |= kPredictedYes;
+      // The §5.2 decision inputs (v10, fans1) are both final the instant
+      // vote 10 lands; the scoring itself is deferred to the shard's next
+      // flush_predictions so many stories share one batched tree descent.
+      shard.pending_pred.push_back(slot);
     }
   }
   if (params_.bayes.enabled &&
@@ -343,6 +342,32 @@ void StreamEngine::record_checkpoints(std::uint32_t slot, Progress& p,
   }
 }
 
+void StreamEngine::flush_predictions(Shard& shard) {
+  if (shard.pending_pred.empty()) return;
+  const std::size_t n = shard.pending_pred.size();
+  const std::size_t cc_size = params_.cascade_checkpoints.size();
+  std::vector<core::StoryFeatures> feats(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = shard.pending_pred[i];
+    core::StoryFeatures& f = feats[i];
+    f.story = story_id(slot);
+    f.submitter = story_submitter(slot);
+    // v10 comes from the recorded checkpoint column, NOT p.innetwork —
+    // the running count keeps ticking toward the v20 checkpoint while the
+    // prediction waits in the queue.
+    f.v10 = cascade_rec_[slot * cc_size + v10_index_];
+    f.fans1 = progress_[slot].fans1;
+  }
+  std::vector<std::uint8_t> yes(n);
+  params_.predictor->predict_batch(feats.data(), n, yes.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    Progress& p = progress_[shard.pending_pred[i]];
+    p.flags |= kHasPrediction;
+    if (yes[i]) p.flags |= kPredictedYes;
+  }
+  shard.pending_pred.clear();
+}
+
 void StreamEngine::apply_event(const VoteEvent& ev, Shard& shard) {
   Progress& p = progress_[ev.story_slot];
   const std::uint64_t next = p.applied + 1;
@@ -366,7 +391,7 @@ void StreamEngine::apply_event(const VoteEvent& ev, Shard& shard) {
     }
     vis.add_voter(ev.voter);
     p.applied = next;
-    record_checkpoints(ev.story_slot, p, vis, ev.time);
+    record_checkpoints(ev.story_slot, p, vis, ev.time, shard);
     if (next >= horizon_) {
       release_vis(shard, ev.story_slot);
       obs::Registry::global().counter("stream.stories_retired").inc();
@@ -486,6 +511,10 @@ void StreamEngine::run_until(std::uint64_t event_limit) {
                                       .count());
           watchdog.beat();
         }
+        // One batched tree descent for every v10 checkpoint this shard
+        // pass crossed. Shard-local queue, slot-indexed outputs: no
+        // cross-shard state, so the thread-count invariance holds.
+        flush_predictions(shard);
         if (done > 0) votes.inc(done);
       },
       {.grain = 1});

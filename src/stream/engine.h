@@ -274,8 +274,14 @@ class StreamEngine {
   /// One shard owns the stories with slot % kShardCount == its index; its
   /// only state is the visibility pool (per-story progress lives in the
   /// slot-indexed columns), so shards cost nothing per event.
+  /// `pending_pred` holds story slots whose v10 checkpoint landed but whose
+  /// §5.2 prediction has not been scored yet: record_checkpoints enqueues,
+  /// flush_predictions scores the batch through the branch-free batched
+  /// C4.5 evaluator (predictor.h predict_batch). Always empty between
+  /// run_until/live_vote calls, so checkpoints never see it.
   struct Shard {
     VisPool pool;
+    std::vector<std::uint32_t> pending_pred;
   };
   struct Progress {
     std::uint64_t applied = 0;
@@ -338,7 +344,15 @@ class StreamEngine {
   void release_vis(Shard& shard, std::uint32_t slot);
   void record_checkpoints(std::uint32_t slot, Progress& p,
                           const platform::VisibilitySet& vis,
-                          platform::Minutes now);
+                          platform::Minutes now, Shard& shard);
+  /// Scores every slot queued in shard.pending_pred through
+  /// predict_batch and folds the verdicts into the progress flags. The
+  /// inputs (v10 from cascade_rec_, fans1 from progress_) are final the
+  /// moment the v10 checkpoint records, and predictions are independent
+  /// per story, so deferring to a batch is unobservable — run_until
+  /// flushes per shard pass, live_vote per vote (query-after-vote keeps
+  /// its semantics).
+  void flush_predictions(Shard& shard);
 
   /// Shared tail of both constructors: checkpoint validation, horizon,
   /// prediction arming, shard/pool layout.

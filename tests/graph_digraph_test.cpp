@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace digg::graph {
 namespace {
@@ -145,6 +147,68 @@ TEST(Digraph, UnsortedEdgeListsNormalizeAtBuild) {
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(g.friends(0)[i], out0[i]);
     EXPECT_EQ(g.fans(4)[i], in4[i]);
+  }
+}
+
+// Release-mode guard for HybridSet::union_span (src/digg/hybrid_set.h):
+// union_span's own strictly-increasing precondition is a debug assert, and
+// its SIMD merge kernels would silently drop or misplace ids on unsorted
+// input. The enforcing copy of the invariant therefore lives at Digraph CSR
+// construction — every materialisation path (from_parts, from_views, and
+// build()'s post-normalization check) must reject a non-increasing adjacency
+// row with a throw, in release builds too, so no such row can ever reach a
+// union_span call site.
+TEST(Digraph, UnsortedFanRowRejectedAtCsrBuild) {
+  // 3 nodes; out-rows fine, but node 1's fan row {2, 0} is out of order.
+  const std::vector<std::size_t> out_offsets = {0, 1, 2, 3};
+  const std::vector<NodeId> out_targets = {1, 2, 1};
+  const std::vector<std::size_t> in_offsets = {0, 0, 2, 3};
+  const std::vector<NodeId> in_sources_bad = {2, 0, 1};   // fans(1) unsorted
+  const std::vector<NodeId> in_sources_dup = {0, 0, 1};   // fans(1) not strict
+  const std::vector<NodeId> in_sources_good = {0, 2, 1};  // fans(1) = {0, 2}
+
+  EXPECT_THROW(Digraph::from_parts(out_offsets, out_targets, in_offsets,
+                                   in_sources_bad),
+               std::invalid_argument);
+  EXPECT_THROW(Digraph::from_parts(out_offsets, out_targets, in_offsets,
+                                   in_sources_dup),
+               std::invalid_argument);
+  EXPECT_THROW(Digraph::from_views(out_offsets, out_targets, in_offsets,
+                                   in_sources_bad),
+               std::invalid_argument);
+
+  // The same columns with the row fixed are accepted, and the fans span they
+  // yield satisfies union_span's contract directly.
+  const Digraph g = Digraph::from_parts(out_offsets, out_targets, in_offsets,
+                                        in_sources_good);
+  const auto fans = g.fans(1);
+  ASSERT_EQ(fans.size(), 2u);
+  EXPECT_LT(fans[0], fans[1]);
+}
+
+TEST(Digraph, BuildOutputAlwaysSatisfiesUnionSpanContract) {
+  // build() normalizes arbitrary insertion order and then re-verifies both
+  // CSR directions unconditionally (NDEBUG included); a surviving graph's
+  // rows are safe union_span input by construction. Cross-check a messy
+  // pseudo-random edge soup end to end.
+  DigraphBuilder b(64);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 400; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const NodeId u = static_cast<NodeId>(x % 64);
+    const NodeId v = static_cast<NodeId>((x >> 32) % 64);
+    if (u != v) b.add_follow(u, v);
+  }
+  const Digraph g = b.build();
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto in = g.fans(u);
+    for (std::size_t i = 1; i < in.size(); ++i)
+      ASSERT_LT(in[i - 1], in[i]) << "fans row " << u;
+    const auto out = g.friends(u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+      ASSERT_LT(out[i - 1], out[i]) << "friends row " << u;
   }
 }
 
